@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Design-choice ablation: pipeline schedule families. The paper's
+ * implementation runs interleaved 1F1B (Section 8); this harness
+ * quantifies what that choice buys on the simulated cluster, and
+ * shows that Optimus-CC's compressed backpropagation composes with
+ * every schedule.
+ *
+ * Known trade-off reproduced: interleaving divides the warm-up
+ * bubble by the chunk count but multiplies the number of inter-node
+ * hops, so its benefit shrinks (and eventually inverts) as
+ * communication gets more expensive -- which is precisely why
+ * compressing the inter-stage traffic and interleaving are
+ * complementary.
+ */
+
+#include "bench_util.hh"
+
+using namespace optimus;
+using namespace optimus::bench;
+
+int
+main()
+{
+    banner("Ablation -- pipeline schedule families",
+           "Section 8 (interleaved scheduling) / Section 2.1");
+
+    for (auto model :
+         {GptModelSpec::gpt8_3b(), GptModelSpec::gpt2_5b()}) {
+        MappedWorkload w(HardwareConfig::a100Cluster(), model,
+                         ParallelConfig{}, TrainingPlan{});
+
+        TablePrinter table({"Schedule", "Baseline (days)",
+                            "CB (days)", "CB gain",
+                            "In-flight stashes"});
+        const double to_days =
+            static_cast<double>(TrainingPlan{}.iterations) / 86400.0;
+
+        // Plain schedules through the generic simulator.
+        for (auto kind :
+             {ScheduleKind::GPipe, ScheduleKind::OneFOneB}) {
+            auto base_spec =
+                buildCostSpec(w, OptimusCcPolicy::baseline());
+            base_spec.schedule = kind;
+            auto cb_spec = buildCostSpec(w, OptimusCcPolicy::cbOnly());
+            cb_spec.schedule = kind;
+            const double base =
+                simulatePipeline(base_spec).iterationTime * to_days;
+            const double cb =
+                simulatePipeline(cb_spec).iterationTime * to_days;
+            // Peak in-flight micro-batch stashes on stage 0: the
+            // whole mini-batch for GPipe, the pipeline depth for
+            // 1F1B -- the memory reason GPipe is not usable here
+            // even where its raw timing looks competitive.
+            const int stash = kind == ScheduleKind::GPipe
+                                  ? base_spec.microBatches
+                                  : base_spec.stages;
+            table.addRow({kind == ScheduleKind::GPipe ? "GPipe"
+                                                      : "1F1B",
+                          TablePrinter::fmt(base),
+                          TablePrinter::fmt(cb),
+                          TablePrinter::fmtPercent(base / cb - 1.0),
+                          std::to_string(stash)});
+        }
+
+        // Interleaved with 2 and 4 chunks.
+        for (int chunks : {2, 4}) {
+            if (model.layers % (4 * chunks) != 0)
+                continue;
+            const double base =
+                simulateInterleaved(buildInterleavedCostSpec(
+                    w, OptimusCcPolicy::baseline(), chunks)) *
+                to_days;
+            const double cb =
+                simulateInterleaved(buildInterleavedCostSpec(
+                    w, OptimusCcPolicy::cbOnly(), chunks)) *
+                to_days;
+            char label[32];
+            std::snprintf(label, sizeof(label),
+                          "interleaved (v=%d)", chunks);
+            table.addRow({label, TablePrinter::fmt(base),
+                          TablePrinter::fmt(cb),
+                          TablePrinter::fmtPercent(base / cb - 1.0),
+                          std::to_string(4 + chunks)});
+        }
+
+        std::printf("%s (230K iterations):\n", model.name.c_str());
+        table.print();
+        std::printf("\n");
+    }
+    std::printf(
+        "notes: GPipe's raw timing hides backward messages inside "
+        "its phase overlap but\nstashes the whole mini-batch "
+        "(infeasible memory at these scales); 1F1B and\n"
+        "interleaved are the practical schedules. Interleaving "
+        "shrinks the bubble and\nputs *more* backward hops on the "
+        "critical path, so CB's gain grows with it --\nthe two "
+        "techniques are complementary, which is why the paper "
+        "uses both.\n");
+    return 0;
+}

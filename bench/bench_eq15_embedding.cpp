@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Section 6 (Eq. 15/16) reproduction: the analytic cost of fused
+ * embedding synchronization, validated three ways:
+ *
+ *  1. closed forms: C_emb = V(3D-2)/D vs C_fused = V(2D-1)/D, and
+ *     the improvement 42.9% at D=4 approaching 50% as D grows;
+ *  2. the real engine's per-iteration traffic bookkeeping matches
+ *     the closed forms exactly;
+ *  3. the fused path is *numerically identical* to the baseline
+ *     path (max parameter delta after training both ways).
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "data/corpus.hh"
+#include "parallel/trainer3d.hh"
+
+using namespace optimus;
+using namespace optimus::bench;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    banner("Eq 15/16 -- fused embedding synchronization cost",
+           "Section 6 (cost model + exactness)");
+
+    // ---- 1. Closed forms across D.
+    std::printf("analytic traffic per rank (V = 1):\n");
+    TablePrinter analytic({"D", "Baseline V(3D-2)/D",
+                           "Fused V(2D-1)/D", "Time improvement"});
+    for (int d : {2, 4, 8, 16, 64}) {
+        const double base = embSyncTrafficBaseline(1.0, d);
+        const double fused = embSyncTrafficFused(1.0, d);
+        analytic.addRow({std::to_string(d),
+                         TablePrinter::fmt(base, 4),
+                         TablePrinter::fmt(fused, 4),
+                         TablePrinter::fmtPercent(base / fused - 1.0)});
+    }
+    analytic.print();
+    std::printf("paper: 42.9%% at D=4, approaching 50%% as D "
+                "grows\n\n");
+
+    // ---- 2 & 3. The real engine.
+    QualityRunConfig qc = standardQualityConfig(args);
+    qc.iterations = std::min(qc.iterations, 30);
+    qc.dataParallel = 4;
+
+    Trainer3dConfig tc;
+    tc.model = qc.model;
+    tc.dataParallel = qc.dataParallel;
+    tc.pipelineStages = qc.pipelineStages;
+    tc.microBatches = qc.microBatches;
+    tc.microBatchSize = qc.microBatchSize;
+    tc.learningRate = qc.learningRate;
+
+    SyntheticCorpus corpus(qc.corpus);
+    LmDataset data(corpus.train(), qc.model.seqLen);
+
+    double measured_base = 0.0, measured_fused = 0.0;
+    double table_bytes = 0.0;
+    std::vector<std::unique_ptr<Trainer3d>> trainers;
+    for (bool fused : {false, true}) {
+        tc.fusedEmbeddingSync = fused;
+        auto trainer = std::make_unique<Trainer3d>(tc);
+        Rng rng(qc.dataSeed);
+        EmbSyncVolume volume;
+        for (int it = 0; it < qc.iterations; ++it)
+            volume = trainer->trainIteration(data, rng).embVolume;
+        (fused ? measured_fused : measured_base) =
+            volume.trafficBytes;
+        table_bytes = static_cast<double>(volume.tableBytes);
+        trainers.push_back(std::move(trainer));
+    }
+
+    const int d = tc.dataParallel;
+    std::printf("engine bookkeeping (table V = %.0f bytes, D = %d):\n",
+                table_bytes, d);
+    std::printf("  baseline traffic %.0f bytes "
+                "(closed form %.0f)\n",
+                measured_base,
+                table_bytes * (3.0 * d - 2.0) / d);
+    std::printf("  fused traffic    %.0f bytes "
+                "(closed form %.0f)\n",
+                measured_fused,
+                table_bytes * (2.0 * d - 1.0) / d);
+
+    // Exactness: compare every same-named parameter.
+    float worst = 0.0f;
+    for (int p = 0; p < tc.pipelineStages; ++p) {
+        const auto a = trainers[0]->stage(0, p).params();
+        const auto b = trainers[1]->stage(0, p).params();
+        for (size_t j = 0; j < a.size(); ++j) {
+            for (int64_t i = 0; i < a[j]->size(); ++i) {
+                worst = std::max(worst,
+                                 std::fabs(a[j]->value[i] -
+                                           b[j]->value[i]));
+            }
+        }
+    }
+    std::printf("  max parameter delta after %d iterations: %.2e "
+                "(paper: mathematically identical)\n",
+                qc.iterations, worst);
+    return 0;
+}

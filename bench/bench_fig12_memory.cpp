@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig 12 reproduction: peak per-GPU memory of compressed
+ * backpropagation, with and without lazy error propagation.
+ *
+ * Paper-scale side: the analytic memory model (weights, gradients,
+ * optimizer states, stashed activations, compression workspace,
+ * LEP buffer). Paper anchor: CB adds 5-10% over the baseline; LEP
+ * adds ~1% more.
+ *
+ * Miniature side: the engine's actually-measured buffer bytes
+ * (compressor warm state and LEP error tensors) after a real run.
+ */
+
+#include "bench_util.hh"
+
+using namespace optimus;
+using namespace optimus::bench;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    banner("Fig 12 -- memory overhead of CB and LEP",
+           "Fig 12 (peak per-GPU memory)");
+
+    std::printf("paper-scale analytic model (GB per GPU):\n");
+    TablePrinter table({"Model", "Baseline", "CB",
+                        "CB overhead", "CB+LEP", "LEP overhead"});
+    for (auto model :
+         {GptModelSpec::gpt2_5b(), GptModelSpec::gpt8_3b()}) {
+        MappedWorkload w(HardwareConfig::a100Cluster(), model,
+                         ParallelConfig{}, TrainingPlan{});
+        const double base =
+            estimateMemory(w, false, false, 16).total();
+        const double cb = estimateMemory(w, true, false, 16).total();
+        const double cb_lep =
+            estimateMemory(w, true, true, 16).total();
+        table.addRow({model.name, TablePrinter::fmt(base / 1e9),
+                      TablePrinter::fmt(cb / 1e9),
+                      TablePrinter::fmtPercent(cb / base - 1.0),
+                      TablePrinter::fmt(cb_lep / 1e9),
+                      TablePrinter::fmtPercent(cb_lep / cb - 1.0)});
+    }
+    table.print();
+    std::printf("paper: CB overhead 5-10%%; LEP adds ~1%%\n\n");
+
+    // Miniature side: measured bytes from a real instrumented run.
+    QualityRunConfig config = standardQualityConfig(args);
+    config.iterations = std::min(config.iterations, 40);
+    std::printf("miniature-scale measured buffers "
+                "(%d iterations, real engine):\n",
+                config.iterations);
+    TablePrinter measured({"Config", "Params (KB)",
+                           "Compressor state (KB)",
+                           "LEP buffers (KB)"});
+    for (const auto &preset :
+         {presets::baseline(), presets::cbNoLep(), presets::cb()}) {
+        const auto result = runQualityExperiment(config, preset);
+        measured.addRow(
+            {preset.name,
+             TablePrinter::fmt(result.parameterBytes / 1e3, 1),
+             TablePrinter::fmt(result.compressorStateBytes / 1e3, 1),
+             TablePrinter::fmt(result.lepBufferBytes / 1e3, 1)});
+    }
+    measured.print();
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fig 15 reproduction: compression and decompression throughput of
+ * the inter-stage PowerSGD path, versus rank and model size.
+ *
+ * Two parts:
+ *  - a google-benchmark microbenchmark of *our actual CPU kernels*
+ *    (compress = two GEMMs + Gram-Schmidt; decompress = one GEMM),
+ *    establishing the same qualitative trends on real hardware;
+ *  - the calibrated A100 kernel model evaluated at the paper's
+ *    shapes, to compare against the paper's absolute anchors
+ *    (8.3B rank 16: compression 98.37 GB/s, decompression
+ *    8.32 TB/s, both far above the 25 GB/s interconnect).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compress/powersgd.hh"
+#include "pipesim/throughput_model.hh"
+#include "tensor/matmul.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+#include "util/table_printer.hh"
+
+using namespace optimus;
+
+namespace
+{
+
+/** Compress an [m x n] message at the given rank. */
+void
+BM_PowerSgdCompress(benchmark::State &state)
+{
+    const auto m = state.range(0);
+    const auto n = state.range(1);
+    const int rank = static_cast<int>(state.range(2));
+    Rng rng(1);
+    Tensor input = Tensor::randn({m, n}, rng);
+    PowerSgdCompressor comp(rank, 7);
+    Tensor out;
+    for (auto _ : state) {
+        comp.compress(input, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * m * n * 4);
+}
+
+/** Decompression alone: P_hat * Q^T. */
+void
+BM_PowerSgdDecompress(benchmark::State &state)
+{
+    const auto m = state.range(0);
+    const auto n = state.range(1);
+    const int rank = static_cast<int>(state.range(2));
+    Rng rng(1);
+    Tensor p = Tensor::randn({m, rank}, rng);
+    Tensor q = Tensor::randn({n, rank}, rng);
+    for (auto _ : state) {
+        Tensor out = matmulNT(p, q);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * m * n * 4);
+}
+
+} // namespace
+
+// Size sweep at fixed rank (throughput grows with size) and rank
+// sweep at fixed size (compression throughput falls with rank).
+BENCHMARK(BM_PowerSgdCompress)
+    ->Args({256, 128, 8})
+    ->Args({1024, 256, 8})
+    ->Args({4096, 256, 8})
+    ->Args({1024, 256, 2})
+    ->Args({1024, 256, 32});
+BENCHMARK(BM_PowerSgdDecompress)
+    ->Args({1024, 256, 8})
+    ->Args({4096, 256, 8});
+
+int
+main(int argc, char **argv)
+{
+    std::printf("=== Fig 15 -- compression/decompression throughput "
+                "===\n\n");
+
+    // Calibrated A100 kernel model at the paper's shapes.
+    CompressionKernelModel kernel;
+    TablePrinter table({"Shape", "Rank", "Compress (GB/s)",
+                        "Decompress (GB/s)"});
+    struct Shape
+    {
+        const char *name;
+        double m, n;
+    };
+    // micro-batch 8 x seq 1024 rows; hidden columns.
+    const Shape shapes[] = {{"GPT-8.3B boundary", 8192, 3072},
+                            {"GPT-175B boundary", 8192, 12288}};
+    for (const auto &shape : shapes) {
+        for (int rank : {4, 16, 64, 256}) {
+            table.addRow(
+                {shape.name, std::to_string(rank),
+                 TablePrinter::fmt(kernel.compressThroughput(
+                                       shape.m, shape.n, rank) /
+                                       1e9,
+                                   1),
+                 TablePrinter::fmt(kernel.decompressThroughput(
+                                       shape.m, shape.n, rank) /
+                                       1e9,
+                                   1)});
+        }
+    }
+    table.print();
+    std::printf(
+        "\npaper anchors (8.3B, rank 16): compress 98.37 GB/s, "
+        "decompress 8320 GB/s;\ninterconnect 25 GB/s (red line) -- "
+        "both sides must stay above it.\ntrends: throughput rises "
+        "with size, compression falls with rank\n(orthogonalization "
+        "~80%% of cost).\n\nCPU kernel microbenchmarks "
+        "(google-benchmark):\n");
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 2 reproduction: pretraining time and validation perplexity
+ * for Baseline / CB / CB+FE / CB+FE+SC on GPT-8.3B and GPT-2.5B.
+ *
+ * Time comes from the paper-scale cluster simulator (230K
+ * iterations, TP8/DP4/PP4 on 128 A100s); perplexity from real
+ * miniature-scale training under the same technique presets.
+ *
+ * Paper anchors:
+ *   8.3B: 37.27 d -> +7.01% (CB) -> +13.49% (CB+FE) -> +44.91%
+ *         (CB+FE+SC); PPL 8.10 / 8.10 / 8.10 / 8.20
+ *   2.5B: 14.72 d -> +8.00% -> +15.09% -> +17.29%;
+ *         PPL 9.31 / 9.31 / 9.31 / 9.55
+ */
+
+#include "bench_util.hh"
+
+using namespace optimus;
+using namespace optimus::bench;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    banner("Table 2 -- pretraining speedup and validation PPL",
+           "Table 2 (230K iterations, 128 GPUs)");
+
+    const auto ladder = presets::ablationLadder();
+
+    // ---- Quality: one miniature training run per preset, shared
+    // by both model rows (the techniques, not the scale, decide
+    // whether PPL survives).
+    const QualityRunConfig qc = standardQualityConfig(args);
+    std::printf("miniature-scale PPL after %d iterations "
+                "(floor %.2f):\n",
+                qc.iterations, perplexityFloor(qc));
+    std::vector<double> ppl;
+    TablePrinter ppl_table({"Config", "Val PPL", "vs baseline"});
+    for (const auto &preset : ladder) {
+        const auto result = runQualityExperiment(qc, preset);
+        ppl.push_back(result.finalPerplexity);
+        ppl_table.addRow(
+            {preset.name, TablePrinter::fmt(result.finalPerplexity, 3),
+             TablePrinter::fmtPercent(
+                 result.finalPerplexity / ppl[0] - 1.0)});
+    }
+    ppl_table.print();
+
+    // ---- Time: simulated at paper scale for both models.
+    struct PaperRow
+    {
+        GptModelSpec model;
+        const char *days[4];
+        const char *speedups[4];
+    };
+    const PaperRow paper_rows[] = {
+        {GptModelSpec::gpt8_3b(),
+         {"37.27", "34.83", "32.84", "25.72"},
+         {"-", "+7.01%", "+13.49%", "+44.91%"}},
+        {GptModelSpec::gpt2_5b(),
+         {"14.72", "13.63", "12.79", "12.55"},
+         {"-", "+8.00%", "+15.09%", "+17.29%"}},
+    };
+
+    for (const auto &paper : paper_rows) {
+        const auto rows = runPerformanceAblation(
+            HardwareConfig::a100Cluster(), paper.model,
+            ParallelConfig{}, TrainingPlan{}, ladder);
+        std::printf("\n%s:\n", paper.model.name.c_str());
+        TablePrinter table({"Config", "Days (paper)",
+                            "Speedup (paper)"});
+        for (size_t i = 0; i < rows.size(); ++i) {
+            char days[64], speedup[64];
+            std::snprintf(days, sizeof(days), "%.2f (%s)",
+                          rows[i].trainingDays, paper.days[i]);
+            std::snprintf(speedup, sizeof(speedup), "%+.2f%% (%s)",
+                          rows[i].speedup * 100.0,
+                          paper.speedups[i]);
+            table.addRow({rows[i].config, days, speedup});
+        }
+        table.print();
+    }
+    return 0;
+}

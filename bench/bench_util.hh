@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared configuration for the per-table / per-figure benchmark
+ * harnesses, so every bench reports numbers from the same standard
+ * miniature-scale quality setup and the same paper-scale simulated
+ * cluster. Every harness prints the paper's value next to the
+ * measured one; EXPERIMENTS.md records both.
+ */
+
+#ifndef OPTIMUS_BENCH_BENCH_UTIL_HH
+#define OPTIMUS_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/optimus.hh"
+#include "util/cli.hh"
+#include "util/table_printer.hh"
+
+namespace optimus::bench
+{
+
+/**
+ * The standard miniature quality run used by all quality benches:
+ * D=2 x P=2 (3D grid with T=1; tensor parallelism is exact and
+ * quality-neutral), 300 iterations, corpus with a known entropy
+ * floor. `--iters N` rescales for quick smoke runs.
+ */
+inline QualityRunConfig
+standardQualityConfig(const CliArgs &args)
+{
+    QualityRunConfig config;
+    config.iterations = static_cast<int>(args.getInt("iters", 300));
+    return config;
+}
+
+/** Deeper-pipeline variant for epilogue-sensitive experiments. */
+inline QualityRunConfig
+deepPipelineQualityConfig(const CliArgs &args)
+{
+    QualityRunConfig config = standardQualityConfig(args);
+    config.pipelineStages = 4;
+    config.microBatches = 8;
+    config.dataParallel = 1;
+    return config;
+}
+
+/** Print a standard experiment banner. */
+inline void
+banner(const char *experiment, const char *paper_ref)
+{
+    std::printf("=== %s ===\n", experiment);
+    std::printf("reproduces: %s\n\n", paper_ref);
+}
+
+/** "x.xx (paper: y.yy)" cell helper. */
+inline std::string
+withPaper(double measured, const char *paper_value, int precision = 2)
+{
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "%.*f (paper %s)", precision,
+                  measured, paper_value);
+    return buf;
+}
+
+} // namespace optimus::bench
+
+#endif // OPTIMUS_BENCH_BENCH_UTIL_HH

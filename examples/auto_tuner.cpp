@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Auto-tuner demo: the paper's Section 9.4 future work, implemented.
+ * Jointly searches the selective-stage-compression fraction and the
+ * PowerSGD rank, scoring speed on the paper-scale simulator and
+ * quality via the reduced-gradient error on the real miniature
+ * engine, then reports the Pareto frontier and the fastest setting
+ * within a quality budget.
+ *
+ * Usage: auto_tuner [--model 8.3b|2.5b] [--max-error 0.5]
+ */
+
+#include <cstdio>
+
+#include "core/auto_tuner.hh"
+#include "core/optimus.hh"
+#include "util/cli.hh"
+#include "util/table_printer.hh"
+
+using namespace optimus;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const GptModelSpec model = args.getString("model", "8.3b") == "2.5b"
+                                   ? GptModelSpec::gpt2_5b()
+                                   : GptModelSpec::gpt8_3b();
+
+    MappedWorkload workload(HardwareConfig::a100Cluster(), model,
+                            ParallelConfig{}, TrainingPlan{});
+    QualityRunConfig quality;
+    quality.pipelineStages = 4;
+    quality.dataParallel = 2;
+
+    TuneRequest request;
+    request.maxGradientError = args.getDouble("max-error", 0.5);
+
+    std::printf("auto-tuning SC fraction x rank for %s "
+                "(gradient-error budget %.2f)...\n\n",
+                model.name.c_str(), request.maxGradientError);
+    const TuneResult result =
+        autoTuneSelectiveCompression(workload, quality, request);
+
+    TablePrinter table({"Stages", "Rank", "Speedup", "Grad error",
+                        "Pareto"});
+    for (const auto &c : result.candidates) {
+        char stages[16];
+        std::snprintf(stages, sizeof(stages), "%.0f%%",
+                      c.stageFraction * 100.0);
+        table.addRow({stages, std::to_string(c.rank),
+                      TablePrinter::fmtPercent(c.speedup),
+                      TablePrinter::fmt(c.gradientError, 3),
+                      c.onFrontier ? "*" : ""});
+    }
+    table.print();
+
+    if (result.foundFeasible) {
+        std::printf("\nselected: %.0f%% of stages at rank %d -> "
+                    "%+.2f%% speedup at gradient error %.3f\n",
+                    result.best.stageFraction * 100.0,
+                    result.best.rank, result.best.speedup * 100.0,
+                    result.best.gradientError);
+    } else {
+        std::printf("\nno candidate meets the error budget; "
+                    "loosen --max-error or add smaller fractions\n");
+    }
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Parallel-configuration planner: given a paper-scale model and a
+ * GPU budget, sweep the feasible tensor/pipeline splits (data
+ * parallelism fixed, as in Fig 14) and report the projected
+ * training time for the baseline and for full Optimus-CC -- the
+ * workflow a practitioner would use the performance model for.
+ *
+ * Examples:
+ *   cluster_planner                      # GPT-9.2B on 128 GPUs
+ *   cluster_planner --model 175b --gpus 512
+ *   cluster_planner --model 2.5b --data 8
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/optimus.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/table_printer.hh"
+
+using namespace optimus;
+
+namespace
+{
+
+GptModelSpec
+pickModel(const std::string &name)
+{
+    if (name == "2.5b")
+        return GptModelSpec::gpt2_5b();
+    if (name == "8.3b")
+        return GptModelSpec::gpt8_3b();
+    if (name == "9.2b")
+        return GptModelSpec::gpt9_2b();
+    if (name == "39b")
+        return GptModelSpec::gpt39b();
+    if (name == "175b")
+        return GptModelSpec::gpt175b();
+    fatal("unknown model '%s' (try 2.5b, 8.3b, 9.2b, 39b, 175b)",
+          name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const GptModelSpec model =
+        pickModel(args.getString("model", "9.2b"));
+    const int data = static_cast<int>(args.getInt("data", 4));
+    const int gpus = static_cast<int>(args.getInt("gpus", 128));
+
+    HardwareConfig hw = HardwareConfig::a100Cluster();
+    hw.nodes = gpus / hw.gpusPerNode;
+    TrainingPlan plan;
+
+    std::printf("planning %s (%.1fB params) on %d GPUs, DP=%d\n\n",
+                model.name.c_str(), model.paramCount() / 1e9, gpus,
+                data);
+
+    TablePrinter table({"Config", "Baseline days", "Opt-CC days",
+                        "Speedup"});
+    double best_days = 1e300;
+    std::string best_config;
+    for (int tp = hw.gpusPerNode; tp >= 1; tp /= 2) {
+        const int pp = gpus / (tp * data);
+        if (pp < 1 || tp * pp * data != gpus)
+            continue;
+        if (model.layers % pp != 0)
+            continue;
+        ParallelConfig parallel{tp, pp, data};
+        MappedWorkload w(hw, model, parallel, plan);
+        const double base =
+            trainingDays(w, OptimusCcPolicy::baseline());
+        const double opt = trainingDays(w, OptimusCcPolicy::cbFeSc());
+        char label[32];
+        std::snprintf(label, sizeof(label), "TP%d/PP%d", tp, pp);
+        table.addRow({label, TablePrinter::fmt(base),
+                      TablePrinter::fmt(opt),
+                      TablePrinter::fmtPercent(base / opt - 1.0)});
+        if (opt < best_days) {
+            best_days = opt;
+            best_config = label;
+        }
+    }
+    table.print();
+
+    if (best_config.empty()) {
+        std::printf("\nno feasible TP/PP split for this GPU budget "
+                    "(layer count must divide pipeline depth)\n");
+        return 1;
+    }
+    std::printf("\nrecommended: %s with Optimus-CC "
+                "(%.2f days for %lld iterations)\n",
+                best_config.c_str(), best_days,
+                static_cast<long long>(plan.iterations));
+    return 0;
+}

@@ -1,0 +1,12 @@
+#include "cluster/hardware.hh"
+
+namespace optimus
+{
+
+HardwareConfig
+HardwareConfig::a100Cluster()
+{
+    return HardwareConfig{};
+}
+
+} // namespace optimus

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Maps a paper-scale GPT model onto the cluster under a 3D-parallel
+ * configuration, deriving the per-stage compute times and
+ * communication volumes the pipeline simulator consumes, plus the
+ * analytic per-GPU memory model used for Fig 12.
+ *
+ * Modeling notes:
+ *  - The node's InfiniBand NIC (200 Gb/s) is shared by its 8 GPUs,
+ *    so the per-GPU inter-node bandwidth is line rate / gpusPerNode;
+ *    this sharing is what makes inter-node traffic dominant in
+ *    Fig 3.
+ *  - The effective MFU folds in the intra-node tensor-parallel
+ *    all-reduce time, which the paper also counts inside its
+ *    FWD/BWD bars, and saturates with per-GPU GEMM width.
+ *  - Backward time includes activation recomputation (Megatron
+ *    default), hence fwd:bwd = 1:3 in FLOPs.
+ */
+
+#ifndef OPTIMUS_CLUSTER_MAPPING_HH
+#define OPTIMUS_CLUSTER_MAPPING_HH
+
+#include "cluster/hardware.hh"
+#include "cluster/model_spec.hh"
+
+namespace optimus
+{
+
+/** The 3D-parallel layout (Table 1: TP8 / DP4 / PP4). */
+struct ParallelConfig
+{
+    int tensor = 8;
+    int pipeline = 4;
+    int data = 4;
+
+    int totalGpus() const { return tensor * pipeline * data; }
+};
+
+/** Batch geometry (Table 1: micro-batch 8, mini-batch 512). */
+struct TrainingPlan
+{
+    int microBatchSize = 8;
+    int globalBatch = 512;
+    int64_t iterations = 230000;
+
+    /** Micro-batches per pipeline per iteration (M). */
+    int microBatches(const ParallelConfig &parallel) const
+    {
+        return globalBatch / (parallel.data * microBatchSize);
+    }
+};
+
+/** Derived quantities for one (hardware, model, layout) triple. */
+class MappedWorkload
+{
+  public:
+    MappedWorkload(const HardwareConfig &hw, const GptModelSpec &model,
+                   const ParallelConfig &parallel,
+                   const TrainingPlan &plan);
+
+    /** Inter-node p2p link spec (NIC sharing applied). */
+    LinkSpec p2pLink() const;
+
+    /** Inter-node collective link spec (NIC sharing applied). */
+    LinkSpec collectiveLink() const;
+
+    /** Forward compute time of one micro-batch on one stage. */
+    double stageForwardTime() const;
+
+    /** Backward (+recompute) time of one micro-batch on a stage. */
+    double stageBackwardTime() const;
+
+    /** Bytes of one inter-stage activation message per GPU link
+     *  (the full fp16 activation; replicated across TP ranks). */
+    double interStageMessageBytes() const;
+
+    /** Per-GPU data-parallel gradient bytes of one stage
+     *  (fp32 gradients, excluding the embedding table). */
+    double dpGradBytesPerStage(int stage) const;
+
+    /** Per-GPU embedding-table gradient bytes. */
+    double embTableBytesPerGpu() const;
+
+    /** Non-embedding parameters owned by one GPU of @p stage. */
+    double paramsPerGpu(int stage) const;
+
+    const HardwareConfig &hardware() const { return hw_; }
+    const GptModelSpec &model() const { return model_; }
+    const ParallelConfig &parallel() const { return parallel_; }
+    const TrainingPlan &plan() const { return plan_; }
+
+  private:
+    HardwareConfig hw_;
+    GptModelSpec model_;
+    ParallelConfig parallel_;
+    TrainingPlan plan_;
+};
+
+/** Analytic per-GPU peak memory (Fig 12), in bytes. */
+struct MemoryEstimate
+{
+    double weights = 0.0;          ///< fp16 weights
+    double gradients = 0.0;        ///< fp16 gradients
+    double optimizerStates = 0.0;  ///< fp32 Adam m, v, master
+    double activations = 0.0;      ///< stashed stage inputs
+    double cbWorkspace = 0.0;      ///< low-rank P/Q + work buffers
+    double lepBuffer = 0.0;        ///< lazy error propagation store
+
+    double total() const
+    {
+        return weights + gradients + optimizerStates + activations +
+               cbWorkspace + lepBuffer;
+    }
+};
+
+/**
+ * Per-GPU peak memory for the first stage (the deepest stash, hence
+ * the peak).
+ *
+ * @param cb_enabled Compressed backpropagation buffers included.
+ * @param lep_enabled Lazy-error-propagation buffer included.
+ * @param cb_rank Low-rank approximation rank for CB.
+ */
+MemoryEstimate estimateMemory(const MappedWorkload &workload,
+                              bool cb_enabled, bool lep_enabled,
+                              int cb_rank);
+
+} // namespace optimus
+
+#endif // OPTIMUS_CLUSTER_MAPPING_HH

@@ -1,0 +1,74 @@
+#include "compress/error_feedback.hh"
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+ErrorFeedbackCompressor::ErrorFeedbackCompressor(
+    std::unique_ptr<Compressor> inner)
+    : inner_(std::move(inner))
+{
+    OPTIMUS_ASSERT(inner_ != nullptr);
+}
+
+int64_t
+ErrorFeedbackCompressor::compress(const Tensor &input, Tensor &output)
+{
+    Tensor fed = input;
+    if (residual_.size() == input.size())
+        fed.add(residual_);
+    const int64_t bytes = inner_->compress(fed, output);
+    residual_ = fed;
+    residual_.sub(output);
+    return bytes;
+}
+
+std::string
+ErrorFeedbackCompressor::name() const
+{
+    return "ef+" + inner_->name();
+}
+
+int64_t
+ErrorFeedbackCompressor::payloadBytes(int64_t rows, int64_t cols) const
+{
+    return inner_->payloadBytes(rows, cols);
+}
+
+void
+ErrorFeedbackCompressor::reset()
+{
+    residual_ = Tensor();
+    inner_->reset();
+}
+
+LazyErrorBuffer::LazyErrorBuffer(std::unique_ptr<Compressor> inner,
+                                 bool enabled)
+    : inner_(std::move(inner)), enabled_(enabled)
+{
+    OPTIMUS_ASSERT(inner_ != nullptr);
+}
+
+int64_t
+LazyErrorBuffer::send(const Tensor &input, Tensor &output)
+{
+    Tensor fed = input;
+    if (enabled_ && error_.size() == input.size())
+        fed.add(error_);
+    const int64_t bytes = inner_->compress(fed, output);
+    if (enabled_) {
+        error_ = fed;
+        error_.sub(output);
+    }
+    return bytes;
+}
+
+void
+LazyErrorBuffer::reset()
+{
+    error_ = Tensor();
+    inner_->reset();
+}
+
+} // namespace optimus

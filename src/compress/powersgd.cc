@@ -1,0 +1,195 @@
+#include "compress/powersgd.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "tensor/matmul.hh"
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+void
+orthonormalizeColumns(Tensor &m)
+{
+    OPTIMUS_ASSERT(m.rank() == 2);
+    const int64_t rows = m.rows();
+    const int64_t cols = m.cols();
+    float *data = m.data();
+
+    for (int64_t j = 0; j < cols; ++j) {
+        double norm_before_sq = 0.0;
+        for (int64_t i = 0; i < rows; ++i)
+            norm_before_sq += static_cast<double>(data[i * cols + j]) *
+                              data[i * cols + j];
+        // Subtract projections onto previous columns (modified
+        // Gram-Schmidt: re-read the updated column each time).
+        for (int64_t p = 0; p < j; ++p) {
+            double proj = 0.0;
+            for (int64_t i = 0; i < rows; ++i)
+                proj += static_cast<double>(data[i * cols + j]) *
+                        data[i * cols + p];
+            for (int64_t i = 0; i < rows; ++i)
+                data[i * cols + j] -= static_cast<float>(proj) *
+                                      data[i * cols + p];
+        }
+        double norm_sq = 0.0;
+        for (int64_t i = 0; i < rows; ++i)
+            norm_sq += static_cast<double>(data[i * cols + j]) *
+                       data[i * cols + j];
+        const double norm = std::sqrt(norm_sq);
+        // A column that lost (almost) all of its norm to the
+        // projections is linearly dependent on earlier columns;
+        // renormalizing it would amplify float noise into a random
+        // direction, so zero it instead.
+        if (norm < 1e-8 || norm_sq < 1e-10 * norm_before_sq) {
+            for (int64_t i = 0; i < rows; ++i)
+                data[i * cols + j] = 0.0f;
+        } else {
+            const float inv = static_cast<float>(1.0 / norm);
+            for (int64_t i = 0; i < rows; ++i)
+                data[i * cols + j] *= inv;
+        }
+    }
+}
+
+namespace
+{
+
+/** Clamp the configured rank to the matrix dimensions. */
+int
+effectiveRank(int rank, int64_t rows, int64_t cols)
+{
+    const int64_t limit = std::min(rows, cols);
+    return static_cast<int>(std::min<int64_t>(rank, limit));
+}
+
+/** Ensure q is [cols x r]; (re)initialize randomly when stale. */
+void
+ensureWarmQ(Tensor &q, int64_t cols, int r, Rng &rng)
+{
+    if (q.rank() == 2 && q.rows() == cols && q.cols() == r)
+        return;
+    q = Tensor::randn({cols, r}, rng);
+    orthonormalizeColumns(q);
+}
+
+} // namespace
+
+PowerSgdCompressor::PowerSgdCompressor(int rank, uint64_t seed)
+    : rank_(rank), seed_(seed), rng_(seed)
+{
+    OPTIMUS_ASSERT(rank >= 1);
+}
+
+int64_t
+PowerSgdCompressor::compress(const Tensor &input, Tensor &output)
+{
+    OPTIMUS_ASSERT(input.rank() == 2);
+    const int64_t rows = input.rows();
+    const int64_t cols = input.cols();
+    const int r = effectiveRank(rank_, rows, cols);
+
+    ensureWarmQ(q_, cols, r, rng_);
+
+    // Single power iteration against the warm-started Q.
+    Tensor p = matmul(input, q_);        // [rows x r]
+    orthonormalizeColumns(p);
+    q_ = matmulTN(input, p);             // [cols x r] = M^T * P_hat
+
+    // Receiver-side reconstruction: P_hat * Q^T.
+    output = matmulNT(p, q_);            // [rows x cols]
+    return payloadBytes(rows, cols);
+}
+
+std::string
+PowerSgdCompressor::name() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "powersgd(r=%d)", rank_);
+    return buf;
+}
+
+int64_t
+PowerSgdCompressor::payloadBytes(int64_t rows, int64_t cols) const
+{
+    const int r = effectiveRank(rank_, rows, cols);
+    return static_cast<int64_t>(sizeof(float)) * r * (rows + cols);
+}
+
+void
+PowerSgdCompressor::reset()
+{
+    q_ = Tensor();
+    rng_.seed(seed_);
+}
+
+int64_t
+PowerSgdCompressor::stateBytes() const
+{
+    return static_cast<int64_t>(sizeof(float)) * q_.size();
+}
+
+DistributedPowerSgd::DistributedPowerSgd(int workers, int rank,
+                                         uint64_t seed)
+    : workers_(workers), rank_(rank), seed_(seed), rng_(seed)
+{
+    OPTIMUS_ASSERT(workers >= 1);
+    OPTIMUS_ASSERT(rank >= 1);
+}
+
+int64_t
+DistributedPowerSgd::reduce(const std::vector<const Tensor *> &inputs,
+                            Tensor &mean_output)
+{
+    OPTIMUS_ASSERT(static_cast<int>(inputs.size()) == workers_);
+    OPTIMUS_ASSERT(inputs[0] != nullptr && inputs[0]->rank() == 2);
+    const int64_t rows = inputs[0]->rows();
+    const int64_t cols = inputs[0]->cols();
+    for (const Tensor *t : inputs) {
+        OPTIMUS_ASSERT(t != nullptr && t->rank() == 2);
+        OPTIMUS_ASSERT(t->rows() == rows && t->cols() == cols);
+    }
+    const int r = effectiveRank(rank_, rows, cols);
+
+    ensureWarmQ(q_, cols, r, rng_);
+
+    // Phase 1: local P_d = M_d * Q, then all-reduce(sum).
+    Tensor p_sum({rows, r});
+    for (const Tensor *t : inputs)
+        matmulAcc(p_sum, *t, q_);
+    orthonormalizeColumns(p_sum);
+
+    // Phase 2: local Q_d = M_d^T * P_hat, then all-reduce(mean).
+    Tensor q_sum({cols, r});
+    for (const Tensor *t : inputs)
+        matmulAccTN(q_sum, *t, p_sum);
+    q_sum.scale(1.0f / static_cast<float>(workers_));
+    q_ = q_sum;
+
+    mean_output = matmulNT(p_sum, q_);
+    return payloadBytes(rows, cols);
+}
+
+int64_t
+DistributedPowerSgd::payloadBytes(int64_t rows, int64_t cols) const
+{
+    const int r = effectiveRank(rank_, rows, cols);
+    return static_cast<int64_t>(sizeof(float)) * r * (rows + cols);
+}
+
+void
+DistributedPowerSgd::reset()
+{
+    q_ = Tensor();
+    rng_.seed(seed_);
+}
+
+int64_t
+DistributedPowerSgd::stateBytes() const
+{
+    return static_cast<int64_t>(sizeof(float)) * q_.size();
+}
+
+} // namespace optimus

@@ -1,0 +1,80 @@
+#include "compress/quantize.hh"
+
+#include <cmath>
+
+namespace optimus
+{
+
+TernaryCompressor::TernaryCompressor(uint64_t seed)
+    : seed_(seed), rng_(seed)
+{
+}
+
+int64_t
+TernaryCompressor::compress(const Tensor &input, Tensor &output)
+{
+    const int64_t n = input.size();
+    output = Tensor(input.shape());
+    const float scale = input.maxAbs();
+    if (scale > 0.0f) {
+        const float *src = input.data();
+        float *dst = output.data();
+        for (int64_t i = 0; i < n; ++i) {
+            const float p = std::fabs(src[i]) / scale;
+            if (rng_.uniform() < p)
+                dst[i] = src[i] > 0.0f ? scale : -scale;
+        }
+    }
+    return payloadBytes(1, n);
+}
+
+int64_t
+TernaryCompressor::payloadBytes(int64_t rows, int64_t cols) const
+{
+    // 2 bits per element plus one fp32 scale.
+    return (rows * cols * 2 + 7) / 8 + 4;
+}
+
+void
+TernaryCompressor::reset()
+{
+    rng_.seed(seed_);
+}
+
+int64_t
+OneBitCompressor::compress(const Tensor &input, Tensor &output)
+{
+    const int64_t n = input.size();
+    output = Tensor(input.shape());
+
+    double pos_sum = 0.0, neg_sum = 0.0;
+    int64_t pos_count = 0, neg_count = 0;
+    const float *src = input.data();
+    for (int64_t i = 0; i < n; ++i) {
+        if (src[i] >= 0.0f) {
+            pos_sum += src[i];
+            ++pos_count;
+        } else {
+            neg_sum += src[i];
+            ++neg_count;
+        }
+    }
+    const float pos_scale =
+        pos_count > 0 ? static_cast<float>(pos_sum / pos_count) : 0.0f;
+    const float neg_scale =
+        neg_count > 0 ? static_cast<float>(neg_sum / neg_count) : 0.0f;
+
+    float *dst = output.data();
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] = src[i] >= 0.0f ? pos_scale : neg_scale;
+    return payloadBytes(1, n);
+}
+
+int64_t
+OneBitCompressor::payloadBytes(int64_t rows, int64_t cols) const
+{
+    // 1 bit per element plus two fp32 scales.
+    return (rows * cols + 7) / 8 + 8;
+}
+
+} // namespace optimus

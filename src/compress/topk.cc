@@ -1,0 +1,69 @@
+#include "compress/topk.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+TopKCompressor::TopKCompressor(double fraction)
+    : fraction_(fraction)
+{
+    OPTIMUS_ASSERT(fraction > 0.0 && fraction <= 1.0);
+}
+
+int64_t
+TopKCompressor::keptCount(int64_t n) const
+{
+    int64_t k = static_cast<int64_t>(std::ceil(fraction_ * n));
+    if (k < 1)
+        k = 1;
+    if (k > n)
+        k = n;
+    return k;
+}
+
+int64_t
+TopKCompressor::compress(const Tensor &input, Tensor &output)
+{
+    const int64_t n = input.size();
+    const int64_t k = keptCount(n);
+
+    std::vector<int64_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    const float *src = input.data();
+    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                     [src](int64_t a, int64_t b) {
+                         return std::fabs(src[a]) > std::fabs(src[b]);
+                     });
+
+    output = Tensor(input.shape());
+    float *dst = output.data();
+    for (int64_t i = 0; i < k; ++i)
+        dst[order[i]] = src[order[i]];
+    return payloadBytes(input.rank() == 2 ? input.rows() : 1,
+                        input.rank() == 2 ? input.cols() : n);
+}
+
+std::string
+TopKCompressor::name() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "topk(%.3f)", fraction_);
+    return buf;
+}
+
+int64_t
+TopKCompressor::payloadBytes(int64_t rows, int64_t cols) const
+{
+    const int64_t k = keptCount(rows * cols);
+    // 4-byte value + 4-byte index per kept element.
+    return k * 8;
+}
+
+} // namespace optimus

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Automatic co-tuning of selective stage compression and the
+ * compression rank -- the paper's stated future work ("an even
+ * better trade-off can be achieved by automatically choosing the
+ * right combination of the compression rank and the number of
+ * stages", Section 9.4).
+ *
+ * Each candidate (stage fraction, rank) is scored on both axes the
+ * paper's Fig 13 plots: projected speedup from the paper-scale
+ * cluster simulator, and a quality proxy measured on the real
+ * miniature engine -- the relative error of the reduced gradient
+ * under that compression setting (cheap, deterministic, and
+ * monotone in compression aggressiveness, unlike a noisy end-task
+ * PPL). The tuner returns the Pareto frontier and the fastest
+ * candidate within a gradient-error budget.
+ */
+
+#ifndef OPTIMUS_CORE_AUTO_TUNER_HH
+#define OPTIMUS_CORE_AUTO_TUNER_HH
+
+#include <vector>
+
+#include "core/quality_experiment.hh"
+
+namespace optimus
+{
+
+/** One evaluated (stage fraction, rank) combination. */
+struct TuneCandidate
+{
+    double stageFraction = 0.0;
+    /** Paper-scale DP compression rank. */
+    int rank = 128;
+    /** Speedup over the uncompressed baseline (perf simulator). */
+    double speedup = 0.0;
+    /** Relative reduced-gradient error (miniature engine). */
+    double gradientError = 0.0;
+    /** True when no other candidate dominates this one. */
+    bool onFrontier = false;
+};
+
+/** Search space and budget for one tuning run. */
+struct TuneRequest
+{
+    /** Stage fractions to try. */
+    std::vector<double> stageFractions{0.25, 0.5, 0.75, 1.0};
+    /** Paper-scale ranks to try. */
+    std::vector<int> ranks{64, 128, 256};
+    /**
+     * Paper-scale rank corresponding to miniature rank 1 (the
+     * miniature matrices are ~32x narrower than GPT-2.5B's).
+     */
+    int rankScale = 32;
+    /** Largest acceptable gradient error. */
+    double maxGradientError = 0.5;
+    /** Trials for each gradient-error measurement. */
+    int trials = 2;
+};
+
+/** Tuning output. */
+struct TuneResult
+{
+    std::vector<TuneCandidate> candidates;
+    /** Fastest candidate within the error budget (speedup < 0 when
+     *  no candidate qualifies). */
+    TuneCandidate best;
+    bool foundFeasible = false;
+};
+
+/**
+ * Evaluate the grid and pick the best combination.
+ *
+ * @param workload Paper-scale mapping for the speed axis.
+ * @param quality Miniature-run configuration for the quality axis.
+ * @param request Search space and budget.
+ */
+TuneResult autoTuneSelectiveCompression(const MappedWorkload &workload,
+                                        const QualityRunConfig &quality,
+                                        const TuneRequest &request);
+
+} // namespace optimus
+
+#endif // OPTIMUS_CORE_AUTO_TUNER_HH

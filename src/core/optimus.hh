@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Umbrella header for the Optimus-CC reproduction library.
+ *
+ * The library has two pillars:
+ *
+ *  1. A real (CPU, miniature-scale, distribution-faithful) training
+ *     stack that implements the paper's three techniques on actual
+ *     tensors: compressed backpropagation with lazy error
+ *     propagation and epilogue-only compression, fused embedding
+ *     synchronization, and selective stage compression
+ *     (parallel/trainer3d.hh via core/quality_experiment.hh).
+ *
+ *  2. A paper-scale performance model: GPT-2.5B..175B mapped onto a
+ *     128-GPU A100 cluster with a deterministic 1F1B pipeline
+ *     simulator (pipesim/pipe_model.hh via
+ *     core/performance_experiment.hh).
+ *
+ * Quick start:
+ * @code
+ *   QualityRunConfig qc;
+ *   auto result = runQualityExperiment(qc, presets::cbFe());
+ *   // result.finalPerplexity ~ the uncompressed baseline's
+ *
+ *   auto rows = runPerformanceAblation(
+ *       HardwareConfig::a100Cluster(), GptModelSpec::gpt8_3b(),
+ *       ParallelConfig{}, TrainingPlan{}, presets::ablationLadder());
+ * @endcode
+ */
+
+#ifndef OPTIMUS_CORE_OPTIMUS_HH
+#define OPTIMUS_CORE_OPTIMUS_HH
+
+#include "core/performance_experiment.hh"
+#include "core/presets.hh"
+#include "core/quality_experiment.hh"
+#include "core/version.hh"
+
+#endif // OPTIMUS_CORE_OPTIMUS_HH

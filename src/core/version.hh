@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Library version constants.
+ */
+
+#ifndef OPTIMUS_CORE_VERSION_HH
+#define OPTIMUS_CORE_VERSION_HH
+
+namespace optimus
+{
+
+constexpr int kVersionMajor = 1;
+constexpr int kVersionMinor = 0;
+constexpr int kVersionPatch = 0;
+constexpr const char *kVersionString = "1.0.0";
+
+} // namespace optimus
+
+#endif // OPTIMUS_CORE_VERSION_HH

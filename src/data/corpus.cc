@@ -1,0 +1,140 @@
+#include "data/corpus.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+namespace
+{
+
+/** Stateless mix of (seed, value, slot) into a 64-bit hash. */
+uint64_t
+mixHash(uint64_t seed, uint64_t value, int slot)
+{
+    uint64_t z = seed;
+    z ^= 0x9e3779b97f4a7c15ULL + value +
+         (static_cast<uint64_t>(slot) << 40);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+SyntheticCorpus::SyntheticCorpus(const CorpusConfig &config)
+    : config_(config)
+{
+    OPTIMUS_ASSERT(config.vocab >= 4);
+    OPTIMUS_ASSERT(config.totalTokens > 16);
+    OPTIMUS_ASSERT(config.preferredSuccessors >= 1 &&
+                   config.preferredSuccessors < config.vocab);
+    OPTIMUS_ASSERT(config.bigramMass >= 0.0 &&
+                   config.trigramBoost >= 0.0);
+    OPTIMUS_ASSERT(config.bigramMass + config.trigramBoost <= 1.0);
+    OPTIMUS_ASSERT(config.validationFraction >= 0.0 &&
+                   config.validationFraction < 1.0);
+
+    Rng rng(config.seed);
+    std::vector<int32_t> stream;
+    stream.reserve(config.totalTokens);
+    stream.push_back(
+        static_cast<int32_t>(rng.uniformInt(config.vocab)));
+    stream.push_back(
+        static_cast<int32_t>(rng.uniformInt(config.vocab)));
+    while (static_cast<int64_t>(stream.size()) < config.totalTokens) {
+        const int32_t prev2 = stream[stream.size() - 2];
+        const int32_t prev1 = stream[stream.size() - 1];
+        stream.push_back(sampleNext(prev2, prev1, rng));
+    }
+
+    const auto val_tokens = static_cast<int64_t>(
+        config.validationFraction * config.totalTokens);
+    const int64_t split = config.totalTokens - val_tokens;
+    train_.assign(stream.begin(), stream.begin() + split);
+    val_.assign(stream.begin() + split, stream.end());
+}
+
+std::vector<int32_t>
+SyntheticCorpus::preferredSet(int32_t prev1) const
+{
+    // Deterministic distinct successors per previous token: draw
+    // slots from a hash, resolving duplicates by linear probing.
+    std::vector<int32_t> set;
+    set.reserve(config_.preferredSuccessors);
+    for (int j = 0; j < config_.preferredSuccessors; ++j) {
+        auto candidate = static_cast<int32_t>(
+            mixHash(config_.seed, static_cast<uint64_t>(prev1),
+                    j + 1) %
+            config_.vocab);
+        while (std::find(set.begin(), set.end(), candidate) !=
+               set.end()) {
+            candidate =
+                static_cast<int32_t>((candidate + 1) % config_.vocab);
+        }
+        set.push_back(candidate);
+    }
+    return set;
+}
+
+int32_t
+SyntheticCorpus::boostedSuccessor(int32_t prev2, int32_t prev1) const
+{
+    const auto set = preferredSet(prev1);
+    return set[prev2 % config_.preferredSuccessors];
+}
+
+int32_t
+SyntheticCorpus::sampleNext(int32_t prev2, int32_t prev1,
+                            Rng &rng) const
+{
+    const double r = rng.uniform();
+    if (r < config_.bigramMass) {
+        const auto set = preferredSet(prev1);
+        return set[rng.uniformInt(set.size())];
+    }
+    if (r < config_.bigramMass + config_.trigramBoost)
+        return boostedSuccessor(prev2, prev1);
+    return static_cast<int32_t>(rng.uniformInt(config_.vocab));
+}
+
+double
+SyntheticCorpus::trueProb(int32_t prev2, int32_t prev1,
+                          int32_t next) const
+{
+    const double uniform_share =
+        (1.0 - config_.bigramMass - config_.trigramBoost) /
+        config_.vocab;
+    double p = uniform_share;
+    const auto set = preferredSet(prev1);
+    if (std::find(set.begin(), set.end(), next) != set.end())
+        p += config_.bigramMass / config_.preferredSuccessors;
+    if (next == boostedSuccessor(prev2, prev1))
+        p += config_.trigramBoost;
+    return p;
+}
+
+double
+SyntheticCorpus::entropyFloor() const
+{
+    // The language is homogeneous across contexts: one boosted
+    // successor, k-1 other preferred, V-k non-preferred (the boosted
+    // one is always a member of the preferred set).
+    const int k = config_.preferredSuccessors;
+    const int64_t v = config_.vocab;
+    const double uniform_share =
+        (1.0 - config_.bigramMass - config_.trigramBoost) / v;
+    const double preferred_share =
+        uniform_share + config_.bigramMass / k;
+    const double boosted = preferred_share + config_.trigramBoost;
+
+    double h = -boosted * std::log(boosted);
+    h -= (k - 1) * preferred_share * std::log(preferred_share);
+    h -= (v - k) * uniform_share * std::log(uniform_share);
+    return h;
+}
+
+} // namespace optimus

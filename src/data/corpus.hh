@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Synthetic pretraining corpus. The paper trains on RealNews /
+ * Wikipedia / CC-Stories / OpenWebText; those are unavailable here,
+ * so we substitute a compositional Markov language over a small
+ * vocabulary:
+ *
+ *   P(next | prev2, prev1) =
+ *       bigramMass    * Uniform(preferred(prev1))
+ *     + trigramBoost  * Point(preferred(prev1)[prev2 mod k])
+ *     + leftover      * Uniform(vocabulary)
+ *
+ * The first-order component (choose among prev1's k preferred
+ * successors) is learnable by embeddings alone; the second-order
+ * component (which preferred successor gets boosted depends on
+ * prev2) requires attention over the earlier token. This gives the
+ * validation perplexity the same role it has in the paper: a
+ * fine-grained measure of how much of the language's structure the
+ * model has captured, where compression-induced error shows up as a
+ * PPL gap against the uncompressed baseline.
+ */
+
+#ifndef OPTIMUS_DATA_CORPUS_HH
+#define OPTIMUS_DATA_CORPUS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace optimus
+{
+
+/** Parameters of the synthetic language. */
+struct CorpusConfig
+{
+    int64_t vocab = 128;
+    /** Total generated token count. */
+    int64_t totalTokens = 200000;
+    /** Preferred successors per previous token. */
+    int preferredSuccessors = 4;
+    /** Mass on Uniform(preferred(prev1)). */
+    double bigramMass = 0.55;
+    /** Mass on the prev2-selected preferred successor. */
+    double trigramBoost = 0.3;
+    /** Held-out validation fraction (paper: 5%). */
+    double validationFraction = 0.05;
+    uint64_t seed = 7;
+};
+
+/**
+ * A compositional Markov token stream with a train/validation
+ * holdout split performed once at generation time (following the
+ * paper's "splitting documents ... at the beginning").
+ */
+class SyntheticCorpus
+{
+  public:
+    explicit SyntheticCorpus(const CorpusConfig &config);
+
+    const std::vector<int32_t> &train() const { return train_; }
+    const std::vector<int32_t> &validation() const { return val_; }
+
+    const CorpusConfig &config() const { return config_; }
+
+    /**
+     * True conditional probability of @p next given the context
+     * (used by tests and to compute the entropy floor).
+     */
+    double trueProb(int32_t prev2, int32_t prev1, int32_t next) const;
+
+    /**
+     * The preferred successor set of @p prev1 (size
+     * config.preferredSuccessors, deterministic in the seed).
+     */
+    std::vector<int32_t> preferredSet(int32_t prev1) const;
+
+    /** The successor boosted when @p prev2 precedes @p prev1. */
+    int32_t boostedSuccessor(int32_t prev2, int32_t prev1) const;
+
+    /**
+     * Entropy floor of the language in nats per token (perplexity
+     * floor is exp of this): the cross-entropy an oracle model
+     * would achieve.
+     */
+    double entropyFloor() const;
+
+  private:
+    int32_t sampleNext(int32_t prev2, int32_t prev1, Rng &rng) const;
+
+    CorpusConfig config_;
+    std::vector<int32_t> train_;
+    std::vector<int32_t> val_;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_DATA_CORPUS_HH

@@ -1,0 +1,68 @@
+#include "data/dataset.hh"
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+LmDataset::LmDataset(std::vector<int32_t> stream, int64_t seq_len)
+    : stream_(std::move(stream)), seqLen_(seq_len)
+{
+    OPTIMUS_ASSERT(seq_len >= 1);
+    OPTIMUS_ASSERT(static_cast<int64_t>(stream_.size()) > seq_len + 1);
+}
+
+void
+LmDataset::fillWindow(LmBatch &out, int64_t row, int64_t start) const
+{
+    for (int64_t j = 0; j < seqLen_; ++j) {
+        out.tokens[row * seqLen_ + j] = stream_[start + j];
+        out.targets[row * seqLen_ + j] = stream_[start + j + 1];
+    }
+}
+
+LmBatch
+LmDataset::sampleBatch(int64_t batch, Rng &rng) const
+{
+    OPTIMUS_ASSERT(batch >= 1);
+    LmBatch out;
+    out.batch = batch;
+    out.seq = seqLen_;
+    out.tokens.resize(batch * seqLen_);
+    out.targets.resize(batch * seqLen_);
+    const int64_t max_start =
+        static_cast<int64_t>(stream_.size()) - seqLen_ - 1;
+    for (int64_t b = 0; b < batch; ++b) {
+        const auto start =
+            static_cast<int64_t>(rng.uniformInt(max_start + 1));
+        fillWindow(out, b, start);
+    }
+    return out;
+}
+
+std::vector<LmBatch>
+LmDataset::evalBatches(int64_t batch) const
+{
+    OPTIMUS_ASSERT(batch >= 1);
+    std::vector<LmBatch> batches;
+    const int64_t stride = seqLen_;
+    const int64_t usable =
+        static_cast<int64_t>(stream_.size()) - seqLen_ - 1;
+    std::vector<int64_t> starts;
+    for (int64_t s = 0; s <= usable; s += stride)
+        starts.push_back(s);
+
+    for (size_t i = 0; i + batch <= starts.size(); i += batch) {
+        LmBatch out;
+        out.batch = batch;
+        out.seq = seqLen_;
+        out.tokens.resize(batch * seqLen_);
+        out.targets.resize(batch * seqLen_);
+        for (int64_t b = 0; b < batch; ++b)
+            fillWindow(out, b, starts[i + b]);
+        batches.push_back(std::move(out));
+    }
+    return batches;
+}
+
+} // namespace optimus

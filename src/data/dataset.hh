@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Language-modeling batch sampling over a token stream: contiguous
+ * windows of seqLen+1 tokens yield (input, shifted-target) pairs.
+ */
+
+#ifndef OPTIMUS_DATA_DATASET_HH
+#define OPTIMUS_DATA_DATASET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace optimus
+{
+
+/** One [batch x seq] training batch (row-major token grids). */
+struct LmBatch
+{
+    std::vector<int32_t> tokens;
+    std::vector<int32_t> targets;
+    int64_t batch = 0;
+    int64_t seq = 0;
+};
+
+/** Window sampler over a fixed token stream. */
+class LmDataset
+{
+  public:
+    /**
+     * @param stream Token stream (borrowed by copy).
+     * @param seq_len Window length.
+     */
+    LmDataset(std::vector<int32_t> stream, int64_t seq_len);
+
+    /** Random contiguous-window batch. */
+    LmBatch sampleBatch(int64_t batch, Rng &rng) const;
+
+    /**
+     * Deterministic non-overlapping evaluation batches covering the
+     * stream (last partial window dropped).
+     */
+    std::vector<LmBatch> evalBatches(int64_t batch) const;
+
+    int64_t seqLen() const { return seqLen_; }
+    int64_t size() const
+    {
+        return static_cast<int64_t>(stream_.size());
+    }
+
+  private:
+    /** Fill one window starting at @p start into row @p row. */
+    void fillWindow(LmBatch &out, int64_t row, int64_t start) const;
+
+    std::vector<int32_t> stream_;
+    int64_t seqLen_;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_DATA_DATASET_HH

@@ -1,0 +1,215 @@
+#include "data/zeroshot.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+ZeroShotTask::ZeroShotTask(std::string name,
+                           std::vector<ZeroShotExample> examples)
+    : name_(std::move(name)), examples_(std::move(examples))
+{
+}
+
+double
+ZeroShotTask::sequenceLogLik(LmScorer &scorer,
+                             const std::vector<int32_t> &sequence,
+                             int64_t begin, int64_t end)
+{
+    const int64_t s = scorer.seqLen();
+    OPTIMUS_ASSERT(static_cast<int64_t>(sequence.size()) == s);
+    OPTIMUS_ASSERT(begin >= 1 && begin <= end && end <= s);
+
+    Tensor logits = scorer.scoreLogits(sequence, 1);
+    const int64_t v = logits.cols();
+    double total = 0.0;
+    // P(seq[t] | seq[<t]) comes from the logits row at t-1.
+    for (int64_t t = begin; t < end; ++t) {
+        const float *row = logits.data() + (t - 1) * v;
+        float max_val = row[0];
+        for (int64_t j = 1; j < v; ++j) {
+            if (row[j] > max_val)
+                max_val = row[j];
+        }
+        double denom = 0.0;
+        for (int64_t j = 0; j < v; ++j)
+            denom += std::exp(row[j] - max_val);
+        total += (row[sequence[t]] - max_val) - std::log(denom);
+    }
+    return total;
+}
+
+double
+ZeroShotTask::evaluate(LmScorer &scorer) const
+{
+    OPTIMUS_ASSERT(!examples_.empty());
+    int correct = 0;
+    for (const auto &ex : examples_) {
+        if (ex.cloze) {
+            OPTIMUS_ASSERT(ex.candidates.size() == 1);
+            const auto &seq = ex.candidates[0];
+            Tensor logits = scorer.scoreLogits(seq, 1);
+            const int64_t v = logits.cols();
+            const float *row =
+                logits.data() + (ex.scoreBegin - 1) * v;
+            int64_t best = 0;
+            for (int64_t j = 1; j < v; ++j) {
+                if (row[j] > row[best])
+                    best = j;
+            }
+            if (best == seq[ex.scoreBegin])
+                ++correct;
+            continue;
+        }
+        double best_score = -1e300;
+        int best_idx = -1;
+        for (size_t c = 0; c < ex.candidates.size(); ++c) {
+            const double score = sequenceLogLik(
+                scorer, ex.candidates[c], ex.scoreBegin, ex.scoreEnd);
+            if (score > best_score) {
+                best_score = score;
+                best_idx = static_cast<int>(c);
+            }
+        }
+        if (best_idx == ex.answer)
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(examples_.size());
+}
+
+namespace
+{
+
+/** Copy a window of @p s tokens starting at @p start. */
+std::vector<int32_t>
+window(const std::vector<int32_t> &stream, int64_t start, int64_t s)
+{
+    return {stream.begin() + start, stream.begin() + start + s};
+}
+
+/**
+ * Build a likelihood-ranked multiple-choice task: the ending
+ * [s - ending_len, s) of a real window competes against
+ * `choices - 1` random-token endings.
+ */
+ZeroShotTask
+makeEndingChoiceTask(const std::string &name,
+                     const std::vector<int32_t> &stream, int64_t s,
+                     int64_t vocab, int choices, int64_t ending_len,
+                     int count, Rng &rng)
+{
+    std::vector<ZeroShotExample> examples;
+    const int64_t max_start =
+        static_cast<int64_t>(stream.size()) - s - 1;
+    OPTIMUS_ASSERT(max_start >= 0);
+    for (int i = 0; i < count; ++i) {
+        const auto start =
+            static_cast<int64_t>(rng.uniformInt(max_start + 1));
+        const auto base = window(stream, start, s);
+
+        ZeroShotExample ex;
+        ex.scoreBegin = s - ending_len;
+        ex.scoreEnd = s;
+        ex.answer = static_cast<int>(rng.uniformInt(choices));
+        for (int c = 0; c < choices; ++c) {
+            std::vector<int32_t> cand = base;
+            if (c != ex.answer) {
+                for (int64_t t = ex.scoreBegin; t < s; ++t) {
+                    cand[t] = static_cast<int32_t>(
+                        rng.uniformInt(vocab));
+                }
+            }
+            ex.candidates.push_back(std::move(cand));
+        }
+        examples.push_back(std::move(ex));
+    }
+    return {name, std::move(examples)};
+}
+
+/** 2-way mid-token substitution (WinoGrande-like). */
+ZeroShotTask
+makeMidTokenTask(const std::string &name,
+                 const std::vector<int32_t> &stream, int64_t s,
+                 int64_t vocab, int count, Rng &rng)
+{
+    std::vector<ZeroShotExample> examples;
+    const int64_t max_start =
+        static_cast<int64_t>(stream.size()) - s - 1;
+    const int64_t mid = s / 2;
+    for (int i = 0; i < count; ++i) {
+        const auto start =
+            static_cast<int64_t>(rng.uniformInt(max_start + 1));
+        const auto base = window(stream, start, s);
+
+        ZeroShotExample ex;
+        // Score the whole suffix: the substituted token changes the
+        // context for everything after it, as in WinoGrande where
+        // the pronoun binding changes the sentence reading.
+        ex.scoreBegin = mid;
+        ex.scoreEnd = s;
+        ex.answer = static_cast<int>(rng.uniformInt(2));
+        for (int c = 0; c < 2; ++c) {
+            std::vector<int32_t> cand = base;
+            if (c != ex.answer) {
+                int32_t swap;
+                do {
+                    swap = static_cast<int32_t>(rng.uniformInt(vocab));
+                } while (swap == base[mid]);
+                cand[mid] = swap;
+            }
+            ex.candidates.push_back(std::move(cand));
+        }
+        examples.push_back(std::move(ex));
+    }
+    return {name, std::move(examples)};
+}
+
+/** Cloze task (LAMBADA-like last-token argmax prediction). */
+ZeroShotTask
+makeClozeTask(const std::string &name,
+              const std::vector<int32_t> &stream, int64_t s, int count,
+              Rng &rng)
+{
+    std::vector<ZeroShotExample> examples;
+    const int64_t max_start =
+        static_cast<int64_t>(stream.size()) - s - 1;
+    for (int i = 0; i < count; ++i) {
+        const auto start =
+            static_cast<int64_t>(rng.uniformInt(max_start + 1));
+        ZeroShotExample ex;
+        ex.candidates.push_back(window(stream, start, s));
+        ex.scoreBegin = s - 1;
+        ex.scoreEnd = s;
+        ex.cloze = true;
+        examples.push_back(std::move(ex));
+    }
+    return {name, std::move(examples)};
+}
+
+} // namespace
+
+std::vector<ZeroShotTask>
+makeStandardZeroShotTasks(const std::vector<int32_t> &val_stream,
+                          int64_t seq_len, int64_t vocab,
+                          const ZeroShotSuiteConfig &config)
+{
+    Rng rng(config.seed);
+    const int n = config.examplesPerTask;
+    std::vector<ZeroShotTask> tasks;
+    tasks.push_back(
+        makeClozeTask("cloze", val_stream, seq_len, n, rng));
+    tasks.push_back(makeEndingChoiceTask(
+        "pair2", val_stream, seq_len, vocab, 2, 4, n, rng));
+    tasks.push_back(makeEndingChoiceTask(
+        "mcq4", val_stream, seq_len, vocab, 4, 2, n, rng));
+    tasks.push_back(
+        makeMidTokenTask("coref2", val_stream, seq_len, vocab, n, rng));
+    tasks.push_back(makeEndingChoiceTask(
+        "passage4", val_stream, seq_len, vocab, 4, 6, n, rng));
+    return tasks;
+}
+
+} // namespace optimus

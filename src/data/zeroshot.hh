@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Synthetic zero-shot probe tasks standing in for the paper's
+ * LAMBADA / PIQA / MathQA / WinoGrande / RACE evaluation (Tables 3
+ * and 4). Each probe mirrors the *format* of its counterpart --
+ * cloze prediction or likelihood-ranked multiple choice over a
+ * pretrained LM with no fine-tuning -- so it measures the same
+ * quantity the paper uses zero-shot accuracy for: whether lossy
+ * communication compression damaged what the model learned.
+ */
+
+#ifndef OPTIMUS_DATA_ZEROSHOT_HH
+#define OPTIMUS_DATA_ZEROSHOT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace optimus
+{
+
+/** Anything that can produce LM logits for a token grid. */
+class LmScorer
+{
+  public:
+    virtual ~LmScorer() = default;
+
+    /**
+     * @param tokens [batch x seq] row-major token grid.
+     * @param batch Row count.
+     * @return [batch*seq x vocab] logits.
+     */
+    virtual Tensor scoreLogits(const std::vector<int32_t> &tokens,
+                               int64_t batch) = 0;
+
+    /** Fixed sequence length the scorer expects. */
+    virtual int64_t seqLen() const = 0;
+
+    /** Vocabulary size. */
+    virtual int64_t vocab() const = 0;
+};
+
+/**
+ * One multiple-choice zero-shot example: a base window and
+ * candidate variants; the model should assign the completed
+ * sequence containing the true variant the highest log-likelihood
+ * over the scored span.
+ */
+struct ZeroShotExample
+{
+    /** Candidate full sequences (first one is the correct one
+     *  before shuffling; `answer` records the shuffled index). */
+    std::vector<std::vector<int32_t>> candidates;
+    /** Positions [begin, end) whose tokens are scored. */
+    int64_t scoreBegin = 0;
+    int64_t scoreEnd = 0;
+    /** Index of the correct candidate. */
+    int answer = 0;
+    /**
+     * Cloze mode (LAMBADA-like): one candidate; correct iff the
+     * argmax prediction at position scoreBegin-1 equals the true
+     * token at scoreBegin.
+     */
+    bool cloze = false;
+};
+
+/** A named set of examples with a shared evaluation rule. */
+class ZeroShotTask
+{
+  public:
+    ZeroShotTask(std::string name, std::vector<ZeroShotExample> examples);
+
+    /** Accuracy of @p scorer on this task, in [0, 1]. */
+    double evaluate(LmScorer &scorer) const;
+
+    const std::string &name() const { return name_; }
+    size_t exampleCount() const { return examples_.size(); }
+
+    /**
+     * Log-likelihood of positions [begin, end) of @p sequence under
+     * teacher forcing (sum of log P(seq[t] | seq[<t]))).
+     */
+    static double sequenceLogLik(LmScorer &scorer,
+                                 const std::vector<int32_t> &sequence,
+                                 int64_t begin, int64_t end);
+
+  private:
+    std::string name_;
+    std::vector<ZeroShotExample> examples_;
+};
+
+/** Configuration for the standard probe suite. */
+struct ZeroShotSuiteConfig
+{
+    int examplesPerTask = 64;
+    uint64_t seed = 99;
+};
+
+/**
+ * Build the five standard probes from a validation stream:
+ *   cloze      -- LAMBADA-like last-token prediction
+ *   pair2      -- PIQA-like 2-way continuation choice (4 tokens)
+ *   mcq4       -- MathQA-like 4-way short-ending choice (2 tokens)
+ *   coref2     -- WinoGrande-like 2-way mid-token substitution
+ *   passage4   -- RACE-like 4-way long-ending choice (6 tokens)
+ */
+std::vector<ZeroShotTask>
+makeStandardZeroShotTasks(const std::vector<int32_t> &val_stream,
+                          int64_t seq_len, int64_t vocab,
+                          const ZeroShotSuiteConfig &config);
+
+} // namespace optimus
+
+#endif // OPTIMUS_DATA_ZEROSHOT_HH

@@ -1,0 +1,96 @@
+#include "nn/activation.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+namespace
+{
+
+constexpr float kSqrt2OverPi = 0.7978845608028654f;
+constexpr float kGeluCoeff = 0.044715f;
+
+} // namespace
+
+float
+Gelu::value(float x)
+{
+    const float inner = kSqrt2OverPi * (x + kGeluCoeff * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float
+Gelu::derivative(float x)
+{
+    const float inner = kSqrt2OverPi * (x + kGeluCoeff * x * x * x);
+    const float t = std::tanh(inner);
+    const float sech2 = 1.0f - t * t;
+    const float dinner = kSqrt2OverPi * (1.0f + 3.0f * kGeluCoeff * x * x);
+    return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
+}
+
+Tensor
+Gelu::forward(const Tensor &x)
+{
+    Tensor y(x.shape());
+    const float *xd = x.data();
+    float *yd = y.data();
+    const int64_t n = x.size();
+    for (int64_t i = 0; i < n; ++i)
+        yd[i] = value(xd[i]);
+    stash_.push_back(x);
+    return y;
+}
+
+Tensor
+Gelu::backward(const Tensor &dy)
+{
+    OPTIMUS_ASSERT(!stash_.empty());
+    Tensor x = std::move(stash_.front());
+    stash_.pop_front();
+    OPTIMUS_ASSERT(x.size() == dy.size());
+
+    Tensor dx(dy.shape());
+    const float *xd = x.data();
+    const float *dyd = dy.data();
+    float *dxd = dx.data();
+    const int64_t n = dy.size();
+    for (int64_t i = 0; i < n; ++i)
+        dxd[i] = dyd[i] * derivative(xd[i]);
+    return dx;
+}
+
+Tensor
+Relu::forward(const Tensor &x)
+{
+    Tensor y(x.shape());
+    const float *xd = x.data();
+    float *yd = y.data();
+    const int64_t n = x.size();
+    for (int64_t i = 0; i < n; ++i)
+        yd[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
+    stash_.push_back(x);
+    return y;
+}
+
+Tensor
+Relu::backward(const Tensor &dy)
+{
+    OPTIMUS_ASSERT(!stash_.empty());
+    Tensor x = std::move(stash_.front());
+    stash_.pop_front();
+
+    Tensor dx(dy.shape());
+    const float *xd = x.data();
+    const float *dyd = dy.data();
+    float *dxd = dx.data();
+    const int64_t n = dy.size();
+    for (int64_t i = 0; i < n; ++i)
+        dxd[i] = xd[i] > 0.0f ? dyd[i] : 0.0f;
+    return dx;
+}
+
+} // namespace optimus

@@ -1,0 +1,200 @@
+#include "nn/attention.hh"
+
+#include <cmath>
+
+#include "tensor/matmul.hh"
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+MultiHeadAttention::MultiHeadAttention(const std::string &label,
+                                       int64_t hidden, int64_t heads,
+                                       int64_t seq_len, Rng &rng,
+                                       float init_std)
+    : hidden_(hidden), heads_(heads), seqLen_(seq_len),
+      qkv_(std::make_unique<Linear>(label + ".qkv", hidden, 3 * hidden,
+                                    rng, init_std)),
+      proj_(std::make_unique<Linear>(label + ".proj", hidden, hidden,
+                                     rng, init_std))
+{
+    OPTIMUS_ASSERT(hidden % heads == 0);
+    OPTIMUS_ASSERT(seq_len >= 1);
+}
+
+Tensor
+MultiHeadAttention::extractBlock(const Tensor &src, int64_t row0,
+                                 int64_t col0, int64_t rows,
+                                 int64_t cols)
+{
+    Tensor out({rows, cols});
+    const int64_t stride = src.cols();
+    const float *sd = src.data() + row0 * stride + col0;
+    float *od = out.data();
+    for (int64_t i = 0; i < rows; ++i) {
+        for (int64_t j = 0; j < cols; ++j)
+            od[i * cols + j] = sd[i * stride + j];
+    }
+    return out;
+}
+
+void
+MultiHeadAttention::accumulateBlock(Tensor &dst, const Tensor &block,
+                                    int64_t row0, int64_t col0)
+{
+    const int64_t stride = dst.cols();
+    const int64_t rows = block.rows();
+    const int64_t cols = block.cols();
+    float *dd = dst.data() + row0 * stride + col0;
+    const float *bd = block.data();
+    for (int64_t i = 0; i < rows; ++i) {
+        for (int64_t j = 0; j < cols; ++j)
+            dd[i * stride + j] += bd[i * cols + j];
+    }
+}
+
+Tensor
+MultiHeadAttention::forward(const Tensor &x)
+{
+    OPTIMUS_ASSERT(x.rank() == 2 && x.cols() == hidden_);
+    const int64_t n = x.rows();
+    OPTIMUS_ASSERT(n % seqLen_ == 0);
+    const int64_t batch = n / seqLen_;
+    const int64_t dh = headDim();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    Stash st;
+    st.batch = batch;
+    st.qkv = qkv_->forward(x); // [N x 3h]
+    st.probs.reserve(batch * heads_);
+
+    Tensor ctx({n, hidden_});
+    for (int64_t b = 0; b < batch; ++b) {
+        const int64_t row0 = b * seqLen_;
+        for (int64_t hd = 0; hd < heads_; ++hd) {
+            Tensor q = extractBlock(st.qkv, row0, hd * dh, seqLen_, dh);
+            Tensor k = extractBlock(st.qkv, row0, hidden_ + hd * dh,
+                                    seqLen_, dh);
+            Tensor v = extractBlock(st.qkv, row0, 2 * hidden_ + hd * dh,
+                                    seqLen_, dh);
+
+            Tensor scores = matmulNT(q, k); // [S x S]
+            scores.scale(scale);
+
+            // Causal mask + row softmax (masked entries stay 0).
+            float *sd = scores.data();
+            for (int64_t i = 0; i < seqLen_; ++i) {
+                float *row = sd + i * seqLen_;
+                float max_val = row[0];
+                for (int64_t j = 1; j <= i; ++j) {
+                    if (row[j] > max_val)
+                        max_val = row[j];
+                }
+                double denom = 0.0;
+                for (int64_t j = 0; j <= i; ++j) {
+                    row[j] = std::exp(row[j] - max_val);
+                    denom += row[j];
+                }
+                const float inv =
+                    static_cast<float>(1.0 / denom);
+                for (int64_t j = 0; j <= i; ++j)
+                    row[j] *= inv;
+                for (int64_t j = i + 1; j < seqLen_; ++j)
+                    row[j] = 0.0f;
+            }
+
+            Tensor head_ctx = matmul(scores, v); // [S x dh]
+            accumulateBlock(ctx, head_ctx, row0, hd * dh);
+            st.probs.push_back(std::move(scores));
+        }
+    }
+    stash_.push_back(std::move(st));
+    return proj_->forward(ctx);
+}
+
+Tensor
+MultiHeadAttention::backward(const Tensor &dy)
+{
+    OPTIMUS_ASSERT(!stash_.empty());
+    Stash st = std::move(stash_.front());
+    stash_.pop_front();
+
+    const int64_t batch = st.batch;
+    const int64_t n = batch * seqLen_;
+    const int64_t dh = headDim();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    Tensor dctx = proj_->backward(dy); // [N x h]
+    OPTIMUS_ASSERT(dctx.rows() == n);
+
+    Tensor dqkv({n, 3 * hidden_});
+    for (int64_t b = 0; b < batch; ++b) {
+        const int64_t row0 = b * seqLen_;
+        for (int64_t hd = 0; hd < heads_; ++hd) {
+            const Tensor &probs = st.probs[b * heads_ + hd];
+            Tensor q = extractBlock(st.qkv, row0, hd * dh, seqLen_, dh);
+            Tensor k = extractBlock(st.qkv, row0, hidden_ + hd * dh,
+                                    seqLen_, dh);
+            Tensor v = extractBlock(st.qkv, row0, 2 * hidden_ + hd * dh,
+                                    seqLen_, dh);
+            Tensor dhead = extractBlock(dctx, row0, hd * dh, seqLen_,
+                                        dh);
+
+            Tensor dv = matmulTN(probs, dhead);   // [S x dh]
+            Tensor dprobs = matmulNT(dhead, v);   // [S x S]
+
+            // Softmax backward per row:
+            // dscore_ij = p_ij * (dprobs_ij - sum_k p_ik dprobs_ik);
+            // masked entries have p == 0, so they contribute nothing.
+            Tensor dscores({seqLen_, seqLen_});
+            const float *pd = probs.data();
+            const float *dpd = dprobs.data();
+            float *dsd = dscores.data();
+            for (int64_t i = 0; i < seqLen_; ++i) {
+                double dot_val = 0.0;
+                for (int64_t j = 0; j <= i; ++j)
+                    dot_val += static_cast<double>(pd[i * seqLen_ + j]) *
+                               dpd[i * seqLen_ + j];
+                for (int64_t j = 0; j <= i; ++j) {
+                    dsd[i * seqLen_ + j] = pd[i * seqLen_ + j] *
+                        (dpd[i * seqLen_ + j] -
+                         static_cast<float>(dot_val));
+                }
+            }
+            dscores.scale(scale);
+
+            Tensor dq = matmul(dscores, k);   // [S x dh]
+            Tensor dk = matmulTN(dscores, q); // [S x dh]
+
+            accumulateBlock(dqkv, dq, row0, hd * dh);
+            accumulateBlock(dqkv, dk, row0, hidden_ + hd * dh);
+            accumulateBlock(dqkv, dv, row0, 2 * hidden_ + hd * dh);
+        }
+    }
+    return qkv_->backward(dqkv);
+}
+
+std::vector<ParamPtr>
+MultiHeadAttention::params() const
+{
+    std::vector<ParamPtr> all = qkv_->params();
+    for (const auto &p : proj_->params())
+        all.push_back(p);
+    return all;
+}
+
+std::string
+MultiHeadAttention::name() const
+{
+    return "attention(h=" + std::to_string(hidden_) + ")";
+}
+
+void
+MultiHeadAttention::clearStash()
+{
+    stash_.clear();
+    qkv_->clearStash();
+    proj_->clearStash();
+}
+
+} // namespace optimus

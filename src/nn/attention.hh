@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Causal multi-head self-attention with hand-written backward.
+ * Operates on [batch*seq x hidden] activations; the sequence length
+ * is fixed at construction, and the batch size is derived per call.
+ */
+
+#ifndef OPTIMUS_NN_ATTENTION_HH
+#define OPTIMUS_NN_ATTENTION_HH
+
+#include <deque>
+#include <memory>
+
+#include "nn/layer.hh"
+#include "nn/linear.hh"
+
+namespace optimus
+{
+
+/**
+ * y = proj(concat_h softmax(mask(Q_h K_h^T / sqrt(d_h))) V_h), with
+ * Q,K,V produced by one fused [hidden -> 3*hidden] projection as in
+ * GPT-2/Megatron.
+ */
+class MultiHeadAttention : public Layer
+{
+  public:
+    /**
+     * @param label Parameter name prefix.
+     * @param hidden Model width (must divide by @p heads).
+     * @param heads Attention head count.
+     * @param seq_len Fixed sequence length for the causal mask.
+     * @param rng Init stream.
+     * @param init_std Weight init standard deviation.
+     */
+    MultiHeadAttention(const std::string &label, int64_t hidden,
+                       int64_t heads, int64_t seq_len, Rng &rng,
+                       float init_std = 0.02f);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &dy) override;
+    std::vector<ParamPtr> params() const override;
+    std::string name() const override;
+    void clearStash() override;
+    size_t stashDepth() const override { return stash_.size(); }
+
+    int64_t hidden() const { return hidden_; }
+    int64_t heads() const { return heads_; }
+    int64_t headDim() const { return hidden_ / heads_; }
+    int64_t seqLen() const { return seqLen_; }
+
+  private:
+    struct Stash
+    {
+        Tensor qkv;                 // [N x 3*hidden]
+        std::vector<Tensor> probs;  // per (batch, head): [S x S]
+        int64_t batch;
+    };
+
+    /** Copy an [S x d] block out of a wide row-major matrix. */
+    static Tensor extractBlock(const Tensor &src, int64_t row0,
+                               int64_t col0, int64_t rows,
+                               int64_t cols);
+
+    /** Accumulate an [S x d] block into a wide row-major matrix. */
+    static void accumulateBlock(Tensor &dst, const Tensor &block,
+                                int64_t row0, int64_t col0);
+
+    int64_t hidden_;
+    int64_t heads_;
+    int64_t seqLen_;
+    std::unique_ptr<Linear> qkv_;
+    std::unique_ptr<Linear> proj_;
+    std::deque<Stash> stash_;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_NN_ATTENTION_HH

@@ -1,0 +1,118 @@
+#include "nn/embedding.hh"
+
+#include "tensor/matmul.hh"
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+EmbeddingLayer::EmbeddingLayer(const std::string &label, int64_t vocab,
+                               int64_t hidden, int64_t max_seq, Rng &rng,
+                               float init_std)
+    : token_(std::make_shared<Param>(
+          label + ".token",
+          Tensor::randn({vocab, hidden}, rng, 0.0f, init_std))),
+      position_(std::make_shared<Param>(
+          label + ".position",
+          Tensor::randn({max_seq, hidden}, rng, 0.0f, init_std)))
+{
+}
+
+Tensor
+EmbeddingLayer::forward(const std::vector<int32_t> &tokens,
+                        int64_t batch, int64_t seq)
+{
+    OPTIMUS_ASSERT(static_cast<int64_t>(tokens.size()) == batch * seq);
+    OPTIMUS_ASSERT(seq <= position_->value.rows());
+    const int64_t h = hidden();
+    const int64_t v = vocab();
+
+    Tensor y({batch * seq, h});
+    const float *tok = token_->value.data();
+    const float *pos = position_->value.data();
+    float *yd = y.data();
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t s = 0; s < seq; ++s) {
+            const int64_t row = b * seq + s;
+            const int32_t id = tokens[row];
+            OPTIMUS_ASSERT(id >= 0 && id < v);
+            const float *trow = tok + static_cast<int64_t>(id) * h;
+            const float *prow = pos + s * h;
+            float *yrow = yd + row * h;
+            for (int64_t j = 0; j < h; ++j)
+                yrow[j] = trow[j] + prow[j];
+        }
+    }
+    stash_.push_back({tokens, batch, seq});
+    return y;
+}
+
+void
+EmbeddingLayer::backward(const Tensor &dy)
+{
+    OPTIMUS_ASSERT(!stash_.empty());
+    Stash st = std::move(stash_.front());
+    stash_.pop_front();
+
+    const int64_t h = hidden();
+    OPTIMUS_ASSERT(dy.rank() == 2 && dy.cols() == h);
+    OPTIMUS_ASSERT(dy.rows() == st.batch * st.seq);
+
+    const float *dyd = dy.data();
+    float *dtok = token_->grad.data();
+    float *dpos = position_->grad.data();
+    for (int64_t b = 0; b < st.batch; ++b) {
+        for (int64_t s = 0; s < st.seq; ++s) {
+            const int64_t row = b * st.seq + s;
+            const int32_t id = st.tokens[row];
+            const float *drow = dyd + row * h;
+            float *trow = dtok + static_cast<int64_t>(id) * h;
+            float *prow = dpos + s * h;
+            for (int64_t j = 0; j < h; ++j) {
+                trow[j] += drow[j];
+                prow[j] += drow[j];
+            }
+        }
+    }
+}
+
+std::vector<ParamPtr>
+EmbeddingLayer::params() const
+{
+    return {token_, position_};
+}
+
+OutputHead::OutputHead(ParamPtr token_table)
+    : token_(std::move(token_table))
+{
+    OPTIMUS_ASSERT(token_ != nullptr && token_->value.rank() == 2);
+}
+
+Tensor
+OutputHead::forward(const Tensor &h)
+{
+    OPTIMUS_ASSERT(h.rank() == 2 && h.cols() == token_->value.cols());
+    Tensor logits = matmulNT(h, token_->value); // [N x vocab]
+    stash_.push_back(h);
+    return logits;
+}
+
+Tensor
+OutputHead::backward(const Tensor &dlogits)
+{
+    OPTIMUS_ASSERT(!stash_.empty());
+    Tensor h = std::move(stash_.front());
+    stash_.pop_front();
+
+    // dE += dlogits^T * H;  dH = dlogits * E.
+    matmulAccTN(token_->grad, dlogits, h);
+    return matmul(dlogits, token_->value);
+}
+
+std::vector<ParamPtr>
+OutputHead::params() const
+{
+    return {token_};
+}
+
+} // namespace optimus

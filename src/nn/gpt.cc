@@ -1,0 +1,140 @@
+#include "nn/gpt.hh"
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+namespace
+{
+
+/** Mix a component index into the model seed (splitmix-style). */
+uint64_t
+componentSeed(uint64_t seed, uint64_t index)
+{
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+int64_t
+GptConfig::paramCount() const
+{
+    const int64_t h = hidden;
+    // Embedding: vocab*h tokens + seqLen*h positions (tied head
+    // reuses the token table).
+    int64_t total = vocab * h + seqLen * h;
+    // Per block: 2 LayerNorms (2h each), qkv (h*3h + 3h),
+    // proj (h*h + h), fc1 (h*4h + 4h), fc2 (4h*h + h).
+    const int64_t per_block = 2 * (2 * h) + (h * 3 * h + 3 * h) +
+                              (h * h + h) + (h * 4 * h + 4 * h) +
+                              (4 * h * h + h);
+    total += layers * per_block;
+    // Final norm.
+    total += 2 * h;
+    return total;
+}
+
+std::unique_ptr<TransformerBlock>
+buildGptBlock(const GptConfig &config, int64_t index)
+{
+    OPTIMUS_ASSERT(index >= 0 && index < config.layers);
+    Rng rng(componentSeed(config.seed, 1 + index));
+    return std::make_unique<TransformerBlock>(
+        "block" + std::to_string(index), config.hidden, config.heads,
+        config.seqLen, rng, config.initStd);
+}
+
+std::unique_ptr<EmbeddingLayer>
+buildGptEmbedding(const GptConfig &config)
+{
+    Rng rng(componentSeed(config.seed, 0));
+    return std::make_unique<EmbeddingLayer>(
+        "embedding", config.vocab, config.hidden, config.seqLen, rng,
+        config.initStd);
+}
+
+std::unique_ptr<LayerNorm>
+buildGptFinalNorm(const GptConfig &config)
+{
+    return std::make_unique<LayerNorm>("final_norm", config.hidden);
+}
+
+GptModel::GptModel(const GptConfig &config)
+    : config_(config), embedding_(buildGptEmbedding(config)),
+      finalNorm_(buildGptFinalNorm(config))
+{
+    blocks_.reserve(config.layers);
+    for (int64_t i = 0; i < config.layers; ++i)
+        blocks_.push_back(buildGptBlock(config, i));
+    head_ = std::make_unique<OutputHead>(embedding_->tokenTable());
+}
+
+Tensor
+GptModel::forward(const std::vector<int32_t> &tokens, int64_t batch)
+{
+    Tensor h = embedding_->forward(tokens, batch, config_.seqLen);
+    for (auto &block : blocks_)
+        h = block->forward(h);
+    h = finalNorm_->forward(h);
+    return head_->forward(h);
+}
+
+double
+GptModel::forwardBackward(const std::vector<int32_t> &tokens,
+                          const std::vector<int32_t> &targets,
+                          int64_t batch)
+{
+    Tensor logits = forward(tokens, batch);
+    const double nll = loss_.forward(logits, targets);
+
+    Tensor grad = loss_.backward();
+    grad = head_->backward(grad);
+    grad = finalNorm_->backward(grad);
+    for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it)
+        grad = (*it)->backward(grad);
+    embedding_->backward(grad);
+    return nll;
+}
+
+double
+GptModel::evaluate(const std::vector<int32_t> &tokens,
+                   const std::vector<int32_t> &targets, int64_t batch)
+{
+    Tensor logits = forward(tokens, batch);
+    const double nll = SoftmaxCrossEntropy::evaluate(logits, targets);
+    // forward() stashed activations expecting a backward; discard.
+    clearStash();
+    return nll;
+}
+
+std::vector<ParamPtr>
+GptModel::params() const
+{
+    std::vector<ParamPtr> all = embedding_->params();
+    for (const auto &block : blocks_) {
+        for (const auto &p : block->params())
+            all.push_back(p);
+    }
+    for (const auto &p : finalNorm_->params())
+        all.push_back(p);
+    for (const auto &p : head_->params())
+        all.push_back(p);
+    return dedupParams(all);
+}
+
+void
+GptModel::clearStash()
+{
+    embedding_->clearStash();
+    for (auto &block : blocks_)
+        block->clearStash();
+    finalNorm_->clearStash();
+    head_->clearStash();
+    loss_.clearStash();
+}
+
+} // namespace optimus

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Miniature GPT: configuration, deterministic component
+ * construction, and a monolithic (single-device) model wrapper.
+ *
+ * Construction is *seeded per component* so that a pipeline-
+ * partitioned build (each stage constructing only its own slice)
+ * produces bit-identical initial weights to a monolithic build --
+ * the property the pipeline-equivalence tests rely on.
+ */
+
+#ifndef OPTIMUS_NN_GPT_HH
+#define OPTIMUS_NN_GPT_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/block.hh"
+#include "nn/embedding.hh"
+#include "nn/layernorm.hh"
+#include "nn/loss.hh"
+
+namespace optimus
+{
+
+/** Architecture hyper-parameters for the miniature GPT. */
+struct GptConfig
+{
+    int64_t vocab = 128;
+    int64_t hidden = 64;
+    int64_t layers = 4;
+    int64_t heads = 4;
+    int64_t seqLen = 32;
+    float initStd = 0.02f;
+    uint64_t seed = 42;
+
+    /** Total trainable parameter count (tied embedding once). */
+    int64_t paramCount() const;
+};
+
+/**
+ * Deterministically construct one transformer block of the model.
+ * @param index Global block index in [0, config.layers).
+ */
+std::unique_ptr<TransformerBlock>
+buildGptBlock(const GptConfig &config, int64_t index);
+
+/** Deterministically construct the (stage-0) embedding. */
+std::unique_ptr<EmbeddingLayer> buildGptEmbedding(
+    const GptConfig &config);
+
+/** Deterministically construct the final layer norm. */
+std::unique_ptr<LayerNorm> buildGptFinalNorm(const GptConfig &config);
+
+/**
+ * Monolithic GPT used by baselines and tests: embedding, L blocks,
+ * final norm, tied output head, loss.
+ */
+class GptModel
+{
+  public:
+    explicit GptModel(const GptConfig &config);
+
+    /** Forward to logits. Tokens are a [batch x seq] row-major grid. */
+    Tensor forward(const std::vector<int32_t> &tokens, int64_t batch);
+
+    /**
+     * Full training step on one micro-batch: forward, loss,
+     * backward, gradient accumulation (no optimizer update).
+     * @return micro-batch mean NLL.
+     */
+    double forwardBackward(const std::vector<int32_t> &tokens,
+                           const std::vector<int32_t> &targets,
+                           int64_t batch);
+
+    /** Mean NLL without touching gradients or stashes. */
+    double evaluate(const std::vector<int32_t> &tokens,
+                    const std::vector<int32_t> &targets, int64_t batch);
+
+    /** Unique trainable parameters (tied embedding appears once). */
+    std::vector<ParamPtr> params() const;
+
+    const GptConfig &config() const { return config_; }
+
+    EmbeddingLayer &embedding() { return *embedding_; }
+    OutputHead &head() { return *head_; }
+
+    /** Drop all stashed activations. */
+    void clearStash();
+
+  private:
+    GptConfig config_;
+    std::unique_ptr<EmbeddingLayer> embedding_;
+    std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+    std::unique_ptr<LayerNorm> finalNorm_;
+    std::unique_ptr<OutputHead> head_;
+    SoftmaxCrossEntropy loss_;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_NN_GPT_HH

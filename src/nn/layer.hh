@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Layer interface for the hand-written backprop stack.
+ *
+ * Pipelined execution (1F1B) keeps several micro-batches in flight:
+ * a stage may run up to `pipeline depth` forward passes before the
+ * first matching backward arrives. Layers therefore keep their
+ * saved-for-backward activations in a FIFO: forward() pushes a
+ * stash, backward() pops the oldest. Both 1F1B and monolithic
+ * execution issue backwards in the same micro-batch order as
+ * forwards, so FIFO order is always correct.
+ */
+
+#ifndef OPTIMUS_NN_LAYER_HH
+#define OPTIMUS_NN_LAYER_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/param.hh"
+#include "tensor/tensor.hh"
+
+namespace optimus
+{
+
+/** Differentiable module mapping [N x in] -> [N x out]. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Run the forward pass, saving whatever backward will need onto
+     * the stash FIFO.
+     */
+    virtual Tensor forward(const Tensor &x) = 0;
+
+    /**
+     * Consume the oldest stash entry; accumulate parameter
+     * gradients; return the gradient w.r.t. the layer input.
+     */
+    virtual Tensor backward(const Tensor &dy) = 0;
+
+    /** Trainable parameters (tied params may repeat across layers). */
+    virtual std::vector<ParamPtr> params() const = 0;
+
+    /** Diagnostic name. */
+    virtual std::string name() const = 0;
+
+    /** Drop all stashed activations (e.g., between evaluations). */
+    virtual void clearStash() = 0;
+
+    /** Number of stashed (awaiting-backward) micro-batches. */
+    virtual size_t stashDepth() const = 0;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_NN_LAYER_HH

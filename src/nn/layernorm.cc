@@ -1,0 +1,122 @@
+#include "nn/layernorm.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+LayerNorm::LayerNorm(const std::string &label, int64_t features,
+                     float eps)
+    : gamma_(std::make_shared<Param>(
+          label + ".gamma", Tensor::full({features}, 1.0f))),
+      beta_(std::make_shared<Param>(label + ".beta",
+                                    Tensor::zeros(features))),
+      eps_(eps)
+{
+}
+
+Tensor
+LayerNorm::forward(const Tensor &x)
+{
+    OPTIMUS_ASSERT(x.rank() == 2);
+    const int64_t rows = x.rows();
+    const int64_t f = x.cols();
+    OPTIMUS_ASSERT(f == gamma_->value.size());
+
+    Stash st;
+    st.normalized = Tensor({rows, f});
+    st.invStd.resize(rows);
+
+    Tensor y({rows, f});
+    const float *xd = x.data();
+    const float *g = gamma_->value.data();
+    const float *b = beta_->value.data();
+    float *nd = st.normalized.data();
+    float *yd = y.data();
+
+    for (int64_t i = 0; i < rows; ++i) {
+        const float *row = xd + i * f;
+        double sum = 0.0;
+        for (int64_t j = 0; j < f; ++j)
+            sum += row[j];
+        const float mu = static_cast<float>(sum / f);
+        double var = 0.0;
+        for (int64_t j = 0; j < f; ++j) {
+            const float d = row[j] - mu;
+            var += static_cast<double>(d) * d;
+        }
+        const float inv_std = 1.0f /
+            std::sqrt(static_cast<float>(var / f) + eps_);
+        st.invStd[i] = inv_std;
+        for (int64_t j = 0; j < f; ++j) {
+            const float xn = (row[j] - mu) * inv_std;
+            nd[i * f + j] = xn;
+            yd[i * f + j] = g[j] * xn + b[j];
+        }
+    }
+    stash_.push_back(std::move(st));
+    return y;
+}
+
+Tensor
+LayerNorm::backward(const Tensor &dy)
+{
+    OPTIMUS_ASSERT(!stash_.empty());
+    Stash st = std::move(stash_.front());
+    stash_.pop_front();
+
+    const int64_t rows = dy.rows();
+    const int64_t f = dy.cols();
+    OPTIMUS_ASSERT(st.normalized.rows() == rows);
+
+    Tensor dx({rows, f});
+    const float *dyd = dy.data();
+    const float *nd = st.normalized.data();
+    const float *g = gamma_->value.data();
+    float *dgd = gamma_->grad.data();
+    float *dbd = beta_->grad.data();
+    float *dxd = dx.data();
+
+    for (int64_t i = 0; i < rows; ++i) {
+        const float *dyr = dyd + i * f;
+        const float *nr = nd + i * f;
+        float *dxr = dxd + i * f;
+        // dl/dx_hat = dy * gamma; need its row mean and its
+        // x_hat-weighted row mean for the normalization backward.
+        double sum_dxhat = 0.0;
+        double sum_dxhat_xhat = 0.0;
+        for (int64_t j = 0; j < f; ++j) {
+            const float dxhat = dyr[j] * g[j];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += static_cast<double>(dxhat) * nr[j];
+            dgd[j] += dyr[j] * nr[j];
+            dbd[j] += dyr[j];
+        }
+        const float mean_dxhat = static_cast<float>(sum_dxhat / f);
+        const float mean_dxhat_xhat =
+            static_cast<float>(sum_dxhat_xhat / f);
+        const float inv_std = st.invStd[i];
+        for (int64_t j = 0; j < f; ++j) {
+            const float dxhat = dyr[j] * g[j];
+            dxr[j] = inv_std *
+                (dxhat - mean_dxhat - nr[j] * mean_dxhat_xhat);
+        }
+    }
+    return dx;
+}
+
+std::vector<ParamPtr>
+LayerNorm::params() const
+{
+    return {gamma_, beta_};
+}
+
+std::string
+LayerNorm::name() const
+{
+    return "layernorm(" + gamma_->name + ")";
+}
+
+} // namespace optimus

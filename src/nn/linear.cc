@@ -1,0 +1,78 @@
+#include "nn/linear.hh"
+
+#include "tensor/matmul.hh"
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+Linear::Linear(const std::string &label, int64_t in, int64_t out,
+               Rng &rng, float init_std)
+    : weight_(std::make_shared<Param>(
+          label + ".weight",
+          Tensor::randn({in, out}, rng, 0.0f, init_std))),
+      bias_(std::make_shared<Param>(label + ".bias",
+                                    Tensor::zeros(out)))
+{
+}
+
+Linear::Linear(ParamPtr weight, ParamPtr bias)
+    : weight_(std::move(weight)), bias_(std::move(bias))
+{
+    OPTIMUS_ASSERT(weight_ != nullptr && bias_ != nullptr);
+    OPTIMUS_ASSERT(weight_->value.rank() == 2);
+    OPTIMUS_ASSERT(bias_->value.size() == weight_->value.cols());
+}
+
+Tensor
+Linear::forward(const Tensor &x)
+{
+    OPTIMUS_ASSERT(x.rank() == 2 && x.cols() == inFeatures());
+    Tensor y = matmul(x, weight_->value);
+    const int64_t rows = y.rows();
+    const int64_t out = y.cols();
+    const float *b = bias_->value.data();
+    float *yd = y.data();
+    for (int64_t i = 0; i < rows; ++i) {
+        for (int64_t j = 0; j < out; ++j)
+            yd[i * out + j] += b[j];
+    }
+    stash_.push_back(x);
+    return y;
+}
+
+Tensor
+Linear::backward(const Tensor &dy)
+{
+    OPTIMUS_ASSERT(!stash_.empty());
+    Tensor x = std::move(stash_.front());
+    stash_.pop_front();
+    OPTIMUS_ASSERT(dy.rank() == 2 && dy.cols() == outFeatures());
+    OPTIMUS_ASSERT(dy.rows() == x.rows());
+
+    // dW += X^T * dY;  db += column sums of dY;  dX = dY * W^T.
+    matmulAccTN(weight_->grad, x, dy);
+    const int64_t rows = dy.rows();
+    const int64_t out = dy.cols();
+    const float *dyd = dy.data();
+    float *dbd = bias_->grad.data();
+    for (int64_t i = 0; i < rows; ++i) {
+        for (int64_t j = 0; j < out; ++j)
+            dbd[j] += dyd[i * out + j];
+    }
+    return matmulNT(dy, weight_->value);
+}
+
+std::vector<ParamPtr>
+Linear::params() const
+{
+    return {weight_, bias_};
+}
+
+std::string
+Linear::name() const
+{
+    return "linear(" + weight_->name + ")";
+}
+
+} // namespace optimus

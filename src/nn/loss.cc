@@ -1,0 +1,97 @@
+#include "nn/loss.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+namespace
+{
+
+/** Row-wise softmax into a new tensor, returning mean NLL. */
+double
+softmaxAndNll(const Tensor &logits, const std::vector<int32_t> &targets,
+              Tensor &probs)
+{
+    OPTIMUS_ASSERT(logits.rank() == 2);
+    const int64_t n = logits.rows();
+    const int64_t v = logits.cols();
+    OPTIMUS_ASSERT(static_cast<int64_t>(targets.size()) == n);
+
+    probs = Tensor({n, v});
+    const float *ld = logits.data();
+    float *pd = probs.data();
+    double total_nll = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const float *lrow = ld + i * v;
+        float *prow = pd + i * v;
+        float max_val = lrow[0];
+        for (int64_t j = 1; j < v; ++j) {
+            if (lrow[j] > max_val)
+                max_val = lrow[j];
+        }
+        double denom = 0.0;
+        for (int64_t j = 0; j < v; ++j) {
+            prow[j] = std::exp(lrow[j] - max_val);
+            denom += prow[j];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (int64_t j = 0; j < v; ++j)
+            prow[j] *= inv;
+        const int32_t t = targets[i];
+        OPTIMUS_ASSERT(t >= 0 && t < v);
+        total_nll -= std::log(std::max(1e-30, (double)prow[t]));
+    }
+    return total_nll / static_cast<double>(n);
+}
+
+} // namespace
+
+double
+SoftmaxCrossEntropy::forward(const Tensor &logits,
+                             const std::vector<int32_t> &targets)
+{
+    Stash st;
+    const double nll = softmaxAndNll(logits, targets, st.probs);
+    st.targets = targets;
+    stash_.push_back(std::move(st));
+    return nll;
+}
+
+Tensor
+SoftmaxCrossEntropy::backward()
+{
+    OPTIMUS_ASSERT(!stash_.empty());
+    Stash st = std::move(stash_.front());
+    stash_.pop_front();
+
+    Tensor dlogits = std::move(st.probs);
+    const int64_t n = dlogits.rows();
+    const int64_t v = dlogits.cols();
+    const float inv_n = 1.0f / static_cast<float>(n);
+    float *dd = dlogits.data();
+    for (int64_t i = 0; i < n; ++i) {
+        dd[i * v + st.targets[i]] -= 1.0f;
+        for (int64_t j = 0; j < v; ++j)
+            dd[i * v + j] *= inv_n;
+    }
+    return dlogits;
+}
+
+double
+SoftmaxCrossEntropy::perplexity(double mean_nll)
+{
+    return std::exp(mean_nll);
+}
+
+double
+SoftmaxCrossEntropy::evaluate(const Tensor &logits,
+                              const std::vector<int32_t> &targets)
+{
+    Tensor probs;
+    return softmaxAndNll(logits, targets, probs);
+}
+
+} // namespace optimus

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Softmax cross-entropy language-modeling loss and perplexity.
+ */
+
+#ifndef OPTIMUS_NN_LOSS_HH
+#define OPTIMUS_NN_LOSS_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace optimus
+{
+
+/**
+ * Token-level softmax cross-entropy, averaged over the rows of one
+ * micro-batch. Stashes softmax probabilities FIFO like a Layer so it
+ * composes with pipelined execution.
+ */
+class SoftmaxCrossEntropy
+{
+  public:
+    SoftmaxCrossEntropy() = default;
+
+    /**
+     * @param logits [N x vocab] scores.
+     * @param targets N target token ids.
+     * @return mean negative log-likelihood over the N rows.
+     */
+    double forward(const Tensor &logits,
+                   const std::vector<int32_t> &targets);
+
+    /**
+     * Gradient for the oldest stashed forward:
+     * (softmax - onehot) / N.
+     */
+    Tensor backward();
+
+    /** Drop stashed state. */
+    void clearStash() { stash_.clear(); }
+
+    size_t stashDepth() const { return stash_.size(); }
+
+    /** Perplexity for a mean NLL value. */
+    static double perplexity(double mean_nll);
+
+    /**
+     * Evaluate loss only (no stash), for validation passes.
+     */
+    static double evaluate(const Tensor &logits,
+                           const std::vector<int32_t> &targets);
+
+  private:
+    struct Stash
+    {
+        Tensor probs;
+        std::vector<int32_t> targets;
+    };
+
+    std::deque<Stash> stash_;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_NN_LOSS_HH

@@ -1,0 +1,36 @@
+#include "nn/param.hh"
+
+#include <unordered_set>
+
+namespace optimus
+{
+
+void
+zeroGrads(const std::vector<ParamPtr> &params)
+{
+    for (const auto &p : params)
+        p->zeroGrad();
+}
+
+int64_t
+paramCount(const std::vector<ParamPtr> &params)
+{
+    int64_t total = 0;
+    for (const auto &p : params)
+        total += p->size();
+    return total;
+}
+
+std::vector<ParamPtr>
+dedupParams(const std::vector<ParamPtr> &params)
+{
+    std::vector<ParamPtr> unique;
+    std::unordered_set<const Param *> seen;
+    for (const auto &p : params) {
+        if (seen.insert(p.get()).second)
+            unique.push_back(p);
+    }
+    return unique;
+}
+
+} // namespace optimus

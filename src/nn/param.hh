@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Trainable parameter: a value tensor and its gradient accumulator.
+ * Layers hold parameters via shared_ptr so weight tying (the GPT
+ * embedding reused by the output head) is expressed naturally: both
+ * layers reference the same Param and their gradient contributions
+ * accumulate into the same tensor. Optimizers deduplicate by
+ * pointer identity.
+ */
+
+#ifndef OPTIMUS_NN_PARAM_HH
+#define OPTIMUS_NN_PARAM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace optimus
+{
+
+/** One trainable tensor plus its gradient. */
+struct Param
+{
+    /** @param n Diagnostic name. @param v Initial value. */
+    Param(std::string n, Tensor v)
+        : name(std::move(n)), value(std::move(v)),
+          grad(value.shape())
+    {
+    }
+
+    std::string name;
+    Tensor value;
+    Tensor grad;
+
+    /** Number of scalar parameters. */
+    int64_t size() const { return value.size(); }
+
+    /** Zero the gradient accumulator. */
+    void zeroGrad() { grad.setZero(); }
+};
+
+using ParamPtr = std::shared_ptr<Param>;
+
+/** Zero the gradients of a parameter set. */
+void zeroGrads(const std::vector<ParamPtr> &params);
+
+/** Total scalar count of a parameter set (no dedup). */
+int64_t paramCount(const std::vector<ParamPtr> &params);
+
+/**
+ * Deduplicate a parameter list by pointer identity, preserving first
+ * occurrence order (tied weights appear once).
+ */
+std::vector<ParamPtr> dedupParams(const std::vector<ParamPtr> &params);
+
+} // namespace optimus
+
+#endif // OPTIMUS_NN_PARAM_HH

@@ -1,0 +1,118 @@
+#include "parallel/channels.hh"
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace optimus
+{
+
+BackwardChannel::BackwardChannel(const CbConfig &config, int stages,
+                                 int stage, uint64_t seed)
+    : config_(config), stages_(stages), stage_(stage)
+{
+    OPTIMUS_ASSERT(stage >= 1 && stage < stages);
+    CompressorSpec spec = config.spec;
+    spec.seed = seed;
+    compressor_ = makeCompressor(spec);
+}
+
+void
+BackwardChannel::observeForward(const Tensor &activation,
+                                int micro_batch)
+{
+    if (!instrument_)
+        return;
+    if (micro_batch > 0 && prevForward_.size() == activation.size()) {
+        forwardDiff_ = prevForward_;
+        forwardDiff_.sub(activation);
+        haveForwardDiff_ = true;
+    } else {
+        haveForwardDiff_ = false;
+    }
+    prevForward_ = activation;
+}
+
+Tensor
+BackwardChannel::send(const Tensor &grad, int micro_batch,
+                      int micro_batches)
+{
+    ++totalSends_;
+    const int64_t exact_bytes =
+        static_cast<int64_t>(sizeof(float)) * grad.size();
+    bytesUncompressed_ += exact_bytes;
+
+    if (!config_.enabled) {
+        bytesSent_ += exact_bytes;
+        return grad;
+    }
+
+    const bool compress_this =
+        !config_.epilogueOnly ||
+        isEpilogueBackward(stages_, micro_batches, stage_,
+                           micro_batch);
+
+    // Fold the lazily propagated error into this message.
+    Tensor fed = grad;
+    if (config_.lazyErrorPropagation && error_.size() == grad.size())
+        fed.add(error_);
+
+    Tensor delivered;
+    if (compress_this) {
+        ++compressedSends_;
+        bytesSent_ += compressor_->compress(fed, delivered);
+        if (config_.lazyErrorPropagation) {
+            error_ = fed;
+            error_.sub(delivered);
+        }
+    } else {
+        // Uncompressed message: delivered exactly; any folded-in
+        // error is thereby resolved losslessly.
+        bytesSent_ += exact_bytes;
+        delivered = std::move(fed);
+        if (config_.lazyErrorPropagation)
+            error_ = Tensor();
+    }
+
+    if (instrument_ && compress_this) {
+        ChannelSendStats rec;
+        rec.microBatch = micro_batch;
+        rec.compressed = true;
+        Tensor err = grad;
+        if (config_.lazyErrorPropagation &&
+            error_.size() == grad.size()) {
+            // error_ currently holds fed - delivered == the full
+            // residual; report it as the per-send error.
+            err = error_;
+        } else {
+            err.sub(delivered);
+        }
+        rec.errorMean = mean(err.data(), err.size());
+        if (haveForwardDiff_ &&
+            forwardDiff_.size() == err.size()) {
+            rec.activationDiffMean =
+                mean(forwardDiff_.data(), forwardDiff_.size());
+            rec.cosine = cosineSimilarity(err.data(),
+                                          forwardDiff_.data(),
+                                          err.size());
+        }
+        stats_.push_back(rec);
+    }
+    return delivered;
+}
+
+void
+BackwardChannel::reset()
+{
+    error_ = Tensor();
+    compressor_->reset();
+    stats_.clear();
+    prevForward_ = Tensor();
+    forwardDiff_ = Tensor();
+    haveForwardDiff_ = false;
+    bytesSent_ = 0;
+    bytesUncompressed_ = 0;
+    compressedSends_ = 0;
+    totalSends_ = 0;
+}
+
+} // namespace optimus

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Inter-stage backward communication channel implementing compressed
+ * backpropagation (Section 5): low-rank compression of activation
+ * gradients with lazy error propagation (5.1) and epilogue-only
+ * compression (5.2), plus the instrumentation needed to reproduce
+ * Fig 11 (error / activation-difference independence).
+ */
+
+#ifndef OPTIMUS_PARALLEL_CHANNELS_HH
+#define OPTIMUS_PARALLEL_CHANNELS_HH
+
+#include <memory>
+#include <vector>
+
+#include "compress/error_feedback.hh"
+#include "schedule/schedule.hh"
+
+namespace optimus
+{
+
+/** Compressed-backpropagation configuration. */
+struct CbConfig
+{
+    /** Compress inter-stage backward traffic at all. */
+    bool enabled = false;
+    /** Lazy error propagation across micro-batches (Section 5.1). */
+    bool lazyErrorPropagation = true;
+    /** Compress only epilogue messages (Section 5.2). */
+    bool epilogueOnly = true;
+    /** Compression algorithm (paper: PowerSGD rank 16). */
+    CompressorSpec spec{CompressorKind::PowerSgd, 4, 0.01, 1};
+};
+
+/** Per-send record for Fig 11-style analysis. */
+struct ChannelSendStats
+{
+    int microBatch = 0;
+    bool compressed = false;
+    /** Mean of the compression error elements. */
+    double errorMean = 0.0;
+    /** Mean of (Y^(m) - Y^(m+1)) elements at this boundary. */
+    double activationDiffMean = 0.0;
+    /** cos(error, activation difference). */
+    double cosine = 0.0;
+};
+
+/**
+ * The backward channel from @p stage to @p stage-1 of one
+ * data-parallel replica. Holds the channel-local compressor state
+ * (warm-started PowerSGD Q and the lazily propagated error vector).
+ */
+class BackwardChannel
+{
+  public:
+    /**
+     * @param config Compression policy.
+     * @param stages Pipeline depth P.
+     * @param stage Sending stage s (receiver is s-1); s >= 1.
+     * @param seed Channel-local compressor seed.
+     */
+    BackwardChannel(const CbConfig &config, int stages, int stage,
+                    uint64_t seed);
+
+    /**
+     * Transmit the activation gradient of @p micro_batch (out of
+     * @p micro_batches). Applies the epilogue-only policy, lazy
+     * error propagation, and compression; returns what the receiver
+     * reconstructs.
+     */
+    Tensor send(const Tensor &grad, int micro_batch, int micro_batches);
+
+    /**
+     * Record the *forward* activation crossing this boundary for
+     * micro-batch @p micro_batch (used for Fig 11 activation
+     * differences). Only retained when instrumentation is enabled.
+     */
+    void observeForward(const Tensor &activation, int micro_batch);
+
+    /** Enable per-send statistics collection. */
+    void enableInstrumentation(bool on) { instrument_ = on; }
+
+    /** Collected per-send statistics (instrumentation only). */
+    const std::vector<ChannelSendStats> &sendStats() const
+    {
+        return stats_;
+    }
+
+    /** Total logical payload bytes sent (compressed or not). */
+    int64_t bytesSent() const { return bytesSent_; }
+
+    /** Bytes an uncompressed channel would have sent. */
+    int64_t bytesUncompressed() const { return bytesUncompressed_; }
+
+    /** Number of compressed sends. */
+    int64_t compressedSends() const { return compressedSends_; }
+
+    /** Number of total sends. */
+    int64_t totalSends() const { return totalSends_; }
+
+    /** Stored lazy-propagation error (for tests / memory model). */
+    const Tensor &storedError() const { return error_; }
+
+    /** Bytes of the stored lazy-propagation error buffer. */
+    int64_t errorBufferBytes() const
+    {
+        return static_cast<int64_t>(sizeof(float)) * error_.size();
+    }
+
+    /** Bytes of persistent compressor state (warm-start Q). */
+    int64_t compressorStateBytes() const
+    {
+        return compressor_->stateBytes();
+    }
+
+    /** Reset counters, stats, stored error, and compressor state. */
+    void reset();
+
+    int stage() const { return stage_; }
+
+  private:
+    CbConfig config_;
+    int stages_;
+    int stage_;
+    std::unique_ptr<Compressor> compressor_;
+    Tensor error_;
+    bool instrument_ = false;
+    std::vector<ChannelSendStats> stats_;
+    Tensor prevForward_;
+    Tensor forwardDiff_;
+    bool haveForwardDiff_ = false;
+    int64_t bytesSent_ = 0;
+    int64_t bytesUncompressed_ = 0;
+    int64_t compressedSends_ = 0;
+    int64_t totalSends_ = 0;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_PARALLEL_CHANNELS_HH

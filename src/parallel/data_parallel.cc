@@ -1,0 +1,279 @@
+#include "parallel/data_parallel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+namespace
+{
+
+/**
+ * Combine per-worker tensors into their (double-accumulated) sum,
+ * optionally divided by the worker count, and write the result back
+ * into every worker's tensor.
+ */
+void
+combine(const std::vector<Tensor *> &tensors, bool average)
+{
+    OPTIMUS_ASSERT(!tensors.empty());
+    const int64_t n = tensors[0]->size();
+    for (Tensor *t : tensors)
+        OPTIMUS_ASSERT(t != nullptr && t->size() == n);
+
+    std::vector<double> acc(n, 0.0);
+    for (const Tensor *t : tensors) {
+        const float *d = t->data();
+        for (int64_t i = 0; i < n; ++i)
+            acc[i] += d[i];
+    }
+    const double scale =
+        average ? 1.0 / static_cast<double>(tensors.size()) : 1.0;
+    for (Tensor *t : tensors) {
+        float *d = t->data();
+        for (int64_t i = 0; i < n; ++i)
+            d[i] = static_cast<float>(acc[i] * scale);
+    }
+}
+
+/** Ring all-reduce per-rank traffic: 2V(R-1)/R bytes. */
+double
+ringTraffic(int64_t volume_bytes, int ranks)
+{
+    if (ranks <= 1)
+        return 0.0;
+    return 2.0 * static_cast<double>(volume_bytes) * (ranks - 1) /
+           ranks;
+}
+
+} // namespace
+
+void
+allReduceAverage(const std::vector<Tensor *> &tensors)
+{
+    combine(tensors, true);
+}
+
+void
+allReduceSum(const std::vector<Tensor *> &tensors)
+{
+    combine(tensors, false);
+}
+
+bool
+stageSelectedForCompression(const DpCompressionConfig &config,
+                            int stage, int stages)
+{
+    OPTIMUS_ASSERT(stage >= 0 && stage < stages);
+    if (!config.enabled)
+        return false;
+    // Compress the earliest ceil(fraction * P) stages: they finish
+    // backward last, so their DP traffic sits on the critical path.
+    const int selected = static_cast<int>(
+        std::ceil(config.stageFraction * stages));
+    return stage < selected;
+}
+
+DataParallelReducer::DataParallelReducer(
+    const DpCompressionConfig &config, bool compress_stage,
+    int workers, uint64_t seed)
+    : config_(config), compressStage_(compress_stage),
+      workers_(workers), seed_(seed)
+{
+    OPTIMUS_ASSERT(workers >= 1);
+}
+
+bool
+DataParallelReducer::compressible(const Param &param)
+{
+    return param.value.rank() == 2 && param.value.rows() >= 2 &&
+           param.value.cols() >= 2;
+}
+
+ReduceVolume
+DataParallelReducer::reduce(
+    const std::vector<std::vector<ParamPtr>> &worker_params,
+    const std::vector<const Param *> &excluded)
+{
+    OPTIMUS_ASSERT(static_cast<int>(worker_params.size()) == workers_);
+    const size_t param_count = worker_params[0].size();
+    for (const auto &list : worker_params)
+        OPTIMUS_ASSERT(list.size() == param_count);
+
+    auto is_excluded = [&excluded](const Param *p) {
+        return std::find(excluded.begin(), excluded.end(), p) !=
+               excluded.end();
+    };
+
+    ReduceVolume volume;
+    for (size_t j = 0; j < param_count; ++j) {
+        if (is_excluded(worker_params[0][j].get()))
+            continue;
+        std::vector<Tensor *> grads;
+        grads.reserve(workers_);
+        for (int d = 0; d < workers_; ++d) {
+            OPTIMUS_ASSERT(worker_params[d][j]->size() ==
+                           worker_params[0][j]->size());
+            grads.push_back(&worker_params[d][j]->grad);
+        }
+        const int64_t exact =
+            static_cast<int64_t>(sizeof(float)) *
+            worker_params[0][j]->size();
+        volume.exactBytes += exact;
+
+        const bool compress =
+            compressStage_ && config_.enabled &&
+            compressible(*worker_params[0][j]);
+        if (!compress) {
+            allReduceAverage(grads);
+            volume.actualBytes += exact;
+            continue;
+        }
+
+        // Lazily build per-parameter compressed-reduce state.
+        auto it = dps_.find(j);
+        if (it == dps_.end()) {
+            CompressorSpec spec = config_.spec;
+            it = dps_.emplace(
+                        j, std::make_unique<DistributedPowerSgd>(
+                               workers_, spec.rank,
+                               seed_ + 0x1000 * (j + 1)))
+                     .first;
+            if (config_.errorFeedback) {
+                std::vector<Tensor> res;
+                res.reserve(workers_);
+                for (int d = 0; d < workers_; ++d)
+                    res.emplace_back(
+                        worker_params[0][j]->value.shape());
+                residuals_.emplace(j, std::move(res));
+            }
+        }
+
+        // Error-fed inputs M_d = grad_d + e_d.
+        std::vector<Tensor> fed(workers_);
+        std::vector<const Tensor *> inputs(workers_);
+        for (int d = 0; d < workers_; ++d) {
+            fed[d] = *grads[d];
+            if (config_.errorFeedback)
+                fed[d].add(residuals_[j][d]);
+            inputs[d] = &fed[d];
+        }
+
+        Tensor mean_approx;
+        volume.actualBytes += it->second->reduce(inputs, mean_approx);
+
+        for (int d = 0; d < workers_; ++d) {
+            if (config_.errorFeedback) {
+                residuals_[j][d] = fed[d];
+                residuals_[j][d].sub(mean_approx);
+            }
+            *grads[d] = mean_approx;
+        }
+    }
+    return volume;
+}
+
+std::vector<double>
+DataParallelReducer::residualNorms() const
+{
+    std::vector<double> norms(workers_, 0.0);
+    for (const auto &[j, res] : residuals_) {
+        for (int d = 0; d < workers_; ++d) {
+            const double n = res[d].norm();
+            norms[d] += n * n;
+        }
+    }
+    for (double &n : norms)
+        n = std::sqrt(n);
+    return norms;
+}
+
+void
+DataParallelReducer::reset()
+{
+    dps_.clear();
+    residuals_.clear();
+}
+
+int64_t
+DataParallelReducer::stateBytes() const
+{
+    int64_t total = 0;
+    for (const auto &[j, dps] : dps_)
+        total += dps->stateBytes();
+    for (const auto &[j, res] : residuals_) {
+        for (const Tensor &t : res)
+            total += static_cast<int64_t>(sizeof(float)) * t.size();
+    }
+    return total;
+}
+
+EmbSyncVolume
+EmbeddingSynchronizer::synchronize(
+    const std::vector<ParamPtr> &first_copies,
+    const std::vector<ParamPtr> &last_copies)
+{
+    OPTIMUS_ASSERT(!first_copies.empty());
+    OPTIMUS_ASSERT(first_copies.size() == last_copies.size());
+    const int workers = static_cast<int>(first_copies.size());
+
+    EmbSyncVolume volume;
+    volume.tableBytes = static_cast<int64_t>(sizeof(float)) *
+                        first_copies[0]->size();
+
+    // Pipeline depth 1: both lists alias the same Params; the tied
+    // gradient already contains both contributions, so only the
+    // D-way average is needed.
+    if (first_copies[0].get() == last_copies[0].get()) {
+        std::vector<Tensor *> grads;
+        for (const auto &p : first_copies)
+            grads.push_back(&p->grad);
+        allReduceAverage(grads);
+        volume.trafficBytes = ringTraffic(volume.tableBytes, workers);
+        return volume;
+    }
+
+    if (fused_) {
+        // One all-reduce over 2D copies computing sum/D: scale every
+        // copy by... the collective computes sum; we want sum/D, so
+        // divide afterwards (free: folded into the same op).
+        std::vector<Tensor *> grads;
+        for (const auto &p : first_copies)
+            grads.push_back(&p->grad);
+        for (const auto &p : last_copies)
+            grads.push_back(&p->grad);
+        allReduceSum(grads);
+        for (Tensor *g : grads)
+            g->scale(1.0f / static_cast<float>(workers));
+        volume.trafficBytes =
+            ringTraffic(volume.tableBytes, 2 * workers);
+        return volume;
+    }
+
+    // Baseline: D-way average within each stage group, then a 2-rank
+    // sum between the (representative) pair -- every worker of each
+    // group already holds the group average, so the pairwise sum is
+    // applied to all copies.
+    std::vector<Tensor *> first_grads, last_grads;
+    for (const auto &p : first_copies)
+        first_grads.push_back(&p->grad);
+    for (const auto &p : last_copies)
+        last_grads.push_back(&p->grad);
+    allReduceAverage(first_grads);
+    allReduceAverage(last_grads);
+    for (int d = 0; d < workers; ++d) {
+        std::vector<Tensor *> pair{first_grads[d], last_grads[d]};
+        allReduceSum(pair);
+    }
+    // Cost: the DP all-reduce over D ranks (counted once; it is the
+    // portion of DP traffic belonging to the embedding) plus the
+    // 2-rank sync, matching Eq 15.
+    volume.trafficBytes = ringTraffic(volume.tableBytes, workers) +
+                          ringTraffic(volume.tableBytes, 2);
+    return volume;
+}
+
+} // namespace optimus

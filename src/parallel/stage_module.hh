@@ -1,0 +1,88 @@
+/**
+ * @file
+ * One pipeline stage's slice of the miniature GPT. Stage 0 owns the
+ * input embedding; the last stage owns the final norm, the output
+ * head, and -- when there is more than one stage -- its *own copy*
+ * of the token embedding table (Megatron-style weight tying across
+ * pipeline stages), which is what makes embedding synchronization
+ * traffic exist in the first place.
+ */
+
+#ifndef OPTIMUS_PARALLEL_STAGE_MODULE_HH
+#define OPTIMUS_PARALLEL_STAGE_MODULE_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/gpt.hh"
+
+namespace optimus
+{
+
+/** The model slice executed by one (data-parallel, stage) replica. */
+class StageModule
+{
+  public:
+    /**
+     * Deterministically construct the slice for @p stage of
+     * @p num_stages. Blocks are assigned contiguously
+     * (config.layers must divide evenly by num_stages). Initial
+     * weights are bit-identical to the corresponding slice of a
+     * monolithic GptModel with the same config.
+     */
+    StageModule(const GptConfig &config, int stage, int num_stages);
+
+    /** Stage-0 entry: token lookup then this stage's blocks. */
+    Tensor forwardTokens(const std::vector<int32_t> &tokens,
+                         int64_t batch);
+
+    /** Non-first-stage entry: blocks (+ final norm & head if last). */
+    Tensor forwardHidden(const Tensor &h);
+
+    /**
+     * Backward through this stage's layers.
+     * @param dy Gradient of this stage's output (for the last
+     *        stage: gradient of the logits).
+     * @return gradient of this stage's input activations.
+     */
+    Tensor backwardHidden(const Tensor &dy);
+
+    /** Stage-0 epilogue: scatter gradients into the embedding. */
+    void backwardTokens(const Tensor &dx);
+
+    /** Unique trainable parameters of this slice. */
+    std::vector<ParamPtr> params() const;
+
+    /**
+     * The token-embedding table this stage holds, or nullptr: the
+     * lookup table on stage 0, the tied head table on the last
+     * stage (the same object when num_stages == 1).
+     */
+    ParamPtr embeddingTable() const;
+
+    /** Position table (stage 0 only, else nullptr). */
+    ParamPtr positionTable() const;
+
+    bool isFirst() const { return stage_ == 0; }
+    bool isLast() const { return stage_ == numStages_ - 1; }
+    int stage() const { return stage_; }
+
+    /** Hidden width (activation feature count at the boundary). */
+    int64_t hidden() const { return config_.hidden; }
+
+    /** Drop all stashed activations. */
+    void clearStash();
+
+  private:
+    GptConfig config_;
+    int stage_;
+    int numStages_;
+    std::unique_ptr<EmbeddingLayer> embedding_;   // first stage
+    std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+    std::unique_ptr<LayerNorm> finalNorm_;        // last stage
+    std::unique_ptr<OutputHead> head_;            // last stage
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_PARALLEL_STAGE_MODULE_HH

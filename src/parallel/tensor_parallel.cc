@@ -1,0 +1,209 @@
+#include "parallel/tensor_parallel.hh"
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+namespace
+{
+
+/** Copy columns [c0, c0+cols) of a 2D tensor. */
+Tensor
+sliceCols(const Tensor &src, int64_t c0, int64_t cols)
+{
+    const int64_t rows = src.rows();
+    const int64_t stride = src.cols();
+    Tensor out({rows, cols});
+    const float *sd = src.data();
+    float *od = out.data();
+    for (int64_t i = 0; i < rows; ++i) {
+        for (int64_t j = 0; j < cols; ++j)
+            od[i * cols + j] = sd[i * stride + c0 + j];
+    }
+    return out;
+}
+
+/** Write a block into columns [c0, ...) of a 2D tensor. */
+void
+placeCols(Tensor &dst, const Tensor &block, int64_t c0)
+{
+    const int64_t rows = block.rows();
+    const int64_t cols = block.cols();
+    const int64_t stride = dst.cols();
+    float *dd = dst.data();
+    const float *bd = block.data();
+    for (int64_t i = 0; i < rows; ++i) {
+        for (int64_t j = 0; j < cols; ++j)
+            dd[i * stride + c0 + j] = bd[i * cols + j];
+    }
+}
+
+/** Copy elements [b0, b0+count) of a 1D tensor. */
+Tensor
+slice1d(const Tensor &src, int64_t b0, int64_t count)
+{
+    Tensor out({count});
+    for (int64_t i = 0; i < count; ++i)
+        out[i] = src[b0 + i];
+    return out;
+}
+
+} // namespace
+
+ColumnParallelLinear::ColumnParallelLinear(const Linear &full, int ways)
+    : in_(full.inFeatures()), outPerShard_(full.outFeatures() / ways)
+{
+    OPTIMUS_ASSERT(ways >= 1);
+    OPTIMUS_ASSERT(full.outFeatures() % ways == 0);
+    const Tensor &w = full.weight()->value;
+    const Tensor &b = full.bias()->value;
+    for (int t = 0; t < ways; ++t) {
+        auto weight = std::make_shared<Param>(
+            full.weight()->name + ".col" + std::to_string(t),
+            sliceCols(w, t * outPerShard_, outPerShard_));
+        auto bias = std::make_shared<Param>(
+            full.bias()->name + ".col" + std::to_string(t),
+            slice1d(b, t * outPerShard_, outPerShard_));
+        shards_.push_back(std::make_unique<Linear>(
+            std::move(weight), std::move(bias)));
+    }
+}
+
+Tensor
+ColumnParallelLinear::forward(const Tensor &x)
+{
+    Tensor y({x.rows(), outPerShard_ * ways()});
+    for (int t = 0; t < ways(); ++t) {
+        Tensor part = shards_[t]->forward(x);
+        placeCols(y, part, t * outPerShard_);
+    }
+    return y;
+}
+
+Tensor
+ColumnParallelLinear::backward(const Tensor &dy)
+{
+    OPTIMUS_ASSERT(dy.cols() == outPerShard_ * ways());
+    Tensor dx({dy.rows(), in_});
+    for (int t = 0; t < ways(); ++t) {
+        Tensor dpart = sliceCols(dy, t * outPerShard_, outPerShard_);
+        Tensor dxt = shards_[t]->backward(dpart);
+        dx.add(dxt); // backward all-reduce across shards
+    }
+    return dx;
+}
+
+Tensor
+ColumnParallelLinear::gatherWeightGrad() const
+{
+    Tensor full({in_, outPerShard_ * ways()});
+    for (int t = 0; t < ways(); ++t)
+        placeCols(full, shards_[t]->weight()->grad, t * outPerShard_);
+    return full;
+}
+
+Tensor
+ColumnParallelLinear::gatherBiasGrad() const
+{
+    Tensor full({outPerShard_ * ways()});
+    for (int t = 0; t < ways(); ++t) {
+        const Tensor &g = shards_[t]->bias()->grad;
+        for (int64_t j = 0; j < outPerShard_; ++j)
+            full[t * outPerShard_ + j] = g[j];
+    }
+    return full;
+}
+
+RowParallelLinear::RowParallelLinear(const Linear &full, int ways)
+    : inPerShard_(full.inFeatures() / ways), out_(full.outFeatures()),
+      bias_(std::make_shared<Param>(full.bias()->name + ".row",
+                                    full.bias()->value))
+{
+    OPTIMUS_ASSERT(ways >= 1);
+    OPTIMUS_ASSERT(full.inFeatures() % ways == 0);
+    const Tensor wt = full.weight()->value.transposed(); // [out x in]
+    for (int t = 0; t < ways; ++t) {
+        // Shard rows of W == columns of W^T.
+        Tensor shard_w({inPerShard_, out_});
+        const float *src = full.weight()->value.data();
+        float *dst = shard_w.data();
+        for (int64_t i = 0; i < inPerShard_; ++i) {
+            for (int64_t j = 0; j < out_; ++j)
+                dst[i * out_ + j] =
+                    src[(t * inPerShard_ + i) * out_ + j];
+        }
+        auto weight = std::make_shared<Param>(
+            full.weight()->name + ".row" + std::to_string(t),
+            std::move(shard_w));
+        auto bias = std::make_shared<Param>(
+            full.bias()->name + ".zero" + std::to_string(t),
+            Tensor::zeros(out_));
+        shards_.push_back(std::make_unique<Linear>(
+            std::move(weight), std::move(bias)));
+    }
+}
+
+Tensor
+RowParallelLinear::forward(const Tensor &x)
+{
+    OPTIMUS_ASSERT(x.cols() == inPerShard_ * ways());
+    lastRows_ = x.rows();
+    Tensor y({x.rows(), out_});
+    for (int t = 0; t < ways(); ++t) {
+        Tensor xt = sliceCols(x, t * inPerShard_, inPerShard_);
+        Tensor part = shards_[t]->forward(xt);
+        y.add(part); // forward all-reduce across shards
+    }
+    // Bias applied once, after the reduction.
+    const float *b = bias_->value.data();
+    float *yd = y.data();
+    for (int64_t i = 0; i < y.rows(); ++i) {
+        for (int64_t j = 0; j < out_; ++j)
+            yd[i * out_ + j] += b[j];
+    }
+    return y;
+}
+
+Tensor
+RowParallelLinear::backward(const Tensor &dy)
+{
+    OPTIMUS_ASSERT(dy.cols() == out_ && dy.rows() == lastRows_);
+    // Bias gradient (owned once).
+    float *db = bias_->grad.data();
+    const float *dyd = dy.data();
+    for (int64_t i = 0; i < dy.rows(); ++i) {
+        for (int64_t j = 0; j < out_; ++j)
+            db[j] += dyd[i * out_ + j];
+    }
+    Tensor dx({dy.rows(), inPerShard_ * ways()});
+    for (int t = 0; t < ways(); ++t) {
+        Tensor dxt = shards_[t]->backward(dy);
+        placeCols(dx, dxt, t * inPerShard_);
+    }
+    return dx;
+}
+
+Tensor
+RowParallelLinear::gatherWeightGrad() const
+{
+    Tensor full({inPerShard_ * ways(), out_});
+    float *dst = full.data();
+    for (int t = 0; t < ways(); ++t) {
+        const float *src = shards_[t]->weight()->grad.data();
+        for (int64_t i = 0; i < inPerShard_; ++i) {
+            for (int64_t j = 0; j < out_; ++j)
+                dst[(t * inPerShard_ + i) * out_ + j] =
+                    src[i * out_ + j];
+        }
+    }
+    return full;
+}
+
+Tensor
+RowParallelLinear::biasGrad() const
+{
+    return bias_->grad;
+}
+
+} // namespace optimus

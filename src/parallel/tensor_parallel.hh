@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Megatron-style tensor parallelism for Linear layers. The paper
+ * leaves tensor-parallel traffic uncompressed because it rides
+ * intra-node NVLink and is mathematically exact; these classes
+ * demonstrate (and the tests verify) that exactness: a column/row-
+ * parallel pair of shards reproduces the serial layer bit-for-bit
+ * up to float summation order.
+ *
+ * ColumnParallelLinear splits W [in x out] by output columns; each
+ * shard computes its slice of Y and the slices concatenate (the
+ * all-gather happens in forward, the all-reduce of dX in backward).
+ * RowParallelLinear splits W by input rows; each shard consumes a
+ * slice of X and partial outputs are summed (the all-reduce happens
+ * in forward).
+ */
+
+#ifndef OPTIMUS_PARALLEL_TENSOR_PARALLEL_HH
+#define OPTIMUS_PARALLEL_TENSOR_PARALLEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.hh"
+
+namespace optimus
+{
+
+/** Column-sharded Linear across T tensor-parallel ranks. */
+class ColumnParallelLinear
+{
+  public:
+    /**
+     * Shard an existing full layer's parameters column-wise.
+     * @param full Reference layer to split (copied, not aliased).
+     * @param ways Tensor-parallel width T (must divide out).
+     */
+    ColumnParallelLinear(const Linear &full, int ways);
+
+    /** Forward: per-shard matmuls + concatenation (all-gather). */
+    Tensor forward(const Tensor &x);
+
+    /**
+     * Backward: shard dY by columns, per-shard backward, sum the
+     * per-shard dX (the backward all-reduce).
+     */
+    Tensor backward(const Tensor &dy);
+
+    /**
+     * Reassemble the full weight gradient [in x out] from shard
+     * gradients (tests compare it with the serial layer's).
+     */
+    Tensor gatherWeightGrad() const;
+
+    /** Reassemble the full bias gradient. */
+    Tensor gatherBiasGrad() const;
+
+    int ways() const { return static_cast<int>(shards_.size()); }
+
+  private:
+    std::vector<std::unique_ptr<Linear>> shards_;
+    int64_t in_;
+    int64_t outPerShard_;
+};
+
+/** Row-sharded Linear across T tensor-parallel ranks. */
+class RowParallelLinear
+{
+  public:
+    /**
+     * Shard an existing full layer's parameters row-wise. The bias
+     * is applied once after the reduction (held by shard 0).
+     * @param full Reference layer to split.
+     * @param ways Tensor-parallel width T (must divide in).
+     */
+    RowParallelLinear(const Linear &full, int ways);
+
+    /** Forward: per-shard partial products, summed (all-reduce). */
+    Tensor forward(const Tensor &x);
+
+    /** Backward: per-shard dX slices concatenated. */
+    Tensor backward(const Tensor &dy);
+
+    /** Reassemble the full weight gradient [in x out]. */
+    Tensor gatherWeightGrad() const;
+
+    /** Bias gradient (shard 0 owns the bias). */
+    Tensor biasGrad() const;
+
+    int ways() const { return static_cast<int>(shards_.size()); }
+
+  private:
+    std::vector<std::unique_ptr<Linear>> shards_;
+    std::vector<Tensor> inputSlices_;
+    int64_t inPerShard_;
+    int64_t out_;
+    ParamPtr bias_;
+    int64_t lastRows_ = 0;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_PARALLEL_TENSOR_PARALLEL_HH

@@ -1,0 +1,312 @@
+#include "parallel/trainer3d.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+/** Forward-only view of replica 0 used for validation/zero-shot. */
+class Trainer3d::ReplicaScorer : public LmScorer
+{
+  public:
+    explicit ReplicaScorer(Trainer3d &trainer) : trainer_(trainer) {}
+
+    Tensor
+    scoreLogits(const std::vector<int32_t> &tokens,
+                int64_t batch) override
+    {
+        const int p = trainer_.config_.pipelineStages;
+        Tensor h = trainer_.stage(0, 0).forwardTokens(tokens, batch);
+        for (int s = 1; s < p; ++s)
+            h = trainer_.stage(0, s).forwardHidden(h);
+        for (int s = 0; s < p; ++s)
+            trainer_.stage(0, s).clearStash();
+        return h;
+    }
+
+    int64_t seqLen() const override
+    {
+        return trainer_.config_.model.seqLen;
+    }
+
+    int64_t vocab() const override
+    {
+        return trainer_.config_.model.vocab;
+    }
+
+  private:
+    Trainer3d &trainer_;
+};
+
+Trainer3d::Trainer3d(const Trainer3dConfig &config)
+    : config_(config), embSync_(config.fusedEmbeddingSync)
+{
+    const int d_ways = config.dataParallel;
+    const int p_ways = config.pipelineStages;
+    OPTIMUS_ASSERT(d_ways >= 1 && p_ways >= 1);
+    OPTIMUS_ASSERT(config.microBatches >= 1);
+
+    stages_.resize(d_ways);
+    channels_.resize(d_ways);
+    optimizers_.resize(d_ways);
+    losses_.resize(d_ways);
+    for (int d = 0; d < d_ways; ++d) {
+        for (int p = 0; p < p_ways; ++p) {
+            stages_[d].push_back(std::make_unique<StageModule>(
+                config.model, p, p_ways));
+            auto params = stages_[d].back()->params();
+            if (config.useAdam) {
+                optimizers_[d].push_back(
+                    std::make_unique<AdamOptimizer>(
+                        std::move(params), config.learningRate));
+            } else {
+                optimizers_[d].push_back(
+                    std::make_unique<SgdOptimizer>(
+                        std::move(params), config.learningRate,
+                        config.momentum));
+            }
+        }
+        for (int s = 1; s < p_ways; ++s) {
+            // Identical compressor seed across replicas: replicas
+            // must behave identically given identical data order
+            // seeds are per-channel, not per-replica-random.
+            channels_[d].push_back(std::make_unique<BackwardChannel>(
+                config.cb, p_ways, s,
+                config.seed + 17 * s));
+            channels_[d].back()->enableInstrumentation(
+                config.instrumentChannels);
+        }
+    }
+
+    reducers_.reserve(p_ways);
+    for (int p = 0; p < p_ways; ++p) {
+        reducers_.push_back(std::make_unique<DataParallelReducer>(
+            config.dp,
+            stageSelectedForCompression(config.dp, p, p_ways),
+            d_ways, config.seed + 31 * (p + 1)));
+    }
+
+    scorer_ = std::make_unique<ReplicaScorer>(*this);
+}
+
+Trainer3d::~Trainer3d() = default;
+
+LmScorer &
+Trainer3d::scorer()
+{
+    return *scorer_;
+}
+
+StageModule &
+Trainer3d::stage(int d, int p)
+{
+    OPTIMUS_ASSERT(d >= 0 && d < static_cast<int>(stages_.size()));
+    OPTIMUS_ASSERT(p >= 0 && p < static_cast<int>(stages_[d].size()));
+    return *stages_[d][p];
+}
+
+const StageModule &
+Trainer3d::stage(int d, int p) const
+{
+    return *stages_[d][p];
+}
+
+BackwardChannel &
+Trainer3d::channel(int d, int s)
+{
+    OPTIMUS_ASSERT(s >= 1 && s < config_.pipelineStages);
+    return *channels_[d][s - 1];
+}
+
+IterationStats
+Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
+{
+    const int d_ways = config_.dataParallel;
+    const int p_ways = config_.pipelineStages;
+    const int m_count = config_.microBatches;
+    const int64_t mb_rows = config_.microBatchSize;
+
+    IterationStats stats;
+    double loss_sum = 0.0;
+
+    // Channel byte counters are cumulative; snapshot them so the
+    // returned stats cover this iteration only.
+    int64_t base_sent = 0, base_exact = 0;
+    for (int d = 0; d < d_ways; ++d) {
+        for (int s = 1; s < p_ways; ++s) {
+            base_sent += channels_[d][s - 1]->bytesSent();
+            base_exact += channels_[d][s - 1]->bytesUncompressed();
+        }
+    }
+
+    // Sample the global mini-batch: D * M micro-batches, assigned
+    // round-robin-free (contiguous shards) to replicas.
+    std::vector<LmBatch> micro_batches;
+    micro_batches.reserve(d_ways * m_count);
+    for (int i = 0; i < d_ways * m_count; ++i)
+        micro_batches.push_back(data.sampleBatch(mb_rows, rng));
+
+    for (int d = 0; d < d_ways; ++d) {
+        // Forward all micro-batches in order (message order per
+        // channel is micro-batch order, identical to 1F1B).
+        for (int m = 0; m < m_count; ++m) {
+            const LmBatch &mb = micro_batches[d * m_count + m];
+            Tensor h = stages_[d][0]->forwardTokens(mb.tokens,
+                                                    mb.batch);
+            for (int p = 1; p < p_ways; ++p) {
+                channels_[d][p - 1]->observeForward(h, m);
+                h = stages_[d][p]->forwardHidden(h);
+            }
+            loss_sum += losses_[d].forward(h, mb.targets);
+        }
+        // Backward all micro-batches in order.
+        for (int m = 0; m < m_count; ++m) {
+            Tensor g = losses_[d].backward();
+            for (int p = p_ways - 1; p >= 1; --p) {
+                g = stages_[d][p]->backwardHidden(g);
+                g = channels_[d][p - 1]->send(g, m, m_count);
+            }
+            g = stages_[d][0]->backwardHidden(g);
+            stages_[d][0]->backwardTokens(g);
+        }
+    }
+
+    // Average gradients over micro-batches.
+    const float inv_m = 1.0f / static_cast<float>(m_count);
+    for (int d = 0; d < d_ways; ++d) {
+        for (int p = 0; p < p_ways; ++p)
+            optimizers_[d][p]->scaleGrad(inv_m);
+    }
+
+    // Data-parallel gradient all-reduce, excluding the tied
+    // embedding tables (the synchronizer owns those).
+    std::vector<const Param *> excluded;
+    for (int d = 0; d < d_ways; ++d) {
+        if (auto table = stages_[d][0]->embeddingTable())
+            excluded.push_back(table.get());
+        if (auto table = stages_[d][p_ways - 1]->embeddingTable())
+            excluded.push_back(table.get());
+    }
+    for (int p = 0; p < p_ways; ++p) {
+        std::vector<std::vector<ParamPtr>> worker_params;
+        worker_params.reserve(d_ways);
+        for (int d = 0; d < d_ways; ++d)
+            worker_params.push_back(stages_[d][p]->params());
+        stats.dpVolume += reducers_[p]->reduce(worker_params,
+                                               excluded);
+    }
+
+    // Embedding synchronization (baseline or fused).
+    std::vector<ParamPtr> first_copies, last_copies;
+    for (int d = 0; d < d_ways; ++d) {
+        first_copies.push_back(stages_[d][0]->embeddingTable());
+        last_copies.push_back(
+            stages_[d][p_ways - 1]->embeddingTable());
+    }
+    stats.embVolume = embSync_.synchronize(first_copies, last_copies);
+
+    // Optimizer update; replicas update identically because their
+    // gradients are now identical.
+    if (config_.applyUpdates) {
+        for (int d = 0; d < d_ways; ++d) {
+            for (int p = 0; p < p_ways; ++p) {
+                optimizers_[d][p]->step();
+                optimizers_[d][p]->zeroGrad();
+            }
+        }
+    }
+
+    for (int d = 0; d < d_ways; ++d) {
+        for (int s = 1; s < p_ways; ++s) {
+            stats.interStageBytes +=
+                channels_[d][s - 1]->bytesSent();
+            stats.interStageBytesExact +=
+                channels_[d][s - 1]->bytesUncompressed();
+        }
+    }
+    stats.interStageBytes -= base_sent;
+    stats.interStageBytesExact -= base_exact;
+
+    ++iterations_;
+    stats.loss = loss_sum / static_cast<double>(d_ways * m_count);
+    return stats;
+}
+
+double
+Trainer3d::validatePerplexity(const LmDataset &val)
+{
+    const auto batches = val.evalBatches(8);
+    OPTIMUS_ASSERT(!batches.empty());
+    double nll_sum = 0.0;
+    for (const auto &b : batches) {
+        Tensor logits = scorer_->scoreLogits(b.tokens, b.batch);
+        nll_sum += SoftmaxCrossEntropy::evaluate(logits, b.targets);
+    }
+    return SoftmaxCrossEntropy::perplexity(
+        nll_sum / static_cast<double>(batches.size()));
+}
+
+float
+Trainer3d::replicaDivergence() const
+{
+    float worst = 0.0f;
+    const int d_ways = config_.dataParallel;
+    for (int p = 0; p < config_.pipelineStages; ++p) {
+        const auto reference = stages_[0][p]->params();
+        for (int d = 1; d < d_ways; ++d) {
+            const auto other = stages_[d][p]->params();
+            OPTIMUS_ASSERT(other.size() == reference.size());
+            for (size_t j = 0; j < reference.size(); ++j) {
+                const Tensor &a = reference[j]->value;
+                const Tensor &b = other[j]->value;
+                OPTIMUS_ASSERT(a.size() == b.size());
+                for (int64_t i = 0; i < a.size(); ++i) {
+                    const float diff = std::fabs(a[i] - b[i]);
+                    if (diff > worst)
+                        worst = diff;
+                }
+            }
+        }
+    }
+    return worst;
+}
+
+int64_t
+Trainer3d::lepBufferBytes() const
+{
+    int64_t total = 0;
+    for (const auto &replica : channels_) {
+        for (const auto &ch : replica)
+            total += ch->errorBufferBytes();
+    }
+    return total;
+}
+
+int64_t
+Trainer3d::compressorStateBytes() const
+{
+    int64_t total = 0;
+    for (const auto &replica : channels_) {
+        for (const auto &ch : replica)
+            total += ch->compressorStateBytes();
+    }
+    for (const auto &reducer : reducers_)
+        total += reducer->stateBytes();
+    return total;
+}
+
+int64_t
+Trainer3d::parameterBytes() const
+{
+    int64_t total = 0;
+    for (int p = 0; p < config_.pipelineStages; ++p) {
+        for (const auto &param : stages_[0][p]->params())
+            total += static_cast<int64_t>(sizeof(float)) *
+                     param->size();
+    }
+    return total;
+}
+
+} // namespace optimus

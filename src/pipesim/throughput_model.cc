@@ -1,0 +1,38 @@
+#include "pipesim/throughput_model.hh"
+
+namespace optimus
+{
+
+double
+CompressionKernelModel::compressTime(double m, double n, int rank)
+    const
+{
+    const double gemm_flops = 4.0 * m * n * rank;
+    const double ortho_flops = 2.0 * m * rank * rank;
+    return setupTime + gemm_flops / gemmRate +
+           ortho_flops / orthoRate;
+}
+
+double
+CompressionKernelModel::decompressTime(double m, double n,
+                                       int rank) const
+{
+    return setupTime / 4.0 +
+           2.0 * m * n * rank / decompressGemmRate;
+}
+
+double
+CompressionKernelModel::compressThroughput(double m, double n,
+                                           int rank) const
+{
+    return 2.0 * m * n / compressTime(m, n, rank);
+}
+
+double
+CompressionKernelModel::decompressThroughput(double m, double n,
+                                             int rank) const
+{
+    return 2.0 * m * n / decompressTime(m, n, rank);
+}
+
+} // namespace optimus

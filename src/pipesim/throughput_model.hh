@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Analytic model of PowerSGD compression/decompression kernel cost
+ * on a GPU, reproducing the Fig 15 trends: compression throughput
+ * grows with message size (setup amortizes) and *falls* with rank
+ * (the orthogonalization phase, ~80% of the cost, scales with
+ * m * r^2 at a poor achieved rate because it launches one small
+ * kernel per column); decompression is a single dense GEMM and runs
+ * orders of magnitude faster.
+ */
+
+#ifndef OPTIMUS_PIPESIM_THROUGHPUT_MODEL_HH
+#define OPTIMUS_PIPESIM_THROUGHPUT_MODEL_HH
+
+#include <cstdint>
+
+namespace optimus
+{
+
+/** Calibrated kernel-cost constants for an A100-class GPU. */
+struct CompressionKernelModel
+{
+    /** Fixed launch/setup overhead per compression call. */
+    double setupTime = 20e-6;
+    /** Achieved FLOPs of the two skinny GEMMs (P = MQ, Q = M^T P)
+     *  inside compression (far below peak: tall, narrow shapes). */
+    double gemmRate = 25e12;
+    /**
+     * Achieved FLOPs of Gram-Schmidt orthogonalization: one small
+     * kernel per column makes this latency- not compute-bound.
+     */
+    double orthoRate = 8e9;
+    /** Achieved FLOPs of the single large decompression GEMM
+     *  (P_hat * Q^T runs near tensor-core peak). */
+    double decompressGemmRate = 120e12;
+
+    /**
+     * Compression time of an [m x n] message at rank r:
+     * setup + two GEMMs (4 m n r flops) + orthogonalization
+     * (2 m r^2 flops at the poor rate).
+     */
+    double compressTime(double m, double n, int rank) const;
+
+    /** Decompression: one GEMM, P_hat * Q^T (2 m n r flops). */
+    double decompressTime(double m, double n, int rank) const;
+
+    /**
+     * Compression throughput in input bytes/second (fp16 input,
+     * matching the paper's Gbps axis).
+     */
+    double compressThroughput(double m, double n, int rank) const;
+
+    /** Decompression throughput in output bytes/second. */
+    double decompressThroughput(double m, double n, int rank) const;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_PIPESIM_THROUGHPUT_MODEL_HH

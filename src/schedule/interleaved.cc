@@ -1,0 +1,158 @@
+#include "schedule/interleaved.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+namespace
+{
+
+/** Decode a rank-local virtual micro-batch id into (chunk, mb). */
+void
+decodeVirtualId(int vid, int ranks, int chunks, bool forward,
+                int &chunk, int &micro_batch)
+{
+    const int group = ranks * chunks;
+    const int in_group = vid % group;
+    chunk = in_group / ranks;
+    if (!forward)
+        chunk = chunks - 1 - chunk;
+    micro_batch = ranks * (vid / group) + vid % ranks;
+}
+
+} // namespace
+
+InterleavedSchedule::InterleavedSchedule(int ranks, int chunks,
+                                         int micro_batches)
+    : ranks_(ranks), chunks_(chunks), microBatches_(micro_batches),
+      perRank_(ranks)
+{
+    OPTIMUS_ASSERT(ranks >= 1);
+    OPTIMUS_ASSERT(chunks >= 1);
+    OPTIMUS_ASSERT(micro_batches >= 1);
+    OPTIMUS_ASSERT(micro_batches % ranks == 0);
+}
+
+InterleavedSchedule
+InterleavedSchedule::build(int ranks, int chunks, int micro_batches)
+{
+    InterleavedSchedule sched(ranks, chunks, micro_batches);
+    const int total = micro_batches * chunks;
+    for (int r = 0; r < ranks; ++r) {
+        auto &ops = sched.perRank_[r];
+        // Megatron warm-up depth: deeper for earlier ranks, plus a
+        // full round per extra chunk.
+        const int warmup = std::min(
+            (ranks - r - 1) * 2 + (chunks - 1) * ranks, total);
+
+        int chunk, mb;
+        for (int vid = 0; vid < warmup; ++vid) {
+            decodeVirtualId(vid, ranks, chunks, true, chunk, mb);
+            ops.push_back({PipeOpKind::Forward, r, chunk, mb});
+        }
+        // Steady 1F1B on virtual micro-batches.
+        for (int i = 0; i + warmup < total; ++i) {
+            decodeVirtualId(warmup + i, ranks, chunks, true, chunk,
+                            mb);
+            ops.push_back({PipeOpKind::Forward, r, chunk, mb});
+            decodeVirtualId(i, ranks, chunks, false, chunk, mb);
+            ops.push_back({PipeOpKind::Backward, r, chunk, mb});
+        }
+        // Cool-down backwards.
+        for (int vid = std::max(0, total - warmup); vid < total;
+             ++vid) {
+            decodeVirtualId(vid, ranks, chunks, false, chunk, mb);
+            ops.push_back({PipeOpKind::Backward, r, chunk, mb});
+        }
+    }
+    return sched;
+}
+
+const std::vector<VPipeOp> &
+InterleavedSchedule::rankOps(int rank) const
+{
+    OPTIMUS_ASSERT(rank >= 0 && rank < ranks_);
+    return perRank_[rank];
+}
+
+int64_t
+InterleavedSchedule::opCount() const
+{
+    return static_cast<int64_t>(2) * ranks_ * chunks_ *
+           microBatches_;
+}
+
+namespace
+{
+
+std::vector<VPipeOp>
+tryGlobalOrder(const InterleavedSchedule &sched)
+{
+    const int p = sched.ranks();
+    const int k_total = sched.virtualStages();
+    const int m = sched.microBatches();
+    std::vector<size_t> cursor(p, 0);
+    std::vector<std::vector<bool>> fwd_done(
+        k_total, std::vector<bool>(m, false));
+    std::vector<std::vector<bool>> bwd_done(
+        k_total, std::vector<bool>(m, false));
+
+    std::vector<VPipeOp> order;
+    order.reserve(sched.opCount());
+    bool progressed = true;
+    while (progressed &&
+           static_cast<int64_t>(order.size()) < sched.opCount()) {
+        progressed = false;
+        for (int r = 0; r < p; ++r) {
+            const auto &ops = sched.rankOps(r);
+            if (cursor[r] >= ops.size())
+                continue;
+            const VPipeOp &op = ops[cursor[r]];
+            const int k = op.virtualStage(p);
+            bool ready;
+            if (op.kind == PipeOpKind::Forward) {
+                ready = k == 0 || fwd_done[k - 1][op.microBatch];
+            } else {
+                ready = fwd_done[k][op.microBatch] &&
+                        (k == k_total - 1 ||
+                         bwd_done[k + 1][op.microBatch]);
+            }
+            if (!ready)
+                continue;
+            if (op.kind == PipeOpKind::Forward)
+                fwd_done[k][op.microBatch] = true;
+            else
+                bwd_done[k][op.microBatch] = true;
+            order.push_back(op);
+            ++cursor[r];
+            progressed = true;
+        }
+    }
+    if (static_cast<int64_t>(order.size()) != sched.opCount())
+        return {};
+    return order;
+}
+
+} // namespace
+
+bool
+InterleavedSchedule::validate() const
+{
+    return !tryGlobalOrder(*this).empty();
+}
+
+std::vector<VPipeOp>
+InterleavedSchedule::globalOrder() const
+{
+    auto order = tryGlobalOrder(*this);
+    if (order.empty())
+        panic("interleaved schedule deadlocks "
+              "(ranks=%d, chunks=%d, microBatches=%d)",
+              ranks_, chunks_, microBatches_);
+    return order;
+}
+
+} // namespace optimus

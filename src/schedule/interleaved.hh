@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Megatron-LM interleaved 1F1B scheduling (Narayanan et al., SC'21),
+ * which the paper's implementation uses to shrink pipeline bubbles
+ * (Section 8). Each of the P ranks hosts `chunks` non-contiguous
+ * model chunks (virtual stages); virtual stage k = chunk * P + rank
+ * runs on rank k mod P, so the warm-up bubble shrinks by roughly the
+ * chunk count.
+ *
+ * The numerics engine does not need this schedule (message order per
+ * channel is micro-batch order under both schedules, and training
+ * math is schedule-invariant); it exists for the performance model.
+ */
+
+#ifndef OPTIMUS_SCHEDULE_INTERLEAVED_HH
+#define OPTIMUS_SCHEDULE_INTERLEAVED_HH
+
+#include <vector>
+
+#include "schedule/schedule.hh"
+
+namespace optimus
+{
+
+/** One op on one rank: a chunk's forward/backward of a micro-batch. */
+struct VPipeOp
+{
+    PipeOpKind kind;
+    int rank;
+    int chunk;
+    int microBatch;
+
+    /** Global virtual-stage index (chunk * P + rank). */
+    int virtualStage(int ranks) const { return chunk * ranks + rank; }
+
+    bool operator==(const VPipeOp &other) const = default;
+};
+
+/** The interleaved 1F1B schedule for a (P, v, M) configuration. */
+class InterleavedSchedule
+{
+  public:
+    /**
+     * Build the Megatron interleaved schedule.
+     * @param ranks Pipeline ranks P.
+     * @param chunks Model chunks per rank v (>= 1; 1 degenerates to
+     *        plain 1F1B over P stages).
+     * @param micro_batches Micro-batches M (must divide by P for
+     *        the interleaved pattern, as in Megatron).
+     */
+    static InterleavedSchedule build(int ranks, int chunks,
+                                     int micro_batches);
+
+    int ranks() const { return ranks_; }
+    int chunks() const { return chunks_; }
+    int microBatches() const { return microBatches_; }
+
+    /** Total virtual stages K = P * v. */
+    int virtualStages() const { return ranks_ * chunks_; }
+
+    /** Execution order for one rank. */
+    const std::vector<VPipeOp> &rankOps(int rank) const;
+
+    /**
+     * Dependency feasibility: Forward(k, m) after Forward(k-1, m),
+     * Backward(k, m) after Backward(k+1, m) and Forward(k, m),
+     * per-rank program order respected.
+     */
+    bool validate() const;
+
+    /** A valid global execution order (panics on deadlock). */
+    std::vector<VPipeOp> globalOrder() const;
+
+    int64_t opCount() const;
+
+  private:
+    InterleavedSchedule(int ranks, int chunks, int micro_batches);
+
+    int ranks_;
+    int chunks_;
+    int microBatches_;
+    std::vector<std::vector<VPipeOp>> perRank_;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_SCHEDULE_INTERLEAVED_HH

@@ -1,0 +1,188 @@
+#include "schedule/schedule.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+PipelineSchedule::PipelineSchedule(int stages, int micro_batches)
+    : stages_(stages), microBatches_(micro_batches),
+      perStage_(stages)
+{
+    OPTIMUS_ASSERT(stages >= 1);
+    OPTIMUS_ASSERT(micro_batches >= 1);
+}
+
+PipelineSchedule
+PipelineSchedule::oneFOneB(int stages, int micro_batches)
+{
+    PipelineSchedule sched(stages, micro_batches);
+    for (int s = 0; s < stages; ++s) {
+        auto &ops = sched.perStage_[s];
+        const int warmup = warmupDepth(stages, micro_batches, s);
+        int next_fwd = 0;
+        int next_bwd = 0;
+        for (int i = 0; i < warmup; ++i)
+            ops.push_back({PipeOpKind::Forward, s, next_fwd++});
+        // Steady state: alternate F then B while forwards remain.
+        while (next_fwd < micro_batches) {
+            ops.push_back({PipeOpKind::Forward, s, next_fwd++});
+            ops.push_back({PipeOpKind::Backward, s, next_bwd++});
+        }
+        // Cool-down: remaining backwards.
+        while (next_bwd < micro_batches)
+            ops.push_back({PipeOpKind::Backward, s, next_bwd++});
+    }
+    return sched;
+}
+
+PipelineSchedule
+PipelineSchedule::gpipe(int stages, int micro_batches)
+{
+    PipelineSchedule sched(stages, micro_batches);
+    for (int s = 0; s < stages; ++s) {
+        auto &ops = sched.perStage_[s];
+        for (int m = 0; m < micro_batches; ++m)
+            ops.push_back({PipeOpKind::Forward, s, m});
+        for (int m = 0; m < micro_batches; ++m)
+            ops.push_back({PipeOpKind::Backward, s, m});
+    }
+    return sched;
+}
+
+PipelineSchedule
+PipelineSchedule::make(ScheduleKind kind, int stages, int micro_batches)
+{
+    switch (kind) {
+      case ScheduleKind::OneFOneB:
+        return oneFOneB(stages, micro_batches);
+      case ScheduleKind::GPipe:
+        return gpipe(stages, micro_batches);
+    }
+    panic("unknown schedule kind %d", static_cast<int>(kind));
+}
+
+const std::vector<PipeOp> &
+PipelineSchedule::stageOps(int stage) const
+{
+    OPTIMUS_ASSERT(stage >= 0 && stage < stages_);
+    return perStage_[stage];
+}
+
+int64_t
+PipelineSchedule::opCount() const
+{
+    return static_cast<int64_t>(2) * stages_ * microBatches_;
+}
+
+namespace
+{
+
+/**
+ * Greedy list scheduling: repeatedly issue the next op of any stage
+ * whose dependencies are satisfied. Returns empty on deadlock.
+ */
+std::vector<PipeOp>
+tryGlobalOrder(const PipelineSchedule &sched)
+{
+    const int p = sched.stages();
+    const int m = sched.microBatches();
+    std::vector<size_t> cursor(p, 0);
+    // fwdDone[s][mb] / bwdDone[s][mb]
+    std::vector<std::vector<bool>> fwd_done(
+        p, std::vector<bool>(m, false));
+    std::vector<std::vector<bool>> bwd_done(
+        p, std::vector<bool>(m, false));
+
+    std::vector<PipeOp> order;
+    order.reserve(sched.opCount());
+    bool progressed = true;
+    while (progressed &&
+           static_cast<int64_t>(order.size()) < sched.opCount()) {
+        progressed = false;
+        for (int s = 0; s < p; ++s) {
+            const auto &ops = sched.stageOps(s);
+            if (cursor[s] >= ops.size())
+                continue;
+            const PipeOp &op = ops[cursor[s]];
+            bool ready;
+            if (op.kind == PipeOpKind::Forward) {
+                ready = s == 0 || fwd_done[s - 1][op.microBatch];
+            } else {
+                ready = fwd_done[s][op.microBatch] &&
+                        (s == p - 1 || bwd_done[s + 1][op.microBatch]);
+            }
+            if (!ready)
+                continue;
+            if (op.kind == PipeOpKind::Forward)
+                fwd_done[s][op.microBatch] = true;
+            else
+                bwd_done[s][op.microBatch] = true;
+            order.push_back(op);
+            ++cursor[s];
+            progressed = true;
+        }
+    }
+    if (static_cast<int64_t>(order.size()) != sched.opCount())
+        return {};
+    return order;
+}
+
+} // namespace
+
+bool
+PipelineSchedule::validate() const
+{
+    return !tryGlobalOrder(*this).empty();
+}
+
+std::vector<PipeOp>
+PipelineSchedule::globalOrder() const
+{
+    auto order = tryGlobalOrder(*this);
+    if (order.empty())
+        panic("schedule deadlocks (stages=%d, microBatches=%d)",
+              stages_, microBatches_);
+    return order;
+}
+
+int
+warmupDepth(int stages, int micro_batches, int stage)
+{
+    OPTIMUS_ASSERT(stage >= 0 && stage < stages);
+    return std::min(stages - 1 - stage, micro_batches);
+}
+
+bool
+isEpilogueBackward(int stages, int micro_batches, int stage,
+                   int micro_batch)
+{
+    OPTIMUS_ASSERT(stage >= 1 && stage < stages);
+    OPTIMUS_ASSERT(micro_batch >= 0 && micro_batch < micro_batches);
+    const int receiver_warmup =
+        warmupDepth(stages, micro_batches, stage - 1);
+    return micro_batch >= receiver_warmup;
+}
+
+int
+epilogueBackwardCount(int stages, int micro_batches, int stage)
+{
+    OPTIMUS_ASSERT(stage >= 1 && stage < stages);
+    return micro_batches -
+           std::min(warmupDepth(stages, micro_batches, stage - 1),
+                    micro_batches);
+}
+
+ScheduleKind
+parseScheduleKind(const std::string &text)
+{
+    if (text == "1f1b")
+        return ScheduleKind::OneFOneB;
+    if (text == "gpipe")
+        return ScheduleKind::GPipe;
+    fatal("unknown schedule kind '%s'", text.c_str());
+}
+
+} // namespace optimus

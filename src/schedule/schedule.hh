@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Pipeline-parallel schedules as explicit per-stage operation
+ * sequences, shared by the numerics engine (message ordering,
+ * epilogue classification) and the discrete-event performance
+ * simulator (timing).
+ *
+ * Epilogue classification (Section 5.2 of the paper): under 1F1B
+ * the iteration has a forward-dominated warm-up ramp followed by a
+ * backward-dominated body ("epilogue"). During the ramp, a
+ * backward message from stage s overlaps the receiver's queued
+ * warm-up forwards, so it is hidden; once the receiver has no
+ * warm-up slack left, every backward message sits on the 1F1B
+ * dependency cycle (stage s's backward -> message -> stage s-1's
+ * backward -> ... -> stage s's next forward), i.e. on the critical
+ * path. Stage s-1's warm-up depth is min(P - s, M), so all but the
+ * *first* min(P - s, M) micro-batches of the channel are epilogue.
+ * Epilogue-only compression compresses exactly those messages: the
+ * ones whose latency is exposed. This matches Fig 10 of the paper,
+ * where compressed backpropagation removes ~79% of the exposed
+ * inter-stage time (everything except forward traffic), and Fig 5,
+ * where lazy error propagation chains across consecutive
+ * micro-batches.
+ */
+
+#ifndef OPTIMUS_SCHEDULE_SCHEDULE_HH
+#define OPTIMUS_SCHEDULE_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+namespace optimus
+{
+
+/** Kinds of per-stage pipeline operations. */
+enum class PipeOpKind
+{
+    Forward,
+    Backward,
+};
+
+/** One forward or backward of one micro-batch on one stage. */
+struct PipeOp
+{
+    PipeOpKind kind;
+    int stage;
+    int microBatch;
+
+    bool operator==(const PipeOp &other) const = default;
+};
+
+/** Named pipeline schedule families. */
+enum class ScheduleKind
+{
+    OneFOneB,
+    GPipe,
+};
+
+/**
+ * A complete schedule: for each stage, the exact order in which it
+ * executes its forward and backward passes.
+ */
+class PipelineSchedule
+{
+  public:
+    /**
+     * Megatron/PipeDream-style 1F1B: stage s runs
+     * min(P-1-s, M) warm-up forwards, then alternating 1F1B
+     * steady-state, then cool-down backwards.
+     */
+    static PipelineSchedule oneFOneB(int stages, int micro_batches);
+
+    /** GPipe: all forwards, then all backwards. */
+    static PipelineSchedule gpipe(int stages, int micro_batches);
+
+    /** Build by kind. */
+    static PipelineSchedule make(ScheduleKind kind, int stages,
+                                 int micro_batches);
+
+    int stages() const { return stages_; }
+    int microBatches() const { return microBatches_; }
+
+    /** Execution order for one stage. */
+    const std::vector<PipeOp> &stageOps(int stage) const;
+
+    /**
+     * Check dependency feasibility: there exists a global order
+     * consistent with every per-stage order in which each
+     * Forward(s, m) follows Forward(s-1, m) and each Backward(s, m)
+     * follows Backward(s+1, m) and Forward(s, m).
+     *
+     * @return true when the schedule deadlock-free.
+     */
+    bool validate() const;
+
+    /**
+     * A valid global execution order (greedy list scheduling over
+     * the per-stage sequences). panics if validate() fails.
+     */
+    std::vector<PipeOp> globalOrder() const;
+
+    /** Total op count (2 * stages * microBatches). */
+    int64_t opCount() const;
+
+  private:
+    PipelineSchedule(int stages, int micro_batches);
+
+    int stages_;
+    int microBatches_;
+    std::vector<std::vector<PipeOp>> perStage_;
+};
+
+/**
+ * Warm-up depth of @p stage under 1F1B: the number of forwards it
+ * runs before its first backward, min(P - 1 - stage, M).
+ */
+int warmupDepth(int stages, int micro_batches, int stage);
+
+/**
+ * True when the backward message of @p micro_batch on the channel
+ * stage -> stage-1 is part of the epilogue (the backward-dominated
+ * body after the receiver's warm-up slack is spent) under 1F1B.
+ * @pre 1 <= stage < stages
+ */
+bool isEpilogueBackward(int stages, int micro_batches, int stage,
+                        int micro_batch);
+
+/** Number of epilogue backward messages on channel stage->stage-1. */
+int epilogueBackwardCount(int stages, int micro_batches, int stage);
+
+/** Parse "1f1b" | "gpipe" (fatal on anything else). */
+ScheduleKind parseScheduleKind(const std::string &text);
+
+} // namespace optimus
+
+#endif // OPTIMUS_SCHEDULE_SCHEDULE_HH

@@ -1,0 +1,50 @@
+#include "simnet/cost_model.hh"
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+double
+p2pTime(double bytes, const LinkSpec &link)
+{
+    OPTIMUS_ASSERT(bytes >= 0.0);
+    return link.latency + bytes / link.bandwidth;
+}
+
+double
+ringAllReduceTraffic(double bytes, int ranks)
+{
+    OPTIMUS_ASSERT(ranks >= 1);
+    if (ranks == 1)
+        return 0.0;
+    return 2.0 * bytes * (ranks - 1) / ranks;
+}
+
+double
+ringAllReduceTime(double bytes, int ranks, const LinkSpec &link)
+{
+    OPTIMUS_ASSERT(ranks >= 1);
+    if (ranks == 1)
+        return 0.0;
+    const int steps = 2 * (ranks - 1);
+    return steps * link.latency +
+           ringAllReduceTraffic(bytes, ranks) / link.bandwidth;
+}
+
+double
+embSyncTrafficBaseline(double table_bytes, int dp_ways)
+{
+    OPTIMUS_ASSERT(dp_ways >= 1);
+    return ringAllReduceTraffic(table_bytes, dp_ways) +
+           ringAllReduceTraffic(table_bytes, 2);
+}
+
+double
+embSyncTrafficFused(double table_bytes, int dp_ways)
+{
+    OPTIMUS_ASSERT(dp_ways >= 1);
+    return ringAllReduceTraffic(table_bytes, 2 * dp_ways);
+}
+
+} // namespace optimus

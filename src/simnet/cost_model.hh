@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Alpha-beta communication cost models for the interconnects in the
+ * paper's cluster (Table 1): NVLink intra-node for tensor
+ * parallelism, InfiniBand HDR inter-node for pipeline and data
+ * parallelism. Collective costs follow Thakur et al. (the paper's
+ * [72]): a ring all-reduce moves 2V(R-1)/R bytes per rank.
+ */
+
+#ifndef OPTIMUS_SIMNET_COST_MODEL_HH
+#define OPTIMUS_SIMNET_COST_MODEL_HH
+
+#include <cstdint>
+
+namespace optimus
+{
+
+/** One link class: achievable bandwidth and per-message latency. */
+struct LinkSpec
+{
+    /** Achievable bytes per second (line rate x efficiency). */
+    double bandwidth = 25e9;
+    /** Per-message latency in seconds. */
+    double latency = 5e-6;
+};
+
+/** Point-to-point transfer time for @p bytes over @p link. */
+double p2pTime(double bytes, const LinkSpec &link);
+
+/**
+ * Per-rank traffic of a ring all-reduce of @p bytes over @p ranks:
+ * 2V(R-1)/R (reduce-scatter + all-gather). Zero for a single rank.
+ */
+double ringAllReduceTraffic(double bytes, int ranks);
+
+/**
+ * Ring all-reduce completion time: 2(R-1) steps of V/R bytes, each
+ * paying the link latency.
+ */
+double ringAllReduceTime(double bytes, int ranks,
+                         const LinkSpec &link);
+
+/**
+ * Embedding-synchronization cost per Eq. 15 of the paper: the
+ * baseline pays a D-rank all-reduce plus a 2-rank all-reduce of the
+ * same table, total traffic V(3D-2)/D.
+ */
+double embSyncTrafficBaseline(double table_bytes, int dp_ways);
+
+/**
+ * Fused embedding-synchronization traffic per Eq. 16: one 2D-rank
+ * all-reduce, total V(2D-1)/D.
+ */
+double embSyncTrafficFused(double table_bytes, int dp_ways);
+
+/** The two link classes of a Megatron-style cluster. */
+struct Interconnect
+{
+    LinkSpec intraNode; ///< NVLink (tensor parallelism)
+    LinkSpec interNode; ///< InfiniBand (pipeline/data parallelism)
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_SIMNET_COST_MODEL_HH

@@ -1,0 +1,97 @@
+#include "tensor/matmul.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+void
+gemm(float *c, const float *a, const float *b, int64_t m, int64_t k,
+     int64_t n, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, sizeof(float) * m * n);
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (int64_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b + p * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    OPTIMUS_ASSERT(a.rank() == 2 && b.rank() == 2);
+    OPTIMUS_ASSERT(a.cols() == b.rows());
+    Tensor c({a.rows(), b.cols()});
+    gemm(c.data(), a.data(), b.data(), a.rows(), a.cols(), b.cols(),
+         false);
+    return c;
+}
+
+Tensor
+matmulTN(const Tensor &a, const Tensor &b)
+{
+    OPTIMUS_ASSERT(a.rank() == 2 && b.rank() == 2);
+    OPTIMUS_ASSERT(a.rows() == b.rows());
+    Tensor at = a.transposed();
+    Tensor c({a.cols(), b.cols()});
+    gemm(c.data(), at.data(), b.data(), a.cols(), a.rows(), b.cols(),
+         false);
+    return c;
+}
+
+Tensor
+matmulNT(const Tensor &a, const Tensor &b)
+{
+    OPTIMUS_ASSERT(a.rank() == 2 && b.rank() == 2);
+    OPTIMUS_ASSERT(a.cols() == b.cols());
+    Tensor bt = b.transposed();
+    Tensor c({a.rows(), b.rows()});
+    gemm(c.data(), a.data(), bt.data(), a.rows(), a.cols(), b.rows(),
+         false);
+    return c;
+}
+
+void
+matmulAcc(Tensor &c, const Tensor &a, const Tensor &b)
+{
+    OPTIMUS_ASSERT(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+    OPTIMUS_ASSERT(a.cols() == b.rows());
+    OPTIMUS_ASSERT(c.rows() == a.rows() && c.cols() == b.cols());
+    gemm(c.data(), a.data(), b.data(), a.rows(), a.cols(), b.cols(),
+         true);
+}
+
+void
+matmulAccTN(Tensor &c, const Tensor &a, const Tensor &b)
+{
+    OPTIMUS_ASSERT(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+    OPTIMUS_ASSERT(a.rows() == b.rows());
+    OPTIMUS_ASSERT(c.rows() == a.cols() && c.cols() == b.cols());
+    Tensor at = a.transposed();
+    gemm(c.data(), at.data(), b.data(), a.cols(), a.rows(), b.cols(),
+         true);
+}
+
+void
+matmulAccNT(Tensor &c, const Tensor &a, const Tensor &b)
+{
+    OPTIMUS_ASSERT(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+    OPTIMUS_ASSERT(a.cols() == b.cols());
+    OPTIMUS_ASSERT(c.rows() == a.rows() && c.cols() == b.rows());
+    Tensor bt = b.transposed();
+    gemm(c.data(), a.data(), bt.data(), a.rows(), a.cols(), b.rows(),
+         true);
+}
+
+} // namespace optimus

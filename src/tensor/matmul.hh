@@ -1,0 +1,50 @@
+/**
+ * @file
+ * GEMM kernels for 2D tensors. Four explicit entry points cover the
+ * transpose combinations the NN stack and PowerSGD need; all
+ * accumulate with `beta`-style semantics chosen by the caller
+ * (overwrite vs. accumulate).
+ *
+ * The inner loops use i-k-j ordering over row-major data so the
+ * innermost loop is a unit-stride saxpy the compiler vectorizes.
+ */
+
+#ifndef OPTIMUS_TENSOR_MATMUL_HH
+#define OPTIMUS_TENSOR_MATMUL_HH
+
+#include "tensor/tensor.hh"
+
+namespace optimus
+{
+
+/**
+ * C = A * B for 2D tensors; returns a new [A.rows, B.cols] tensor.
+ * @pre A.cols == B.rows
+ */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** C = A^T * B; returns [A.cols, B.cols]. */
+Tensor matmulTN(const Tensor &a, const Tensor &b);
+
+/** C = A * B^T; returns [A.rows, B.rows]. */
+Tensor matmulNT(const Tensor &a, const Tensor &b);
+
+/** C += A * B into an existing tensor. @pre shapes agree */
+void matmulAcc(Tensor &c, const Tensor &a, const Tensor &b);
+
+/** C += A^T * B. @pre shapes agree */
+void matmulAccTN(Tensor &c, const Tensor &a, const Tensor &b);
+
+/** C += A * B^T. @pre shapes agree */
+void matmulAccNT(Tensor &c, const Tensor &a, const Tensor &b);
+
+/**
+ * Raw kernel: C[m x n] (+)= A[m x k] * B[k x n], row-major.
+ * When @p accumulate is false, C is overwritten.
+ */
+void gemm(float *c, const float *a, const float *b, int64_t m,
+          int64_t k, int64_t n, bool accumulate);
+
+} // namespace optimus
+
+#endif // OPTIMUS_TENSOR_MATMUL_HH

@@ -1,0 +1,306 @@
+#include "tensor/tensor.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace optimus
+{
+
+namespace
+{
+
+int64_t
+shapeProduct(const std::vector<int64_t> &shape)
+{
+    int64_t product = 1;
+    for (int64_t d : shape) {
+        OPTIMUS_ASSERT(d >= 0);
+        product *= d;
+    }
+    return product;
+}
+
+} // namespace
+
+Tensor::Tensor() = default;
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)), data_(shapeProduct(shape_), 0.0f)
+{
+}
+
+Tensor
+Tensor::zeros(int64_t n)
+{
+    return Tensor({n});
+}
+
+Tensor
+Tensor::zeros(int64_t rows, int64_t cols)
+{
+    return Tensor({rows, cols});
+}
+
+Tensor
+Tensor::zeros(int64_t d0, int64_t d1, int64_t d2)
+{
+    return Tensor({d0, d1, d2});
+}
+
+Tensor
+Tensor::full(std::vector<int64_t> shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::randn(std::vector<int64_t> shape, Rng &rng, float mean,
+              float stddev)
+{
+    Tensor t(std::move(shape));
+    for (int64_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.normal(mean, stddev));
+    return t;
+}
+
+Tensor
+Tensor::randUniform(std::vector<int64_t> shape, Rng &rng, float lo,
+                    float hi)
+{
+    Tensor t(std::move(shape));
+    for (int64_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+Tensor
+Tensor::fromValues(std::vector<int64_t> shape, std::vector<float> values)
+{
+    OPTIMUS_ASSERT(shapeProduct(shape) ==
+                   static_cast<int64_t>(values.size()));
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_ = std::move(values);
+    return t;
+}
+
+int64_t
+Tensor::dim(int d) const
+{
+    const int r = rank();
+    if (d < 0)
+        d += r;
+    OPTIMUS_ASSERT(d >= 0 && d < r);
+    return shape_[d];
+}
+
+int64_t
+Tensor::rows() const
+{
+    OPTIMUS_ASSERT(rank() == 2);
+    return shape_[0];
+}
+
+int64_t
+Tensor::cols() const
+{
+    OPTIMUS_ASSERT(rank() == 2);
+    return shape_[1];
+}
+
+float &
+Tensor::at(int64_t r, int64_t c)
+{
+    OPTIMUS_ASSERT(rank() == 2);
+    OPTIMUS_ASSERT(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+}
+
+float
+Tensor::at(int64_t r, int64_t c) const
+{
+    OPTIMUS_ASSERT(rank() == 2);
+    OPTIMUS_ASSERT(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+}
+
+Tensor
+Tensor::reshaped(std::vector<int64_t> new_shape) const
+{
+    OPTIMUS_ASSERT(shapeProduct(new_shape) == size());
+    Tensor t = *this;
+    t.shape_ = std::move(new_shape);
+    return t;
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Tensor::add(const Tensor &other)
+{
+    OPTIMUS_ASSERT(size() == other.size());
+    const float *src = other.data();
+    float *dst = data();
+    const int64_t n = size();
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] += src[i];
+}
+
+void
+Tensor::sub(const Tensor &other)
+{
+    OPTIMUS_ASSERT(size() == other.size());
+    const float *src = other.data();
+    float *dst = data();
+    const int64_t n = size();
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] -= src[i];
+}
+
+void
+Tensor::scale(float s)
+{
+    for (auto &v : data_)
+        v *= s;
+}
+
+void
+Tensor::addScaled(const Tensor &other, float alpha)
+{
+    OPTIMUS_ASSERT(size() == other.size());
+    const float *src = other.data();
+    float *dst = data();
+    const int64_t n = size();
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] += alpha * src[i];
+}
+
+void
+Tensor::addProduct(const Tensor &a, const Tensor &b)
+{
+    OPTIMUS_ASSERT(size() == a.size() && size() == b.size());
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *dst = data();
+    const int64_t n = size();
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] += pa[i] * pb[i];
+}
+
+double
+Tensor::sum() const
+{
+    double total = 0.0;
+    for (float v : data_)
+        total += v;
+    return total;
+}
+
+float
+Tensor::maxAbs() const
+{
+    float best = 0.0f;
+    for (float v : data_) {
+        const float a = std::fabs(v);
+        if (a > best)
+            best = a;
+    }
+    return best;
+}
+
+double
+Tensor::norm() const
+{
+    double sum_sq = 0.0;
+    for (float v : data_)
+        sum_sq += static_cast<double>(v) * v;
+    return std::sqrt(sum_sq);
+}
+
+Tensor
+Tensor::sliceRows(int64_t begin, int64_t end) const
+{
+    OPTIMUS_ASSERT(rank() == 2);
+    OPTIMUS_ASSERT(begin >= 0 && begin <= end && end <= rows());
+    const int64_t c = cols();
+    Tensor out({end - begin, c});
+    std::copy(data_.begin() + begin * c, data_.begin() + end * c,
+              out.data());
+    return out;
+}
+
+void
+Tensor::setRows(int64_t row, const Tensor &src)
+{
+    OPTIMUS_ASSERT(rank() == 2 && src.rank() == 2);
+    OPTIMUS_ASSERT(cols() == src.cols());
+    OPTIMUS_ASSERT(row >= 0 && row + src.rows() <= rows());
+    std::copy(src.data(), src.data() + src.size(),
+              data_.begin() + row * cols());
+}
+
+Tensor
+Tensor::transposed() const
+{
+    OPTIMUS_ASSERT(rank() == 2);
+    const int64_t r = rows(), c = cols();
+    Tensor out({c, r});
+    for (int64_t i = 0; i < r; ++i) {
+        for (int64_t j = 0; j < c; ++j)
+            out.data()[j * r + i] = data_[i * c + j];
+    }
+    return out;
+}
+
+bool
+Tensor::allClose(const Tensor &other, float tol) const
+{
+    if (size() != other.size())
+        return false;
+    for (int64_t i = 0; i < size(); ++i) {
+        if (std::fabs(data_[i] - other.data_[i]) > tol)
+            return false;
+    }
+    return true;
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::string s = "[";
+    for (int i = 0; i < rank(); ++i) {
+        if (i > 0)
+            s += ", ";
+        s += std::to_string(shape_[i]);
+    }
+    s += "]";
+    return s;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    Tensor c = a;
+    c.add(b);
+    return c;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    Tensor c = a;
+    c.sub(b);
+    return c;
+}
+
+} // namespace optimus

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Dense row-major float tensor. The library is 2D-centric (weight
+ * matrices, activation matrices of shape [tokens, features]) but the
+ * shape is a general dimension vector so sequence batches can carry
+ * [batch, seq, features] metadata when convenient.
+ *
+ * Design notes: storage is always contiguous row-major; views are
+ * not supported (slices copy). That keeps aliasing out of the
+ * hand-written backprop code, which is the error-prone part of this
+ * project, at a small memory cost acceptable for laptop-scale models.
+ */
+
+#ifndef OPTIMUS_TENSOR_TENSOR_HH
+#define OPTIMUS_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optimus
+{
+
+class Rng;
+
+/** Contiguous row-major float tensor with value semantics. */
+class Tensor
+{
+  public:
+    /** Empty (0-element, rank-0) tensor. */
+    Tensor();
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(std::vector<int64_t> shape);
+
+    /** Convenience 1D / 2D / 3D constructors (zero-initialized). */
+    static Tensor zeros(int64_t n);
+    static Tensor zeros(int64_t rows, int64_t cols);
+    static Tensor zeros(int64_t d0, int64_t d1, int64_t d2);
+
+    /** Tensor filled with a constant. */
+    static Tensor full(std::vector<int64_t> shape, float value);
+
+    /** I.i.d. normal entries with the given mean/stddev. */
+    static Tensor randn(std::vector<int64_t> shape, Rng &rng,
+                        float mean = 0.0f, float stddev = 1.0f);
+
+    /** I.i.d. uniform entries in [lo, hi). */
+    static Tensor randUniform(std::vector<int64_t> shape, Rng &rng,
+                              float lo, float hi);
+
+    /** Build from explicit values (shape product must match size). */
+    static Tensor fromValues(std::vector<int64_t> shape,
+                             std::vector<float> values);
+
+    /** Total number of elements. */
+    int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+    /** Number of dimensions. */
+    int rank() const { return static_cast<int>(shape_.size()); }
+
+    /** Shape vector. */
+    const std::vector<int64_t> &shape() const { return shape_; }
+
+    /** Extent of dimension @p dim (supports negative indexing). */
+    int64_t dim(int dim) const;
+
+    /** Rows/cols accessors. @pre rank() == 2 */
+    int64_t rows() const;
+    int64_t cols() const;
+
+    /** Raw storage access. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Flat element access. */
+    float &operator[](int64_t i) { return data_[i]; }
+    float operator[](int64_t i) const { return data_[i]; }
+
+    /** 2D element access. @pre rank() == 2 */
+    float &at(int64_t r, int64_t c);
+    float at(int64_t r, int64_t c) const;
+
+    /**
+     * Reinterpret the same storage with a new shape (copying
+     * metadata only). @pre product(new_shape) == size()
+     */
+    Tensor reshaped(std::vector<int64_t> new_shape) const;
+
+    /** In-place fill with a constant. */
+    void fill(float value);
+
+    /** In-place zero. */
+    void setZero() { fill(0.0f); }
+
+    /** this += other (shapes must match in size). */
+    void add(const Tensor &other);
+
+    /** this -= other. */
+    void sub(const Tensor &other);
+
+    /** this *= scalar. */
+    void scale(float s);
+
+    /** this += alpha * other (axpy). */
+    void addScaled(const Tensor &other, float alpha);
+
+    /** Elementwise product accumulate: this += a (.*) b. */
+    void addProduct(const Tensor &a, const Tensor &b);
+
+    /** Sum of all elements (double accumulation). */
+    double sum() const;
+
+    /** Maximum absolute element (0 for empty). */
+    float maxAbs() const;
+
+    /** L2 norm of the flattened tensor. */
+    double norm() const;
+
+    /**
+     * Extract rows [begin, end) of a 2D tensor into a new tensor.
+     * @pre rank() == 2, 0 <= begin <= end <= rows()
+     */
+    Tensor sliceRows(int64_t begin, int64_t end) const;
+
+    /** Copy @p src into rows starting at @p row. @pre shapes agree */
+    void setRows(int64_t row, const Tensor &src);
+
+    /** Transpose of a 2D tensor (copying). */
+    Tensor transposed() const;
+
+    /** True if all elements differ by at most @p tol. */
+    bool allClose(const Tensor &other, float tol = 1e-5f) const;
+
+    /** Human-readable shape like "[4, 16]". */
+    std::string shapeString() const;
+
+  private:
+    std::vector<int64_t> shape_;
+    std::vector<float> data_;
+};
+
+/** c = a + b (allocating). */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** c = a - b (allocating). */
+Tensor sub(const Tensor &a, const Tensor &b);
+
+} // namespace optimus
+
+#endif // OPTIMUS_TENSOR_TENSOR_HH

@@ -1,0 +1,94 @@
+#include "util/cli.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+CliArgs::CliArgs(int argc, const char *const *argv)
+{
+    program_ = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        if (body.empty())
+            fatal("malformed flag '%s'", arg.c_str());
+        const auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            flags_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        // `--name value` form: consume the next token as the value
+        // unless it looks like another flag.
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            flags_[body] = argv[i + 1];
+            ++i;
+        } else {
+            flags_[body] = "";
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+CliArgs::getString(const std::string &name, const std::string &def) const
+{
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? def : it->second;
+}
+
+long
+CliArgs::getInt(const std::string &name, long def) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty())
+        return def;
+    char *end = nullptr;
+    const long value = std::strtol(it->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        fatal("flag --%s expects an integer, got '%s'", name.c_str(),
+              it->second.c_str());
+    return value;
+}
+
+double
+CliArgs::getDouble(const std::string &name, double def) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty())
+        return def;
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        fatal("flag --%s expects a number, got '%s'", name.c_str(),
+              it->second.c_str());
+    return value;
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool def) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("flag --%s expects a boolean, got '%s'", name.c_str(),
+          v.c_str());
+}
+
+} // namespace optimus

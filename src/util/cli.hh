@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tiny command-line flag parser for the example programs and
+ * benchmark harnesses. Supports `--name value` and `--name=value`
+ * forms plus boolean switches, with typed accessors and defaults.
+ */
+
+#ifndef OPTIMUS_UTIL_CLI_HH
+#define OPTIMUS_UTIL_CLI_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace optimus
+{
+
+/**
+ * Parses argv into a flag map. Unknown flags are accepted (callers
+ * validate what they use); positional arguments are collected in
+ * order.
+ */
+class CliArgs
+{
+  public:
+    /** Parse the given argv. Calls fatal() on malformed flags. */
+    CliArgs(int argc, const char *const *argv);
+
+    /** True if --name appeared (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or @p def if absent. */
+    std::string getString(const std::string &name,
+                          const std::string &def = "") const;
+
+    /** Integer value of --name, or @p def if absent. */
+    long getInt(const std::string &name, long def = 0) const;
+
+    /** Double value of --name, or @p def if absent. */
+    double getDouble(const std::string &name, double def = 0.0) const;
+
+    /**
+     * Boolean value: present with no value or value in
+     * {1, true, yes, on} means true.
+     */
+    bool getBool(const std::string &name, bool def = false) const;
+
+    /** Positional (non-flag) arguments in order of appearance. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_UTIL_CLI_HH

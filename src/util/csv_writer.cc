@@ -1,0 +1,58 @@
+#include "util/csv_writer.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &header)
+    : path_(path), out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV output file '%s'", path.c_str());
+    writeRow(header);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    char buf[64];
+    for (double v : values) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        cells.emplace_back(buf);
+    }
+    writeRow(cells);
+}
+
+} // namespace optimus

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal CSV emission for benchmark series (perplexity curves,
+ * sweeps) so results can be re-plotted outside the harness.
+ */
+
+#ifndef OPTIMUS_UTIL_CSV_WRITER_HH
+#define OPTIMUS_UTIL_CSV_WRITER_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace optimus
+{
+
+/**
+ * Writes rows to a CSV file, quoting cells that contain commas or
+ * quotes. The file is created on construction and flushed on
+ * destruction.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header row.
+     * Calls fatal() if the file cannot be opened.
+     */
+    CsvWriter(const std::string &path,
+              const std::vector<std::string> &header);
+
+    /** Append one row of string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Append one row of doubles with the given precision. */
+    void writeRow(const std::vector<double> &values, int precision = 6);
+
+    /** Path the writer is bound to. */
+    const std::string &path() const { return path_; }
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::string path_;
+    std::ofstream out_;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_UTIL_CSV_WRITER_HH

@@ -1,0 +1,109 @@
+#include "util/logging.hh"
+
+#include <cstdarg>
+
+namespace optimus
+{
+
+namespace
+{
+
+LogLevel gThreshold = LogLevel::Info;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+void
+vlogMessage(LogLevel level, const char *fmt, va_list args)
+{
+    if (level < gThreshold)
+        return;
+    std::fprintf(stderr, "[%s] ", levelTag(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return gThreshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    gThreshold = level;
+}
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(level, fmt, args);
+    va_end(args);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::fprintf(stderr, "[panic] ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::fprintf(stderr, "[fatal] ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Warn, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Info, fmt, args);
+    va_end(args);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Debug, fmt, args);
+    va_end(args);
+}
+
+} // namespace optimus

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the spirit of gem5's
+ * base/logging.hh. `panic` is for internal invariant violations
+ * (aborts), `fatal` is for user/configuration errors (exit(1)),
+ * `warn`/`inform` report conditions without stopping execution.
+ */
+
+#ifndef OPTIMUS_UTIL_LOGGING_HH
+#define OPTIMUS_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace optimus
+{
+
+/** Severity levels for runtime log messages. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Global log threshold; messages below this level are suppressed.
+ * Defaults to Info. Thread-safety is not required (single-threaded
+ * simulator).
+ */
+LogLevel logThreshold();
+
+/** Set the global log threshold. */
+void setLogThreshold(LogLevel level);
+
+/**
+ * Core printf-style message sink. Prepends a severity tag and writes
+ * to stderr.
+ *
+ * @param level Severity of the message.
+ * @param fmt printf-style format string.
+ */
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Report an internal invariant violation and abort. Use for
+ * conditions that indicate a bug in this library, never for user
+ * error.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1). Use
+ * for bad arguments or impossible configurations, never for internal
+ * bugs.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report debug detail (suppressed unless threshold is Debug). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert-like macro that survives NDEBUG builds. Calls panic() with
+ * location information when the condition is false.
+ */
+#define OPTIMUS_ASSERT(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::optimus::panic("assertion '%s' failed at %s:%d", #cond,      \
+                             __FILE__, __LINE__);                          \
+        }                                                                  \
+    } while (0)
+
+} // namespace optimus
+
+#endif // OPTIMUS_UTIL_LOGGING_HH

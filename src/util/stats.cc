@@ -1,0 +1,129 @@
+#include "util/stats.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace optimus
+{
+
+double
+mean(const float *data, size_t n)
+{
+    if (n == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        sum += data[i];
+    return sum / static_cast<double>(n);
+}
+
+double
+stddev(const float *data, size_t n)
+{
+    if (n < 2)
+        return 0.0;
+    const double m = mean(data, n);
+    double sum_sq = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double d = data[i] - m;
+        sum_sq += d * d;
+    }
+    return std::sqrt(sum_sq / static_cast<double>(n));
+}
+
+double
+l2Norm(const float *data, size_t n)
+{
+    double sum_sq = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        sum_sq += static_cast<double>(data[i]) * data[i];
+    return std::sqrt(sum_sq);
+}
+
+double
+dot(const float *a, const float *b, size_t n)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        sum += static_cast<double>(a[i]) * b[i];
+    return sum;
+}
+
+double
+cosineSimilarity(const float *a, const float *b, size_t n)
+{
+    const double na = l2Norm(a, n);
+    const double nb = l2Norm(b, n);
+    if (na < 1e-30 || nb < 1e-30)
+        return 0.0;
+    return dot(a, b, n) / (na * nb);
+}
+
+double
+mean(const std::vector<float> &v)
+{
+    return mean(v.data(), v.size());
+}
+
+double
+stddev(const std::vector<float> &v)
+{
+    return stddev(v.data(), v.size());
+}
+
+double
+l2Norm(const std::vector<float> &v)
+{
+    return l2Norm(v.data(), v.size());
+}
+
+double
+cosineSimilarity(const std::vector<float> &a, const std::vector<float> &b)
+{
+    const size_t n = a.size() < b.size() ? a.size() : b.size();
+    return cosineSimilarity(a.data(), b.data(), n);
+}
+
+RunningStat::RunningStat()
+{
+    reset();
+}
+
+void
+RunningStat::reset()
+{
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace optimus

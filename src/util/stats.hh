@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Small statistics helpers used by the instrumentation in the
+ * quality experiments (Fig 11: error averages, activation-difference
+ * averages, cosine similarity) and by the test suite.
+ */
+
+#ifndef OPTIMUS_UTIL_STATS_HH
+#define OPTIMUS_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace optimus
+{
+
+/** Arithmetic mean of a span of floats. Returns 0 for empty input. */
+double mean(const float *data, size_t n);
+
+/** Population standard deviation. Returns 0 for n < 2. */
+double stddev(const float *data, size_t n);
+
+/** Euclidean (L2) norm. */
+double l2Norm(const float *data, size_t n);
+
+/** Dot product of two equal-length spans. */
+double dot(const float *a, const float *b, size_t n);
+
+/**
+ * Cosine similarity between two vectors; returns 0 when either has
+ * (near-)zero norm, matching the convention used in the paper's
+ * Fig 11 instrumentation.
+ */
+double cosineSimilarity(const float *a, const float *b, size_t n);
+
+/** Convenience overloads on std::vector<float>. */
+double mean(const std::vector<float> &v);
+double stddev(const std::vector<float> &v);
+double l2Norm(const std::vector<float> &v);
+double cosineSimilarity(const std::vector<float> &a,
+                        const std::vector<float> &b);
+
+/**
+ * Streaming scalar accumulator (Welford) for per-iteration metric
+ * series: tracks count, mean, variance, min, max.
+ */
+class RunningStat
+{
+  public:
+    RunningStat();
+
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    size_t count() const { return count_; }
+
+    /** Mean of observations (0 if empty). */
+    double mean() const { return mean_; }
+
+    /** Population variance (0 for count < 2). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (+inf if empty). */
+    double min() const { return min_; }
+
+    /** Largest observation (-inf if empty). */
+    double max() const { return max_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    size_t count_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_UTIL_STATS_HH

@@ -1,0 +1,89 @@
+#include "util/table_printer.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    OPTIMUS_ASSERT(!headers_.empty());
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    OPTIMUS_ASSERT(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+        }
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        bool left_first) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                out << "  ";
+            const size_t pad = widths[c] - row[c].size();
+            // First column left-aligned (labels); the rest right-
+            // aligned (numbers).
+            if (c == 0 && left_first) {
+                out << row[c] << std::string(pad, ' ');
+            } else {
+                out << std::string(pad, ' ') << row[c];
+            }
+        }
+        out << "\n";
+    };
+
+    emit_row(headers_, true);
+    std::vector<std::string> rule;
+    rule.reserve(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        rule.emplace_back(widths[c], '-');
+    emit_row(rule, true);
+    for (const auto &row : rows_)
+        emit_row(row, true);
+    return out.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TablePrinter::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+} // namespace optimus

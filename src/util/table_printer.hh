@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Aligned console table rendering. Every benchmark harness prints
+ * paper-style rows through TablePrinter so outputs are uniform and
+ * easy to diff against EXPERIMENTS.md.
+ */
+
+#ifndef OPTIMUS_UTIL_TABLE_PRINTER_HH
+#define OPTIMUS_UTIL_TABLE_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace optimus
+{
+
+/**
+ * Collects rows of string cells and renders them with per-column
+ * alignment and a header rule, e.g.:
+ *
+ *   Config      Time (days)  Speedup   Val PPL
+ *   ---------   -----------  -------   -------
+ *   Baseline          37.27    +0.0%      8.10
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one data row; must match the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to a string (trailing newline included). */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Format helpers for numeric cells. */
+    static std::string fmt(double value, int precision = 2);
+    static std::string fmtPercent(double fraction, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_UTIL_TABLE_PRINTER_HH

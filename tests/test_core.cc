@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests of the public facade: preset catalogue consistency, the
+ * quality-experiment runner, and the performance-ablation runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/auto_tuner.hh"
+#include "core/optimus.hh"
+
+namespace optimus
+{
+namespace
+{
+
+/** A very small quality config so these tests stay fast. */
+QualityRunConfig
+fastQualityConfig()
+{
+    QualityRunConfig config;
+    config.model.hidden = 16;
+    config.model.heads = 2;
+    config.iterations = 20;
+    config.corpus.totalTokens = 6000;
+    return config;
+}
+
+TEST(Presets, NamesMatchPaperColumns)
+{
+    EXPECT_EQ(presets::baseline().name, "Baseline");
+    EXPECT_EQ(presets::cb().name, "CB");
+    EXPECT_EQ(presets::cbFe().name, "CB+FE");
+    EXPECT_EQ(presets::cbFeSc().name, "CB+FE+SC");
+    EXPECT_EQ(presets::ablationLadder().size(), 4u);
+}
+
+TEST(Presets, QualityAndPerfSidesAgree)
+{
+    for (const auto &preset : presets::ablationLadder()) {
+        EXPECT_EQ(preset.cb.enabled, preset.perf.cb) << preset.name;
+        EXPECT_EQ(preset.fusedEmbeddingSync,
+                  preset.perf.fusedEmbedding)
+            << preset.name;
+        EXPECT_EQ(preset.dp.enabled, preset.perf.sc) << preset.name;
+    }
+}
+
+TEST(Presets, CbVariantsDifferOnlyInErrorHandling)
+{
+    const auto lep = presets::cb();
+    const auto no_lep = presets::cbNoLep();
+    EXPECT_TRUE(lep.cb.lazyErrorPropagation);
+    EXPECT_FALSE(no_lep.cb.lazyErrorPropagation);
+    EXPECT_EQ(lep.cb.spec.rank, no_lep.cb.spec.rank);
+
+    const auto naive = presets::naiveCb();
+    EXPECT_FALSE(naive.cb.lazyErrorPropagation);
+    EXPECT_FALSE(naive.cb.epilogueOnly);
+
+    const auto topk = presets::cbTopk();
+    EXPECT_EQ(topk.cb.spec.kind, CompressorKind::TopK);
+}
+
+TEST(QualityExperiment, RunsAndReportsMetrics)
+{
+    const auto result = runQualityExperiment(fastQualityConfig(),
+                                             presets::baseline());
+    EXPECT_EQ(result.presetName, "Baseline");
+    EXPECT_GT(result.finalPerplexity, 1.0);
+    EXPECT_LT(result.finalPerplexity, 30.0);
+    EXPECT_GT(result.parameterBytes, 0);
+    EXPECT_EQ(result.interStageBytes, result.interStageBytesExact);
+    EXPECT_DOUBLE_EQ(result.interStageSaving(), 0.0);
+}
+
+TEST(QualityExperiment, CompressionSavesInterStageBytes)
+{
+    const auto result = runQualityExperiment(fastQualityConfig(),
+                                             presets::cb());
+    EXPECT_GT(result.interStageSaving(), 0.3);
+    EXPECT_LT(result.interStageSaving(), 1.0);
+    EXPECT_GT(result.lepBufferBytes, 0);
+}
+
+TEST(QualityExperiment, CurveAndZeroShotWhenRequested)
+{
+    QualityRunConfig config = fastQualityConfig();
+    config.evalEvery = 10;
+    config.zeroShotExamples = 8;
+    const auto result =
+        runQualityExperiment(config, presets::baseline());
+    EXPECT_GE(result.pplCurve.size(), 3u);
+    EXPECT_EQ(result.zeroShot.size(), 5u);
+    for (const auto &[name, acc] : result.zeroShot) {
+        EXPECT_GE(acc, 0.0) << name;
+        EXPECT_LE(acc, 1.0) << name;
+    }
+}
+
+TEST(QualityExperiment, PerplexityFloorIsReachableBound)
+{
+    const auto config = fastQualityConfig();
+    const double floor = perplexityFloor(config);
+    EXPECT_GT(floor, 1.0);
+    EXPECT_LT(floor, config.corpus.vocab);
+    const auto result =
+        runQualityExperiment(config, presets::baseline());
+    EXPECT_GT(result.finalPerplexity, floor * 0.95);
+}
+
+TEST(QualityExperiment, GradientErrorOrderingMatchesSection51)
+{
+    // The paper's Section 5.1 claim, measured directly: lazy error
+    // propagation makes the accumulated weight gradient a better
+    // approximation of the exact gradient than discarding the
+    // compression error.
+    // Full-width miniature model: at toy widths the compressor
+    // captures too little for the ordering to resolve.
+    QualityRunConfig config;
+    config.pipelineStages = 4;
+    config.microBatches = 8;
+    config.dataParallel = 1;
+
+    TechniquePreset lep = presets::cb();
+    TechniquePreset no_lep = presets::cbNoLep();
+    const double err_lep = gradientApproximationError(config, lep, 3);
+    const double err_no_lep =
+        gradientApproximationError(config, no_lep, 3);
+    EXPECT_GT(err_lep, 0.0);
+    EXPECT_LT(err_lep, err_no_lep);
+
+    // And the exact (uncompressed) configuration has zero error.
+    EXPECT_NEAR(gradientApproximationError(config,
+                                           presets::baseline(), 1),
+                0.0, 1e-6);
+}
+
+TEST(QualityExperiment, EpilogueOnlyReducesGradientError)
+{
+    // Compressing fewer (only the exposed) messages injects less
+    // error than compressing everything.
+    QualityRunConfig config = fastQualityConfig();
+    config.pipelineStages = 4;
+    config.microBatches = 8;
+    config.dataParallel = 1;
+
+    TechniquePreset epilogue = presets::cb();
+    TechniquePreset everything = presets::cb();
+    everything.cb.epilogueOnly = false;
+    EXPECT_LT(gradientApproximationError(config, epilogue, 3),
+              gradientApproximationError(config, everything, 3));
+}
+
+TEST(PerformanceExperiment, AblationRowsAreConsistent)
+{
+    const auto rows = runPerformanceAblation(
+        HardwareConfig::a100Cluster(), GptModelSpec::gpt8_3b(),
+        ParallelConfig{}, TrainingPlan{},
+        presets::ablationLadder());
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_DOUBLE_EQ(rows[0].speedup, 0.0);
+    for (size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_GT(rows[i].speedup, rows[i - 1].speedup)
+            << rows[i].config;
+    }
+    for (const auto &row : rows) {
+        EXPECT_NEAR(row.trainingDays,
+                    row.iterationSeconds * 230000 / 86400.0, 1e-9);
+        EXPECT_NEAR(row.breakdown.total, row.iterationSeconds,
+                    1e-9);
+    }
+}
+
+TEST(AutoTuner, FindsFeasibleParetoPoint)
+{
+    MappedWorkload workload(HardwareConfig::a100Cluster(),
+                            GptModelSpec::gpt8_3b(),
+                            ParallelConfig{}, TrainingPlan{});
+    QualityRunConfig quality = fastQualityConfig();
+    quality.pipelineStages = 4;
+
+    TuneRequest request;
+    request.stageFractions = {0.5, 1.0};
+    request.ranks = {64, 256};
+    request.trials = 1;
+    request.maxGradientError = 0.9;
+
+    const TuneResult result =
+        autoTuneSelectiveCompression(workload, quality, request);
+    ASSERT_EQ(result.candidates.size(), 4u);
+    ASSERT_TRUE(result.foundFeasible);
+    EXPECT_GT(result.best.speedup, 0.0);
+    EXPECT_LE(result.best.gradientError, 0.9);
+
+    // Monotonicity: more stages compressed -> more speedup at the
+    // same rank; higher rank -> less gradient error at the same
+    // fraction.
+    auto find = [&result](double f, int r) {
+        for (const auto &c : result.candidates) {
+            if (c.stageFraction == f && c.rank == r)
+                return c;
+        }
+        return TuneCandidate{};
+    };
+    EXPECT_GT(find(1.0, 64).speedup, find(0.5, 64).speedup);
+    EXPECT_LT(find(0.5, 256).gradientError,
+              find(0.5, 64).gradientError);
+
+    // At least one candidate sits on the Pareto frontier, and the
+    // best is one of them.
+    EXPECT_TRUE(result.best.onFrontier);
+}
+
+TEST(AutoTuner, ImpossibleBudgetReportsInfeasible)
+{
+    MappedWorkload workload(HardwareConfig::a100Cluster(),
+                            GptModelSpec::gpt8_3b(),
+                            ParallelConfig{}, TrainingPlan{});
+    QualityRunConfig quality = fastQualityConfig();
+
+    TuneRequest request;
+    request.stageFractions = {1.0};
+    request.ranks = {64};
+    request.trials = 1;
+    request.maxGradientError = 1e-9; // unreachable
+
+    const TuneResult result =
+        autoTuneSelectiveCompression(workload, quality, request);
+    EXPECT_FALSE(result.foundFeasible);
+}
+
+TEST(PerformanceExperiment, BreakdownShrinksWhereExpected)
+{
+    const auto rows = runPerformanceAblation(
+        HardwareConfig::a100Cluster(), GptModelSpec::gpt8_3b(),
+        ParallelConfig{}, TrainingPlan{},
+        presets::ablationLadder());
+    // CB shrinks inter-stage time.
+    EXPECT_LT(rows[1].breakdown.interStage,
+              rows[0].breakdown.interStage);
+    // FE shrinks embedding time by ~30% traffic (Eq 15 vs 16).
+    EXPECT_LT(rows[2].breakdown.embComm, rows[1].breakdown.embComm);
+    // SC shrinks DP time.
+    EXPECT_LT(rows[3].breakdown.dpComm, rows[2].breakdown.dpComm);
+    // Compute is untouched by any technique.
+    EXPECT_NEAR(rows[3].breakdown.fwdCompute,
+                rows[0].breakdown.fwdCompute, 1e-9);
+}
+
+} // namespace
+} // namespace optimus

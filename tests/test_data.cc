@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the synthetic corpus, the LM dataset sampler, and the
+ * zero-shot probe tasks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "data/corpus.hh"
+#include "data/dataset.hh"
+#include "data/zeroshot.hh"
+
+namespace optimus
+{
+namespace
+{
+
+CorpusConfig
+smallCorpusConfig()
+{
+    CorpusConfig config;
+    config.vocab = 16;
+    config.totalTokens = 40000;
+    config.preferredSuccessors = 4;
+    config.seed = 3;
+    return config;
+}
+
+TEST(Corpus, SplitSizesMatchValidationFraction)
+{
+    CorpusConfig config = smallCorpusConfig();
+    config.validationFraction = 0.05;
+    SyntheticCorpus corpus(config);
+    EXPECT_EQ(static_cast<int64_t>(corpus.train().size()) +
+                  static_cast<int64_t>(corpus.validation().size()),
+              config.totalTokens);
+    EXPECT_NEAR(static_cast<double>(corpus.validation().size()) /
+                    config.totalTokens,
+                0.05, 1e-3);
+}
+
+TEST(Corpus, TokensAreInRange)
+{
+    SyntheticCorpus corpus(smallCorpusConfig());
+    for (int32_t t : corpus.train()) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, 16);
+    }
+}
+
+TEST(Corpus, PreferredSetIsDistinctAndDeterministic)
+{
+    SyntheticCorpus corpus(smallCorpusConfig());
+    for (int32_t prev = 0; prev < 16; ++prev) {
+        const auto a = corpus.preferredSet(prev);
+        const auto b = corpus.preferredSet(prev);
+        EXPECT_EQ(a, b);
+        EXPECT_EQ(a.size(), 4u);
+        for (size_t i = 0; i < a.size(); ++i) {
+            for (size_t j = i + 1; j < a.size(); ++j)
+                EXPECT_NE(a[i], a[j]);
+        }
+    }
+}
+
+TEST(Corpus, TrueProbsFormADistribution)
+{
+    SyntheticCorpus corpus(smallCorpusConfig());
+    for (int32_t prev2 : {0, 3, 7}) {
+        for (int32_t prev1 : {1, 5, 11}) {
+            double total = 0.0;
+            for (int32_t next = 0; next < 16; ++next)
+                total += corpus.trueProb(prev2, prev1, next);
+            EXPECT_NEAR(total, 1.0, 1e-9);
+        }
+    }
+}
+
+TEST(Corpus, EmpiricalFrequenciesMatchTrueProbs)
+{
+    CorpusConfig config = smallCorpusConfig();
+    SyntheticCorpus corpus(config);
+    const auto &stream = corpus.train();
+    // How often is the successor inside prev1's preferred set?
+    // Expected mass: bigram + boost + uniform leak into the set.
+    int64_t hits = 0, total = 0;
+    for (size_t i = 2; i < stream.size(); ++i) {
+        const auto set = corpus.preferredSet(stream[i - 1]);
+        if (std::find(set.begin(), set.end(), stream[i]) !=
+            set.end())
+            ++hits;
+        ++total;
+    }
+    const double expect =
+        config.bigramMass + config.trigramBoost +
+        (1.0 - config.bigramMass - config.trigramBoost) *
+            config.preferredSuccessors / config.vocab;
+    EXPECT_NEAR(static_cast<double>(hits) / total, expect, 0.02);
+
+    // And the boosted successor specifically dominates within the
+    // set: measured against any single other preferred member.
+    int64_t boosted_hits = 0, pair_total = 0;
+    for (size_t i = 2; i < stream.size(); ++i) {
+        const int32_t boosted =
+            corpus.boostedSuccessor(stream[i - 2], stream[i - 1]);
+        if (stream[i] == boosted)
+            ++boosted_hits;
+        ++pair_total;
+    }
+    const double boosted_freq =
+        static_cast<double>(boosted_hits) / pair_total;
+    const double expect_boosted =
+        config.trigramBoost + config.bigramMass / 4 +
+        (1.0 - config.bigramMass - config.trigramBoost) / 16;
+    EXPECT_NEAR(boosted_freq, expect_boosted, 0.02);
+}
+
+TEST(Corpus, EntropyFloorIsPositiveAndBelowUniform)
+{
+    SyntheticCorpus corpus(smallCorpusConfig());
+    const double floor = corpus.entropyFloor();
+    EXPECT_GT(floor, 0.0);
+    EXPECT_LT(floor, std::log(16.0));
+}
+
+TEST(Corpus, BoostedSuccessorIsInPreferredSet)
+{
+    SyntheticCorpus corpus(smallCorpusConfig());
+    for (int32_t prev2 : {0, 5, 9}) {
+        for (int32_t prev1 : {2, 8, 15}) {
+            const auto set = corpus.preferredSet(prev1);
+            const int32_t boosted =
+                corpus.boostedSuccessor(prev2, prev1);
+            EXPECT_NE(std::find(set.begin(), set.end(), boosted),
+                      set.end());
+        }
+    }
+}
+
+TEST(Dataset, SampleBatchShapesAndShift)
+{
+    SyntheticCorpus corpus(smallCorpusConfig());
+    LmDataset data(corpus.train(), 8);
+    Rng rng(1);
+    const LmBatch batch = data.sampleBatch(4, rng);
+    EXPECT_EQ(batch.batch, 4);
+    EXPECT_EQ(batch.seq, 8);
+    EXPECT_EQ(batch.tokens.size(), 32u);
+    EXPECT_EQ(batch.targets.size(), 32u);
+    // Targets are inputs shifted by one within each row.
+    for (int64_t b = 0; b < 4; ++b) {
+        for (int64_t j = 0; j + 1 < 8; ++j) {
+            EXPECT_EQ(batch.targets[b * 8 + j],
+                      batch.tokens[b * 8 + j + 1]);
+        }
+    }
+}
+
+TEST(Dataset, EvalBatchesAreDeterministicAndDisjoint)
+{
+    SyntheticCorpus corpus(smallCorpusConfig());
+    LmDataset data(corpus.validation(), 8);
+    const auto a = data.evalBatches(2);
+    const auto b = data.evalBatches(2);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a[0].tokens, b[0].tokens);
+    // Consecutive windows within a batch do not overlap.
+    EXPECT_NE(a[0].tokens[0 * 8], a[0].tokens[1 * 8 + 0]);
+}
+
+/** Scorer that reproduces the corpus's true conditionals. */
+class OracleScorer : public LmScorer
+{
+  public:
+    OracleScorer(const SyntheticCorpus &corpus, int64_t seq_len)
+        : corpus_(corpus), seqLen_(seq_len)
+    {
+    }
+
+    Tensor
+    scoreLogits(const std::vector<int32_t> &tokens,
+                int64_t batch) override
+    {
+        const int64_t v = corpus_.config().vocab;
+        Tensor logits({batch * seqLen_, v});
+        for (int64_t b = 0; b < batch; ++b) {
+            for (int64_t t = 0; t < seqLen_; ++t) {
+                const int64_t row = b * seqLen_ + t;
+                const int32_t prev1 = tokens[row];
+                const int32_t prev2 =
+                    t >= 1 ? tokens[row - 1] : 0;
+                for (int32_t n = 0; n < v; ++n) {
+                    logits.data()[row * v + n] = std::log(
+                        corpus_.trueProb(prev2, prev1, n));
+                }
+            }
+        }
+        return logits;
+    }
+
+    int64_t seqLen() const override { return seqLen_; }
+    int64_t vocab() const override { return corpus_.config().vocab; }
+
+  private:
+    const SyntheticCorpus &corpus_;
+    int64_t seqLen_;
+};
+
+/** Scorer that knows nothing (uniform logits). */
+class UniformScorer : public LmScorer
+{
+  public:
+    UniformScorer(int64_t seq_len, int64_t vocab)
+        : seqLen_(seq_len), vocab_(vocab)
+    {
+    }
+
+    Tensor
+    scoreLogits(const std::vector<int32_t> &tokens,
+                int64_t batch) override
+    {
+        (void)tokens;
+        return Tensor({batch * seqLen_, vocab_});
+    }
+
+    int64_t seqLen() const override { return seqLen_; }
+    int64_t vocab() const override { return vocab_; }
+
+  private:
+    int64_t seqLen_;
+    int64_t vocab_;
+};
+
+TEST(ZeroShot, SuiteHasFiveTasks)
+{
+    SyntheticCorpus corpus(smallCorpusConfig());
+    ZeroShotSuiteConfig suite;
+    suite.examplesPerTask = 16;
+    const auto tasks = makeStandardZeroShotTasks(
+        corpus.validation(), 8, 16, suite);
+    ASSERT_EQ(tasks.size(), 5u);
+    EXPECT_EQ(tasks[0].name(), "cloze");
+    EXPECT_EQ(tasks[1].name(), "pair2");
+    EXPECT_EQ(tasks[2].name(), "mcq4");
+    EXPECT_EQ(tasks[3].name(), "coref2");
+    EXPECT_EQ(tasks[4].name(), "passage4");
+    for (const auto &t : tasks)
+        EXPECT_EQ(t.exampleCount(), 16u);
+}
+
+TEST(ZeroShot, OracleBeatsUniformScorer)
+{
+    SyntheticCorpus corpus(smallCorpusConfig());
+    ZeroShotSuiteConfig suite;
+    suite.examplesPerTask = 48;
+    auto tasks = makeStandardZeroShotTasks(corpus.validation(), 8,
+                                           16, suite);
+    OracleScorer oracle(corpus, 8);
+    UniformScorer uniform(8, 8 + 8);
+
+    for (auto &task : tasks) {
+        const double acc_oracle = task.evaluate(oracle);
+        if (task.name() == "cloze") {
+            // Cloze oracle accuracy is the language's top-1
+            // predictability; just require clearly above chance.
+            EXPECT_GT(acc_oracle, 2.0 / 16.0) << task.name();
+            continue;
+        }
+        EXPECT_GT(acc_oracle, 0.55) << task.name();
+    }
+}
+
+TEST(ZeroShot, LikelihoodRankingPrefersRealContinuations)
+{
+    SyntheticCorpus corpus(smallCorpusConfig());
+    ZeroShotSuiteConfig suite;
+    suite.examplesPerTask = 48;
+    auto tasks = makeStandardZeroShotTasks(corpus.validation(), 8,
+                                           16, suite);
+    OracleScorer oracle(corpus, 8);
+    // pair2: 2-way choice; oracle should be right most of the time.
+    EXPECT_GT(tasks[1].evaluate(oracle), 0.7);
+    // passage4: longer endings are even easier to rank.
+    EXPECT_GT(tasks[4].evaluate(oracle), 0.7);
+}
+
+TEST(ZeroShot, SequenceLogLikIsNegativeAndFinite)
+{
+    SyntheticCorpus corpus(smallCorpusConfig());
+    OracleScorer oracle(corpus, 8);
+    std::vector<int32_t> seq(corpus.validation().begin(),
+                             corpus.validation().begin() + 8);
+    const double ll =
+        ZeroShotTask::sequenceLogLik(oracle, seq, 4, 8);
+    EXPECT_LT(ll, 0.0);
+    EXPECT_TRUE(std::isfinite(ll));
+}
+
+} // namespace
+} // namespace optimus

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Gradient-correctness tests: every hand-written backward is checked
+ * against central finite differences, plus functional tests of the
+ * loss, optimizers, and the monolithic GPT.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.hh"
+#include "nn/attention.hh"
+#include "nn/block.hh"
+#include "nn/embedding.hh"
+#include "nn/gpt.hh"
+#include "nn/layernorm.hh"
+#include "nn/linear.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
+#include "test_util.hh"
+
+namespace optimus
+{
+namespace
+{
+
+constexpr double kGradTol = 3e-2;
+
+TEST(GradCheck, Linear)
+{
+    Rng rng(1);
+    Linear layer("t", 6, 5, rng, 0.5f);
+    Tensor x = Tensor::randn({4, 6}, rng);
+    Tensor w = Tensor::randn({4, 5}, rng);
+    EXPECT_LT(test::inputGradError(layer, x, w, rng), kGradTol);
+    EXPECT_LT(test::paramGradError(layer, x, w, rng), kGradTol);
+}
+
+TEST(GradCheck, LayerNorm)
+{
+    Rng rng(2);
+    LayerNorm layer("t", 8);
+    Tensor x = Tensor::randn({5, 8}, rng, 0.0f, 2.0f);
+    Tensor w = Tensor::randn({5, 8}, rng);
+    EXPECT_LT(test::inputGradError(layer, x, w, rng), kGradTol);
+    EXPECT_LT(test::paramGradError(layer, x, w, rng), kGradTol);
+}
+
+TEST(GradCheck, Gelu)
+{
+    Rng rng(3);
+    Gelu layer;
+    Tensor x = Tensor::randn({4, 6}, rng, 0.0f, 2.0f);
+    Tensor w = Tensor::randn({4, 6}, rng);
+    EXPECT_LT(test::inputGradError(layer, x, w, rng), kGradTol);
+}
+
+TEST(GradCheck, Relu)
+{
+    Rng rng(4);
+    Relu layer;
+    // Keep values away from the kink for finite differences.
+    Tensor x = Tensor::randn({4, 6}, rng, 0.0f, 2.0f);
+    for (int64_t i = 0; i < x.size(); ++i) {
+        if (std::fabs(x[i]) < 0.1f)
+            x[i] = 0.5f;
+    }
+    Tensor w = Tensor::randn({4, 6}, rng);
+    EXPECT_LT(test::inputGradError(layer, x, w, rng), kGradTol);
+}
+
+TEST(GradCheck, Attention)
+{
+    Rng rng(5);
+    MultiHeadAttention layer("t", 8, 2, 4, rng, 0.3f);
+    // Two sequences of length 4.
+    Tensor x = Tensor::randn({8, 8}, rng);
+    Tensor w = Tensor::randn({8, 8}, rng);
+    EXPECT_LT(test::inputGradError(layer, x, w, rng, 32), kGradTol);
+    EXPECT_LT(test::paramGradError(layer, x, w, rng, 16), kGradTol);
+}
+
+TEST(GradCheck, TransformerBlock)
+{
+    Rng rng(6);
+    TransformerBlock layer("t", 8, 2, 4, rng, 0.3f);
+    Tensor x = Tensor::randn({8, 8}, rng);
+    Tensor w = Tensor::randn({8, 8}, rng);
+    EXPECT_LT(test::inputGradError(layer, x, w, rng, 32), kGradTol);
+    EXPECT_LT(test::paramGradError(layer, x, w, rng, 12), kGradTol);
+}
+
+TEST(GradCheck, OutputHead)
+{
+    Rng rng(7);
+    auto table = std::make_shared<Param>(
+        "emb", Tensor::randn({10, 6}, rng, 0.0f, 0.5f));
+    OutputHead head(table);
+    Tensor x = Tensor::randn({4, 6}, rng);
+    Tensor w = Tensor::randn({4, 10}, rng);
+    EXPECT_LT(test::inputGradError(head, x, w, rng), kGradTol);
+    EXPECT_LT(test::paramGradError(head, x, w, rng), kGradTol);
+}
+
+TEST(Embedding, ForwardLookupAndBackwardScatter)
+{
+    Rng rng(8);
+    EmbeddingLayer emb("t", 8, 4, 6, rng, 0.5f);
+    const std::vector<int32_t> tokens = {1, 3, 1, 0, 7, 2};
+    Tensor y = emb.forward(tokens, 2, 3);
+    EXPECT_EQ(y.rows(), 6);
+    EXPECT_EQ(y.cols(), 4);
+
+    // Row 0 = token 1 embedding + position 0 embedding.
+    const Tensor &tok = emb.tokenTable()->value;
+    const Tensor &pos = emb.positionTable()->value;
+    for (int j = 0; j < 4; ++j)
+        EXPECT_FLOAT_EQ(y.at(0, j), tok.at(1, j) + pos.at(0, j));
+
+    Tensor dy = Tensor::full({6, 4}, 1.0f);
+    emb.backward(dy);
+    // Token 1 appears twice -> its grad row is 2.0 everywhere.
+    for (int j = 0; j < 4; ++j) {
+        EXPECT_FLOAT_EQ(emb.tokenTable()->grad.at(1, j), 2.0f);
+        EXPECT_FLOAT_EQ(emb.tokenTable()->grad.at(5, j), 0.0f);
+    }
+    // Each position appears twice (two batch rows).
+    for (int j = 0; j < 4; ++j)
+        EXPECT_FLOAT_EQ(emb.positionTable()->grad.at(0, j), 2.0f);
+}
+
+TEST(Loss, MatchesManualCrossEntropy)
+{
+    SoftmaxCrossEntropy loss;
+    Tensor logits = Tensor::fromValues(
+        {2, 3}, {1.0f, 2.0f, 3.0f, 0.0f, 0.0f, 0.0f});
+    const std::vector<int32_t> targets = {2, 0};
+    const double nll = loss.forward(logits, targets);
+
+    // Row 0: softmax(1,2,3)[2]; Row 1: softmax(0,0,0)[0] = 1/3.
+    const double p0 = std::exp(3.0) /
+        (std::exp(1.0) + std::exp(2.0) + std::exp(3.0));
+    const double expect = -(std::log(p0) + std::log(1.0 / 3.0)) / 2.0;
+    EXPECT_NEAR(nll, expect, 1e-6);
+
+    Tensor g = loss.backward();
+    // Gradient rows sum to zero (softmax minus one-hot).
+    double row0 = g.at(0, 0) + g.at(0, 1) + g.at(0, 2);
+    EXPECT_NEAR(row0, 0.0, 1e-6);
+    EXPECT_LT(g.at(0, 2), 0.0f); // target coordinate is negative
+}
+
+TEST(Loss, GradientMatchesFiniteDifference)
+{
+    Rng rng(9);
+    Tensor logits = Tensor::randn({3, 5}, rng);
+    const std::vector<int32_t> targets = {0, 3, 4};
+
+    SoftmaxCrossEntropy loss;
+    loss.forward(logits, targets);
+    Tensor g = loss.backward();
+
+    const float eps = 1e-3f;
+    for (int64_t i = 0; i < logits.size(); i += 3) {
+        Tensor lp = logits, lm = logits;
+        lp[i] += eps;
+        lm[i] -= eps;
+        const double fp = SoftmaxCrossEntropy::evaluate(lp, targets);
+        const double fm = SoftmaxCrossEntropy::evaluate(lm, targets);
+        EXPECT_NEAR((fp - fm) / (2 * eps), g[i], 2e-3);
+    }
+}
+
+TEST(Loss, PerplexityIsExpOfNll)
+{
+    EXPECT_NEAR(SoftmaxCrossEntropy::perplexity(std::log(7.0)), 7.0,
+                1e-9);
+}
+
+TEST(Gpt, EndToEndGradCheck)
+{
+    GptConfig config;
+    config.vocab = 12;
+    config.hidden = 8;
+    config.layers = 2;
+    config.heads = 2;
+    config.seqLen = 4;
+    config.seed = 31;
+    GptModel model(config);
+
+    Rng rng(10);
+    std::vector<int32_t> tokens(8), targets(8);
+    for (auto &t : tokens)
+        t = static_cast<int32_t>(rng.uniformInt(config.vocab));
+    for (auto &t : targets)
+        t = static_cast<int32_t>(rng.uniformInt(config.vocab));
+
+    for (const auto &p : model.params())
+        p->zeroGrad();
+    model.forwardBackward(tokens, targets, 2);
+
+    // Spot-check several parameters end to end.
+    const auto params = model.params();
+    const float eps = 5e-3f;
+    int checked = 0;
+    for (size_t pi = 0; pi < params.size(); pi += 5) {
+        Param &p = *params[pi];
+        const auto i = static_cast<int64_t>(
+            rng.uniformInt(p.size()));
+        const float saved = p.value[i];
+        p.value[i] = saved + eps;
+        const double fp = model.evaluate(tokens, targets, 2);
+        p.value[i] = saved - eps;
+        const double fm = model.evaluate(tokens, targets, 2);
+        p.value[i] = saved;
+        const double numeric = (fp - fm) / (2.0 * eps);
+        const double analytic = p.grad[i];
+        const double denom = std::max(
+            {std::fabs(numeric), std::fabs(analytic), 1e-3});
+        EXPECT_LT(std::fabs(numeric - analytic) / denom, 5e-2)
+            << "param " << p.name << " index " << i;
+        ++checked;
+    }
+    EXPECT_GT(checked, 3);
+}
+
+TEST(Gpt, TiedEmbeddingAccumulatesBothPaths)
+{
+    GptConfig config;
+    config.vocab = 10;
+    config.hidden = 8;
+    config.layers = 2;
+    config.heads = 2;
+    config.seqLen = 4;
+    GptModel model(config);
+
+    // Embedding table and head table are the same object.
+    EXPECT_EQ(model.embedding().tokenTable().get(),
+              model.head().tokenTable().get());
+
+    // Unique param count excludes the duplicate.
+    int64_t total = 0;
+    for (const auto &p : model.params())
+        total += p->size();
+    EXPECT_EQ(total, config.paramCount());
+}
+
+TEST(Gpt, TrainingReducesLoss)
+{
+    GptConfig config;
+    config.vocab = 16;
+    config.hidden = 16;
+    config.layers = 2;
+    config.heads = 2;
+    config.seqLen = 8;
+    GptModel model(config);
+    AdamOptimizer opt(model.params(), 3e-3f);
+
+    Rng rng(12);
+    // A tiny repeating "language": next = (token + 1) % 16.
+    std::vector<int32_t> tokens(4 * 8), targets(4 * 8);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        tokens[i] = static_cast<int32_t>(i % 16);
+        targets[i] = static_cast<int32_t>((i + 1) % 16);
+    }
+
+    const double first = model.forwardBackward(tokens, targets, 4);
+    opt.step();
+    opt.zeroGrad();
+    double last = first;
+    for (int it = 0; it < 60; ++it) {
+        last = model.forwardBackward(tokens, targets, 4);
+        opt.step();
+        opt.zeroGrad();
+    }
+    EXPECT_LT(last, first * 0.5);
+}
+
+TEST(Attention, CausalMaskBlocksFutureTokens)
+{
+    // Changing a future token's representation must not change any
+    // earlier position's output -- the causal-LM contract.
+    Rng rng(21);
+    MultiHeadAttention layer("t", 8, 2, 6, rng, 0.4f);
+    Tensor x = Tensor::randn({6, 8}, rng); // one sequence of 6
+    Tensor y1 = layer.forward(x);
+    layer.clearStash();
+
+    Tensor x2 = x;
+    for (int64_t j = 0; j < 8; ++j)
+        x2.at(5, j) += 1.0f; // perturb the last position only
+    Tensor y2 = layer.forward(x2);
+    layer.clearStash();
+
+    for (int64_t t = 0; t < 5; ++t) {
+        for (int64_t j = 0; j < 8; ++j)
+            EXPECT_FLOAT_EQ(y1.at(t, j), y2.at(t, j))
+                << "position " << t;
+    }
+    // And the perturbed position itself does change.
+    EXPECT_FALSE(y1.sliceRows(5, 6).allClose(y2.sliceRows(5, 6),
+                                             1e-4f));
+}
+
+TEST(Attention, BatchRowsAreIndependent)
+{
+    // Two sequences in one batch must not attend to each other.
+    Rng rng(22);
+    MultiHeadAttention layer("t", 8, 2, 4, rng, 0.4f);
+    Tensor x = Tensor::randn({8, 8}, rng); // two sequences of 4
+    Tensor y1 = layer.forward(x);
+    layer.clearStash();
+
+    Tensor x2 = x;
+    for (int64_t j = 0; j < 8; ++j)
+        x2.at(7, j) += 2.0f; // perturb second sequence only
+    Tensor y2 = layer.forward(x2);
+    layer.clearStash();
+
+    // First sequence's outputs (rows 0..3) are untouched.
+    EXPECT_TRUE(y1.sliceRows(0, 4).allClose(y2.sliceRows(0, 4),
+                                            0.0f));
+}
+
+TEST(Gpt, LogitsAreCausal)
+{
+    // End-to-end causality: logits at position t depend only on
+    // tokens <= t.
+    GptConfig config;
+    config.vocab = 12;
+    config.hidden = 8;
+    config.layers = 2;
+    config.heads = 2;
+    config.seqLen = 6;
+    GptModel model(config);
+
+    std::vector<int32_t> tokens = {1, 2, 3, 4, 5, 6};
+    Tensor logits1 = model.forward(tokens, 1);
+    model.clearStash();
+    tokens[5] = 9; // change only the final token
+    Tensor logits2 = model.forward(tokens, 1);
+    model.clearStash();
+
+    for (int64_t t = 0; t < 5; ++t) {
+        for (int64_t v = 0; v < 12; ++v)
+            EXPECT_FLOAT_EQ(logits1.at(t, v), logits2.at(t, v));
+    }
+}
+
+TEST(Optimizer, SgdMatchesManualUpdate)
+{
+    auto p = std::make_shared<Param>(
+        "w", Tensor::fromValues({2}, {1.0f, -2.0f}));
+    p->grad = Tensor::fromValues({2}, {0.5f, 0.25f});
+    SgdOptimizer opt({p}, 0.1f);
+    opt.step();
+    EXPECT_FLOAT_EQ(p->value[0], 1.0f - 0.1f * 0.5f);
+    EXPECT_FLOAT_EQ(p->value[1], -2.0f - 0.1f * 0.25f);
+}
+
+TEST(Optimizer, MomentumAccumulates)
+{
+    auto p = std::make_shared<Param>("w", Tensor::zeros(1));
+    SgdOptimizer opt({p}, 1.0f, 0.5f);
+    p->grad = Tensor::fromValues({1}, {1.0f});
+    opt.step(); // v=1, w=-1
+    opt.step(); // v=0.5+1=1.5, w=-2.5
+    EXPECT_FLOAT_EQ(p->value[0], -2.5f);
+}
+
+TEST(Optimizer, AdamFirstStepIsLrSized)
+{
+    auto p = std::make_shared<Param>("w", Tensor::zeros(1));
+    AdamOptimizer opt({p}, 0.01f);
+    p->grad = Tensor::fromValues({1}, {3.0f});
+    opt.step();
+    // With bias correction, the first Adam step is ~lr * sign(g).
+    EXPECT_NEAR(p->value[0], -0.01, 1e-4);
+}
+
+TEST(Optimizer, DedupesTiedParams)
+{
+    auto p = std::make_shared<Param>("w", Tensor::zeros(2));
+    SgdOptimizer opt({p, p, p}, 0.1f);
+    EXPECT_EQ(opt.params().size(), 1u);
+}
+
+TEST(Layer, StashFifoSupportsPipelining)
+{
+    Rng rng(13);
+    Linear layer("t", 3, 3, rng, 0.5f);
+    Tensor x1 = Tensor::randn({2, 3}, rng);
+    Tensor x2 = Tensor::randn({2, 3}, rng);
+
+    // Two forwards queued, then two backwards in the same order.
+    layer.forward(x1);
+    layer.forward(x2);
+    EXPECT_EQ(layer.stashDepth(), 2u);
+
+    Tensor dy = Tensor::full({2, 3}, 1.0f);
+    Tensor dx1 = layer.backward(dy);
+    Tensor dx2 = layer.backward(dy);
+    EXPECT_EQ(layer.stashDepth(), 0u);
+
+    // Compare against single-shot execution.
+    Linear ref("t", 3, 3, rng, 0.5f);
+    // Copy parameters to make layers identical.
+    ref.weight()->value = layer.weight()->value;
+    ref.bias()->value = layer.bias()->value;
+    ref.forward(x1);
+    Tensor ref_dx1 = ref.backward(dy);
+    EXPECT_TRUE(dx1.allClose(ref_dx1, 1e-6f));
+}
+
+} // namespace
+} // namespace optimus

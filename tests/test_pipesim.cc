@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the pipeline-timing simulator: analytic sanity of the
+ * 1F1B timeline, breakdown accounting, policy effects (CB / FE /
+ * SC), and the compression-kernel throughput model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipesim/pipe_model.hh"
+
+namespace optimus
+{
+namespace
+{
+
+/** Uniform spec with no communication at all. */
+PipeCostSpec
+computeOnlySpec(int stages, int micro_batches, double fwd, double bwd)
+{
+    PipeCostSpec spec;
+    spec.stages = stages;
+    spec.microBatches = micro_batches;
+    spec.fwdCompute = fwd;
+    spec.bwdCompute = bwd;
+    spec.fwdMsgTime = 0.0;
+    spec.bwdMsgTime.assign(stages - 1,
+                           std::vector<double>(micro_batches, 0.0));
+    spec.dpTime.assign(stages, 0.0);
+    spec.embSyncTime = 0.0;
+    return spec;
+}
+
+TEST(PipeSim, SingleStageIsSequential)
+{
+    PipeCostSpec spec = computeOnlySpec(1, 4, 1.0, 2.0);
+    // One stage: 4 sequential (fwd + bwd) pairs.
+    const auto result = simulatePipeline(spec);
+    EXPECT_NEAR(result.iterationTime, 4 * 3.0, 1e-9);
+}
+
+TEST(PipeSim, OneFOneBMatchesAnalyticBubble)
+{
+    // Uniform stages, zero comm: iteration = (M + P - 1)(f + b).
+    for (int p : {2, 4, 8}) {
+        for (int m : {8, 16}) {
+            PipeCostSpec spec = computeOnlySpec(p, m, 1.0, 2.0);
+            const auto result = simulatePipeline(spec);
+            EXPECT_NEAR(result.iterationTime, (m + p - 1) * 3.0,
+                        1e-9)
+                << "P=" << p << " M=" << m;
+        }
+    }
+}
+
+TEST(PipeSim, CommunicationDelaysIteration)
+{
+    PipeCostSpec spec = computeOnlySpec(4, 8, 1.0, 2.0);
+    const double base = simulatePipeline(spec).iterationTime;
+
+    spec.fwdMsgTime = 0.1;
+    for (auto &channel : spec.bwdMsgTime)
+        std::fill(channel.begin(), channel.end(), 0.1);
+    const double with_comm = simulatePipeline(spec).iterationTime;
+    EXPECT_GT(with_comm, base);
+}
+
+TEST(PipeSim, DpTimeExtendsReadiness)
+{
+    PipeCostSpec spec = computeOnlySpec(2, 4, 1.0, 2.0);
+    const double base = simulatePipeline(spec).iterationTime;
+    spec.dpTime[0] = 5.0;
+    const auto result = simulatePipeline(spec);
+    // Stage 0's reduction gates the next iteration directly.
+    EXPECT_NEAR(result.iterationTime, base + 5.0, 1e-9);
+}
+
+TEST(PipeSim, LaterStageDpOverlapsRamp)
+{
+    // The same reduction on the last stage is partially hidden by
+    // the next iteration's ramp.
+    PipeCostSpec spec = computeOnlySpec(4, 8, 1.0, 2.0);
+    const double base = simulatePipeline(spec).iterationTime;
+
+    PipeCostSpec early = spec;
+    early.dpTime[0] = 2.0;
+    PipeCostSpec late = spec;
+    late.dpTime[3] = 2.0;
+    const double t_early = simulatePipeline(early).iterationTime;
+    const double t_late = simulatePipeline(late).iterationTime;
+    EXPECT_GT(t_early, base);
+    EXPECT_LT(t_late, t_early);
+}
+
+TEST(PipeSim, EmbeddingSyncGatesFirstAndLastStage)
+{
+    PipeCostSpec spec = computeOnlySpec(4, 8, 1.0, 2.0);
+    const double base = simulatePipeline(spec).iterationTime;
+    spec.embSyncTime = 3.0;
+    const auto result = simulatePipeline(spec);
+    EXPECT_NEAR(result.iterationTime, base + 3.0, 1e-9);
+    EXPECT_GT(result.embEnd, result.dpEnd[0]);
+}
+
+TEST(PipeSim, BreakdownComponentsSumToTotal)
+{
+    const auto hw = HardwareConfig::a100Cluster();
+    ParallelConfig parallel;
+    TrainingPlan plan;
+    MappedWorkload w(hw, GptModelSpec::gpt8_3b(), parallel, plan);
+    const auto spec = buildCostSpec(w, OptimusCcPolicy::baseline());
+    const auto bd = computeBreakdown(spec);
+    EXPECT_NEAR(bd.total,
+                bd.fwdCompute + bd.bwdCompute + bd.interStage +
+                    bd.dpComm + bd.embComm,
+                1e-6);
+    EXPECT_GT(bd.fwdCompute, 0.0);
+    EXPECT_GT(bd.bwdCompute, 0.0);
+    EXPECT_GT(bd.interStage, 0.0);
+    EXPECT_GT(bd.dpComm, 0.0);
+    EXPECT_GT(bd.embComm, 0.0);
+}
+
+TEST(Policy, PresetsMatchPaperColumns)
+{
+    const auto base = OptimusCcPolicy::baseline();
+    EXPECT_FALSE(base.cb);
+    EXPECT_FALSE(base.fusedEmbedding);
+    EXPECT_FALSE(base.sc);
+
+    const auto cb = OptimusCcPolicy::cbOnly();
+    EXPECT_TRUE(cb.cb);
+    EXPECT_FALSE(cb.fusedEmbedding);
+
+    const auto cbfe = OptimusCcPolicy::cbFe();
+    EXPECT_TRUE(cbfe.cb);
+    EXPECT_TRUE(cbfe.fusedEmbedding);
+    EXPECT_FALSE(cbfe.sc);
+
+    const auto full = OptimusCcPolicy::cbFeSc();
+    EXPECT_TRUE(full.cb && full.fusedEmbedding && full.sc);
+    EXPECT_DOUBLE_EQ(full.scStageFraction, 0.75);
+}
+
+TEST(Policy, EachTechniqueMonotonicallyImproves)
+{
+    for (auto model :
+         {GptModelSpec::gpt2_5b(), GptModelSpec::gpt8_3b()}) {
+        const auto hw = HardwareConfig::a100Cluster();
+        ParallelConfig parallel;
+        TrainingPlan plan;
+        MappedWorkload w(hw, model, parallel, plan);
+        const double base =
+            trainingDays(w, OptimusCcPolicy::baseline());
+        const double cb = trainingDays(w, OptimusCcPolicy::cbOnly());
+        const double cbfe = trainingDays(w, OptimusCcPolicy::cbFe());
+        const double full =
+            trainingDays(w, OptimusCcPolicy::cbFeSc());
+        EXPECT_LT(cb, base) << model.name;
+        EXPECT_LT(cbfe, cb) << model.name;
+        EXPECT_LT(full, cbfe) << model.name;
+    }
+}
+
+TEST(Policy, Table2SpeedupShapeReproduced)
+{
+    const auto hw = HardwareConfig::a100Cluster();
+    ParallelConfig parallel;
+    TrainingPlan plan;
+
+    MappedWorkload w25(hw, GptModelSpec::gpt2_5b(), parallel, plan);
+    MappedWorkload w83(hw, GptModelSpec::gpt8_3b(), parallel, plan);
+
+    // Baseline days within 10% of the paper's Table 2.
+    EXPECT_NEAR(trainingDays(w25, OptimusCcPolicy::baseline()),
+                14.72, 1.5);
+    EXPECT_NEAR(trainingDays(w83, OptimusCcPolicy::baseline()),
+                37.27, 3.7);
+
+    // SC's marginal gain is the largest contributor on 8.3B and the
+    // smallest on 2.5B (the paper's headline asymmetry).
+    auto marginal = [](const MappedWorkload &w) {
+        const double cbfe = trainingDays(w, OptimusCcPolicy::cbFe());
+        const double full =
+            trainingDays(w, OptimusCcPolicy::cbFeSc());
+        const double base =
+            trainingDays(w, OptimusCcPolicy::baseline());
+        const double cb = trainingDays(w, OptimusCcPolicy::cbOnly());
+        return std::make_pair(cbfe / full - 1.0, // SC marginal
+                              base / cb - 1.0);  // CB marginal
+    };
+    const auto [sc25, cb25] = marginal(w25);
+    const auto [sc83, cb83] = marginal(w83);
+    EXPECT_LT(sc25, cb25);          // 2.5B: SC smallest
+    EXPECT_GT(sc83, cb83);          // 8.3B: SC largest
+    EXPECT_GT(sc83, 3.0 * sc25);    // asymmetry is strong
+}
+
+TEST(PipeSim, EpilogueOnlyCbKeepsMostOfFullCbSpeedup)
+{
+    // The paper's claim (Section 5.2): restricting compression to
+    // the epilogue costs little speed because the skipped messages
+    // were hidden anyway.
+    const auto hw = HardwareConfig::a100Cluster();
+    ParallelConfig parallel;
+    TrainingPlan plan;
+    MappedWorkload w(hw, GptModelSpec::gpt8_3b(), parallel, plan);
+
+    OptimusCcPolicy everything = OptimusCcPolicy::cbOnly();
+    everything.cbEpilogueOnly = false;
+    OptimusCcPolicy epilogue = OptimusCcPolicy::cbOnly();
+
+    const double base = trainingDays(w, OptimusCcPolicy::baseline());
+    const double t_all = trainingDays(w, everything);
+    const double t_epi = trainingDays(w, epilogue);
+    const double gain_all = base - t_all;
+    const double gain_epi = base - t_epi;
+    EXPECT_GT(gain_epi, 0.75 * gain_all);
+}
+
+TEST(Kernel, CompressionThroughputTrendsMatchFig15)
+{
+    CompressionKernelModel kernel;
+    // Larger messages -> higher compression throughput (setup
+    // amortizes).
+    const double small = kernel.compressThroughput(1024, 1920, 16);
+    const double large = kernel.compressThroughput(8192, 3072, 16);
+    EXPECT_GT(large, small);
+
+    // Higher rank -> lower compression throughput (orthogonalization
+    // dominates).
+    const double r4 = kernel.compressThroughput(8192, 3072, 4);
+    const double r64 = kernel.compressThroughput(8192, 3072, 64);
+    EXPECT_GT(r4, r64);
+
+    // Decompression is orders of magnitude faster.
+    const double comp = kernel.compressThroughput(8192, 3072, 16);
+    const double decomp =
+        kernel.decompressThroughput(8192, 3072, 16);
+    EXPECT_GT(decomp, 20.0 * comp);
+}
+
+TEST(Kernel, ThroughputComfortablyExceedsInterconnect)
+{
+    // Fig 15's red line: compression must outrun the 25 GB/s wire
+    // for the technique to be viable.
+    CompressionKernelModel kernel;
+    const double wire = 25e9;
+    EXPECT_GT(kernel.compressThroughput(8192, 3072, 16), wire);
+    EXPECT_GT(kernel.decompressThroughput(8192, 3072, 16), wire);
+}
+
+TEST(PipeSim, SchedulesAgreeWithoutCommAndDivergeWithIt)
+{
+    // With zero communication and uniform stages, 1F1B and GPipe
+    // have the same makespan (M + P - 1 slots). With per-message
+    // communication they differ: 1F1B pays the forward+backward
+    // zig-zag dependency cycle every micro-batch, GPipe pays the
+    // ramp twice -- either can win depending on the ratios.
+    PipeCostSpec spec = computeOnlySpec(4, 16, 1.0, 2.0);
+    const double t_1f1b0 = simulatePipeline(spec).iterationTime;
+    PipeCostSpec gspec = spec;
+    gspec.schedule = ScheduleKind::GPipe;
+    const double t_gpipe0 = simulatePipeline(gspec).iterationTime;
+    EXPECT_NEAR(t_1f1b0, t_gpipe0, 1e-9);
+
+    spec.fwdMsgTime = 0.2;
+    for (auto &channel : spec.bwdMsgTime)
+        std::fill(channel.begin(), channel.end(), 0.2);
+    gspec = spec;
+    gspec.schedule = ScheduleKind::GPipe;
+    const double t_1f1b = simulatePipeline(spec).iterationTime;
+    const double t_gpipe = simulatePipeline(gspec).iterationTime;
+    EXPECT_GT(t_1f1b, t_1f1b0);
+    EXPECT_GT(t_gpipe, t_gpipe0);
+}
+
+} // namespace
+} // namespace optimus

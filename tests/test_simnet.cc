@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the communication cost models: alpha-beta p2p, ring
+ * all-reduce closed forms, and the Eq 15/16 embedding-sync costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simnet/cost_model.hh"
+
+namespace optimus
+{
+namespace
+{
+
+TEST(CostModel, P2pIsAlphaPlusBeta)
+{
+    LinkSpec link{1e9, 5e-6};
+    EXPECT_DOUBLE_EQ(p2pTime(0.0, link), 5e-6);
+    EXPECT_DOUBLE_EQ(p2pTime(1e9, link), 5e-6 + 1.0);
+    // Double the bytes, roughly double the time.
+    EXPECT_NEAR(p2pTime(2e9, link), 2.0 * p2pTime(1e9, link), 1e-5);
+}
+
+TEST(CostModel, RingTrafficClosedForm)
+{
+    // 2V(R-1)/R per Thakur et al.
+    EXPECT_DOUBLE_EQ(ringAllReduceTraffic(100.0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(ringAllReduceTraffic(100.0, 2), 100.0);
+    EXPECT_DOUBLE_EQ(ringAllReduceTraffic(100.0, 4), 150.0);
+    // Approaches 2V as R grows.
+    EXPECT_NEAR(ringAllReduceTraffic(100.0, 1000), 199.8, 0.01);
+}
+
+TEST(CostModel, RingTimeIncludesStepLatencies)
+{
+    LinkSpec link{1e9, 1e-3};
+    // R=4: 6 steps of latency + traffic/bw.
+    const double expect = 6 * 1e-3 + 150.0 / 1e9;
+    EXPECT_NEAR(ringAllReduceTime(100.0, 4, link), expect, 1e-12);
+    EXPECT_DOUBLE_EQ(ringAllReduceTime(100.0, 1, link), 0.0);
+}
+
+TEST(CostModel, EmbeddingSyncMatchesEq15)
+{
+    // C_emb = V (3D-2)/D.
+    const double v = 1000.0;
+    for (int d : {1, 2, 4, 8, 64}) {
+        EXPECT_NEAR(embSyncTrafficBaseline(v, d),
+                    v * (3.0 * d - 2.0) / d, 1e-9)
+            << "D=" << d;
+    }
+}
+
+TEST(CostModel, FusedEmbeddingSyncMatchesEq16)
+{
+    // C_fused = V (2D-1)/D.
+    const double v = 1000.0;
+    for (int d : {1, 2, 4, 8, 64}) {
+        EXPECT_NEAR(embSyncTrafficFused(v, d),
+                    v * (2.0 * d - 1.0) / d, 1e-9)
+            << "D=" << d;
+    }
+}
+
+TEST(CostModel, FusedSavingApproachesFiftyPercent)
+{
+    const double v = 1.0;
+    // D=4: paper quotes 42.9% improvement.
+    const double saving4 = 1.0 - embSyncTrafficFused(v, 4) /
+                                     embSyncTrafficBaseline(v, 4);
+    EXPECT_NEAR(saving4, 0.30, 0.005); // traffic saving at D=4
+
+    // The *time improvement* quoted in the paper is
+    // baseline/fused - 1 = (3D-2)/(2D-1) - 1 = 42.9% at D=4.
+    const double speedup4 = embSyncTrafficBaseline(v, 4) /
+                                embSyncTrafficFused(v, 4) -
+                            1.0;
+    EXPECT_NEAR(speedup4, 3.0 / 7.0, 1e-9); // 42.86%
+
+    // As D -> inf, baseline/fused -> 3/2 (50% improvement).
+    const double speedup_inf = embSyncTrafficBaseline(v, 10000) /
+                                   embSyncTrafficFused(v, 10000) -
+                               1.0;
+    EXPECT_NEAR(speedup_inf, 0.5, 1e-3);
+}
+
+TEST(CostModel, FusedNeverWorseThanBaseline)
+{
+    for (int d : {1, 2, 3, 4, 7, 16, 128}) {
+        EXPECT_LE(embSyncTrafficFused(1.0, d),
+                  embSyncTrafficBaseline(1.0, d) + 1e-12)
+            << "D=" << d;
+    }
+}
+
+} // namespace
+} // namespace optimus

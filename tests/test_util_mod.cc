@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the util module: RNG determinism and statistics, stats
+ * helpers, the table printer, CSV escaping, and CLI parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hh"
+#include "util/csv_writer.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table_printer.hh"
+
+namespace optimus
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.nextU64() == b.nextU64())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedResetsTheStream)
+{
+    Rng rng(7);
+    const uint64_t first = rng.nextU64();
+    rng.nextU64();
+    rng.seed(7);
+    EXPECT_EQ(rng.nextU64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias)
+{
+    Rng rng(4);
+    int counts[7] = {0};
+    for (int i = 0; i < 14000; ++i)
+        ++counts[rng.uniformInt(7)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 2000, 250);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(5);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, CategoricalFollowsWeights)
+{
+    Rng rng(6);
+    const double weights[3] = {1.0, 2.0, 7.0};
+    int counts[3] = {0};
+    for (int i = 0; i < 10000; ++i)
+        ++counts[rng.categorical(weights, 3)];
+    EXPECT_NEAR(counts[0] / 10000.0, 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / 10000.0, 0.2, 0.02);
+    EXPECT_NEAR(counts[2] / 10000.0, 0.7, 0.02);
+}
+
+TEST(Stats, MeanStdCosine)
+{
+    const std::vector<float> a{1.0f, 2.0f, 3.0f, 4.0f};
+    EXPECT_DOUBLE_EQ(mean(a), 2.5);
+    EXPECT_NEAR(stddev(a), std::sqrt(1.25), 1e-9);
+
+    const std::vector<float> b{2.0f, 4.0f, 6.0f, 8.0f};
+    EXPECT_NEAR(cosineSimilarity(a, b), 1.0, 1e-6);
+
+    const std::vector<float> c{-1.0f, -2.0f, -3.0f, -4.0f};
+    EXPECT_NEAR(cosineSimilarity(a, c), -1.0, 1e-6);
+
+    const std::vector<float> zero{0.0f, 0.0f, 0.0f, 0.0f};
+    EXPECT_DOUBLE_EQ(cosineSimilarity(a, zero), 0.0);
+}
+
+TEST(Stats, OrthogonalVectorsHaveZeroCosine)
+{
+    const std::vector<float> a{1.0f, 0.0f};
+    const std::vector<float> b{0.0f, 5.0f};
+    EXPECT_NEAR(cosineSimilarity(a, b), 0.0, 1e-9);
+}
+
+TEST(Stats, RunningStatMatchesBatch)
+{
+    Rng rng(8);
+    RunningStat rs;
+    std::vector<float> values;
+    for (int i = 0; i < 500; ++i) {
+        const float x = static_cast<float>(rng.normal(1.0, 3.0));
+        values.push_back(x);
+        rs.add(x);
+    }
+    EXPECT_EQ(rs.count(), 500u);
+    EXPECT_NEAR(rs.mean(), mean(values), 1e-4);
+    EXPECT_NEAR(rs.stddev(), stddev(values), 1e-3);
+    EXPECT_LE(rs.min(), rs.mean());
+    EXPECT_GE(rs.max(), rs.mean());
+
+    rs.reset();
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter table({"Name", "Value"});
+    table.addRow({"a", "1"});
+    table.addRow({"longer", "22.5"});
+    const std::string out = table.render();
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // Numbers are right-aligned: "22.5" at line end.
+    EXPECT_NE(out.find("22.5\n"), std::string::npos);
+    // Labels left-aligned: line starts with "a" padded.
+    EXPECT_NE(out.find("\na      "), std::string::npos);
+}
+
+TEST(TablePrinter, FormatHelpers)
+{
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+    EXPECT_EQ(TablePrinter::fmtPercent(0.1234, 1), "+12.3%");
+    EXPECT_EQ(TablePrinter::fmtPercent(-0.05, 0), "-5%");
+}
+
+TEST(CsvWriter, EscapesSpecialCells)
+{
+    const std::string path = "/tmp/optimus_test_csv.csv";
+    {
+        CsvWriter csv(path, {"a", "b"});
+        csv.writeRow(std::vector<std::string>{"plain",
+                                              "with,comma"});
+        csv.writeRow(std::vector<std::string>{"with\"quote", "x"});
+        csv.writeRow({1.5, 2.25});
+    }
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+    EXPECT_NE(content.find("a,b\n"), std::string::npos);
+    EXPECT_NE(content.find("plain,\"with,comma\"\n"),
+              std::string::npos);
+    EXPECT_NE(content.find("\"with\"\"quote\",x\n"),
+              std::string::npos);
+    EXPECT_NE(content.find("1.5,2.25\n"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, ParsesFlagForms)
+{
+    // Note: a bare `--switch` followed by a non-flag token would
+    // consume it as a value (documented `--name value` form), so
+    // positional arguments precede bare switches here.
+    const char *argv[] = {"prog", "--alpha", "3",       "--beta=x",
+                          "pos1", "--gamma", "2.5",     "--switch"};
+    CliArgs args(8, argv);
+    EXPECT_EQ(args.getInt("alpha"), 3);
+    EXPECT_EQ(args.getString("beta"), "x");
+    EXPECT_TRUE(args.getBool("switch"));
+    EXPECT_DOUBLE_EQ(args.getDouble("gamma"), 2.5);
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "pos1");
+    EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, DefaultsWhenAbsent)
+{
+    const char *argv[] = {"prog"};
+    CliArgs args(1, argv);
+    EXPECT_FALSE(args.has("missing"));
+    EXPECT_EQ(args.getInt("missing", 9), 9);
+    EXPECT_EQ(args.getString("missing", "d"), "d");
+    EXPECT_FALSE(args.getBool("missing", false));
+    EXPECT_TRUE(args.getBool("missing", true));
+}
+
+TEST(Cli, BooleanValueForms)
+{
+    const char *argv[] = {"prog", "--on=true", "--off=false",
+                          "--one=1", "--zero=0"};
+    CliArgs args(5, argv);
+    EXPECT_TRUE(args.getBool("on"));
+    EXPECT_FALSE(args.getBool("off"));
+    EXPECT_TRUE(args.getBool("one"));
+    EXPECT_FALSE(args.getBool("zero"));
+}
+
+} // namespace
+} // namespace optimus
