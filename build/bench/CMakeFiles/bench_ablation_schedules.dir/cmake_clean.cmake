@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_schedules.dir/bench_ablation_schedules.cpp.o"
+  "CMakeFiles/bench_ablation_schedules.dir/bench_ablation_schedules.cpp.o.d"
+  "bench_ablation_schedules"
+  "bench_ablation_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

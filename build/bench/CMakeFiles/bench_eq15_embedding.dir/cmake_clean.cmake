@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq15_embedding.dir/bench_eq15_embedding.cpp.o"
+  "CMakeFiles/bench_eq15_embedding.dir/bench_eq15_embedding.cpp.o.d"
+  "bench_eq15_embedding"
+  "bench_eq15_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq15_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_cosine.cpp" "bench/CMakeFiles/bench_fig11_cosine.dir/bench_fig11_cosine.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11_cosine.dir/bench_fig11_cosine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/optimus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipesim/CMakeFiles/optimus_pipesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/optimus_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/optimus_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/optimus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/optimus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/optimus_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/optimus_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/optimus_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/optimus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/optimus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cosine.dir/bench_fig11_cosine.cpp.o"
+  "CMakeFiles/bench_fig11_cosine.dir/bench_fig11_cosine.cpp.o.d"
+  "bench_fig11_cosine"
+  "bench_fig11_cosine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cosine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_zeroshot.dir/bench_table3_zeroshot.cpp.o"
+  "CMakeFiles/bench_table3_zeroshot.dir/bench_table3_zeroshot.cpp.o.d"
+  "bench_table3_zeroshot"
+  "bench_table3_zeroshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_zeroshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_lep.dir/bench_table4_lep.cpp.o"
+  "CMakeFiles/bench_table4_lep.dir/bench_table4_lep.cpp.o.d"
+  "bench_table4_lep"
+  "bench_table4_lep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_lep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

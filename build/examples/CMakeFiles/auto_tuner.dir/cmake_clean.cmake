@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_tuner.dir/auto_tuner.cpp.o"
+  "CMakeFiles/auto_tuner.dir/auto_tuner.cpp.o.d"
+  "auto_tuner"
+  "auto_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_lm.dir/train_lm.cpp.o"
+  "CMakeFiles/train_lm.dir/train_lm.cpp.o.d"
+  "train_lm"
+  "train_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tensor")
+subdirs("compress")
+subdirs("nn")
+subdirs("data")
+subdirs("schedule")
+subdirs("parallel")
+subdirs("simnet")
+subdirs("cluster")
+subdirs("pipesim")
+subdirs("core")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/hardware.cc" "src/cluster/CMakeFiles/optimus_cluster.dir/hardware.cc.o" "gcc" "src/cluster/CMakeFiles/optimus_cluster.dir/hardware.cc.o.d"
+  "/root/repo/src/cluster/mapping.cc" "src/cluster/CMakeFiles/optimus_cluster.dir/mapping.cc.o" "gcc" "src/cluster/CMakeFiles/optimus_cluster.dir/mapping.cc.o.d"
+  "/root/repo/src/cluster/model_spec.cc" "src/cluster/CMakeFiles/optimus_cluster.dir/model_spec.cc.o" "gcc" "src/cluster/CMakeFiles/optimus_cluster.dir/model_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/optimus_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/optimus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

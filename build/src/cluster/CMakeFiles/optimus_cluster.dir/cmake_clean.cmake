@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_cluster.dir/hardware.cc.o"
+  "CMakeFiles/optimus_cluster.dir/hardware.cc.o.d"
+  "CMakeFiles/optimus_cluster.dir/mapping.cc.o"
+  "CMakeFiles/optimus_cluster.dir/mapping.cc.o.d"
+  "CMakeFiles/optimus_cluster.dir/model_spec.cc.o"
+  "CMakeFiles/optimus_cluster.dir/model_spec.cc.o.d"
+  "liboptimus_cluster.a"
+  "liboptimus_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

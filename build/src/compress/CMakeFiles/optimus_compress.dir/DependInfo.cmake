@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/optimus_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/optimus_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/error_feedback.cc" "src/compress/CMakeFiles/optimus_compress.dir/error_feedback.cc.o" "gcc" "src/compress/CMakeFiles/optimus_compress.dir/error_feedback.cc.o.d"
+  "/root/repo/src/compress/powersgd.cc" "src/compress/CMakeFiles/optimus_compress.dir/powersgd.cc.o" "gcc" "src/compress/CMakeFiles/optimus_compress.dir/powersgd.cc.o.d"
+  "/root/repo/src/compress/quantize.cc" "src/compress/CMakeFiles/optimus_compress.dir/quantize.cc.o" "gcc" "src/compress/CMakeFiles/optimus_compress.dir/quantize.cc.o.d"
+  "/root/repo/src/compress/topk.cc" "src/compress/CMakeFiles/optimus_compress.dir/topk.cc.o" "gcc" "src/compress/CMakeFiles/optimus_compress.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/optimus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/optimus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_compress.dir/compressor.cc.o"
+  "CMakeFiles/optimus_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/optimus_compress.dir/error_feedback.cc.o"
+  "CMakeFiles/optimus_compress.dir/error_feedback.cc.o.d"
+  "CMakeFiles/optimus_compress.dir/powersgd.cc.o"
+  "CMakeFiles/optimus_compress.dir/powersgd.cc.o.d"
+  "CMakeFiles/optimus_compress.dir/quantize.cc.o"
+  "CMakeFiles/optimus_compress.dir/quantize.cc.o.d"
+  "CMakeFiles/optimus_compress.dir/topk.cc.o"
+  "CMakeFiles/optimus_compress.dir/topk.cc.o.d"
+  "liboptimus_compress.a"
+  "liboptimus_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

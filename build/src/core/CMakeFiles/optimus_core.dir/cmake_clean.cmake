@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_core.dir/auto_tuner.cc.o"
+  "CMakeFiles/optimus_core.dir/auto_tuner.cc.o.d"
+  "CMakeFiles/optimus_core.dir/performance_experiment.cc.o"
+  "CMakeFiles/optimus_core.dir/performance_experiment.cc.o.d"
+  "CMakeFiles/optimus_core.dir/presets.cc.o"
+  "CMakeFiles/optimus_core.dir/presets.cc.o.d"
+  "CMakeFiles/optimus_core.dir/quality_experiment.cc.o"
+  "CMakeFiles/optimus_core.dir/quality_experiment.cc.o.d"
+  "liboptimus_core.a"
+  "liboptimus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_data.dir/corpus.cc.o"
+  "CMakeFiles/optimus_data.dir/corpus.cc.o.d"
+  "CMakeFiles/optimus_data.dir/dataset.cc.o"
+  "CMakeFiles/optimus_data.dir/dataset.cc.o.d"
+  "CMakeFiles/optimus_data.dir/zeroshot.cc.o"
+  "CMakeFiles/optimus_data.dir/zeroshot.cc.o.d"
+  "liboptimus_data.a"
+  "liboptimus_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/optimus_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/optimus_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/optimus_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/optimus_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/block.cc" "src/nn/CMakeFiles/optimus_nn.dir/block.cc.o" "gcc" "src/nn/CMakeFiles/optimus_nn.dir/block.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/optimus_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/optimus_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/gpt.cc" "src/nn/CMakeFiles/optimus_nn.dir/gpt.cc.o" "gcc" "src/nn/CMakeFiles/optimus_nn.dir/gpt.cc.o.d"
+  "/root/repo/src/nn/layernorm.cc" "src/nn/CMakeFiles/optimus_nn.dir/layernorm.cc.o" "gcc" "src/nn/CMakeFiles/optimus_nn.dir/layernorm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/optimus_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/optimus_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/optimus_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/optimus_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/optimus_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/optimus_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/param.cc" "src/nn/CMakeFiles/optimus_nn.dir/param.cc.o" "gcc" "src/nn/CMakeFiles/optimus_nn.dir/param.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/optimus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/optimus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

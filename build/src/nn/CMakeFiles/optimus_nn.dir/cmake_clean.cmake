@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_nn.dir/activation.cc.o"
+  "CMakeFiles/optimus_nn.dir/activation.cc.o.d"
+  "CMakeFiles/optimus_nn.dir/attention.cc.o"
+  "CMakeFiles/optimus_nn.dir/attention.cc.o.d"
+  "CMakeFiles/optimus_nn.dir/block.cc.o"
+  "CMakeFiles/optimus_nn.dir/block.cc.o.d"
+  "CMakeFiles/optimus_nn.dir/embedding.cc.o"
+  "CMakeFiles/optimus_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/optimus_nn.dir/gpt.cc.o"
+  "CMakeFiles/optimus_nn.dir/gpt.cc.o.d"
+  "CMakeFiles/optimus_nn.dir/layernorm.cc.o"
+  "CMakeFiles/optimus_nn.dir/layernorm.cc.o.d"
+  "CMakeFiles/optimus_nn.dir/linear.cc.o"
+  "CMakeFiles/optimus_nn.dir/linear.cc.o.d"
+  "CMakeFiles/optimus_nn.dir/loss.cc.o"
+  "CMakeFiles/optimus_nn.dir/loss.cc.o.d"
+  "CMakeFiles/optimus_nn.dir/optimizer.cc.o"
+  "CMakeFiles/optimus_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/optimus_nn.dir/param.cc.o"
+  "CMakeFiles/optimus_nn.dir/param.cc.o.d"
+  "liboptimus_nn.a"
+  "liboptimus_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

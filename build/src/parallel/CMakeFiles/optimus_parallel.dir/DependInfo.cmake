@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/channels.cc" "src/parallel/CMakeFiles/optimus_parallel.dir/channels.cc.o" "gcc" "src/parallel/CMakeFiles/optimus_parallel.dir/channels.cc.o.d"
+  "/root/repo/src/parallel/data_parallel.cc" "src/parallel/CMakeFiles/optimus_parallel.dir/data_parallel.cc.o" "gcc" "src/parallel/CMakeFiles/optimus_parallel.dir/data_parallel.cc.o.d"
+  "/root/repo/src/parallel/stage_module.cc" "src/parallel/CMakeFiles/optimus_parallel.dir/stage_module.cc.o" "gcc" "src/parallel/CMakeFiles/optimus_parallel.dir/stage_module.cc.o.d"
+  "/root/repo/src/parallel/tensor_parallel.cc" "src/parallel/CMakeFiles/optimus_parallel.dir/tensor_parallel.cc.o" "gcc" "src/parallel/CMakeFiles/optimus_parallel.dir/tensor_parallel.cc.o.d"
+  "/root/repo/src/parallel/trainer3d.cc" "src/parallel/CMakeFiles/optimus_parallel.dir/trainer3d.cc.o" "gcc" "src/parallel/CMakeFiles/optimus_parallel.dir/trainer3d.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/optimus_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/optimus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/optimus_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/optimus_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/optimus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/optimus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

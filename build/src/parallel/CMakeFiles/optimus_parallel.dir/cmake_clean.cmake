@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_parallel.dir/channels.cc.o"
+  "CMakeFiles/optimus_parallel.dir/channels.cc.o.d"
+  "CMakeFiles/optimus_parallel.dir/data_parallel.cc.o"
+  "CMakeFiles/optimus_parallel.dir/data_parallel.cc.o.d"
+  "CMakeFiles/optimus_parallel.dir/stage_module.cc.o"
+  "CMakeFiles/optimus_parallel.dir/stage_module.cc.o.d"
+  "CMakeFiles/optimus_parallel.dir/tensor_parallel.cc.o"
+  "CMakeFiles/optimus_parallel.dir/tensor_parallel.cc.o.d"
+  "CMakeFiles/optimus_parallel.dir/trainer3d.cc.o"
+  "CMakeFiles/optimus_parallel.dir/trainer3d.cc.o.d"
+  "liboptimus_parallel.a"
+  "liboptimus_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

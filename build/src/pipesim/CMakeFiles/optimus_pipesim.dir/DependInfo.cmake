@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipesim/pipe_model.cc" "src/pipesim/CMakeFiles/optimus_pipesim.dir/pipe_model.cc.o" "gcc" "src/pipesim/CMakeFiles/optimus_pipesim.dir/pipe_model.cc.o.d"
+  "/root/repo/src/pipesim/throughput_model.cc" "src/pipesim/CMakeFiles/optimus_pipesim.dir/throughput_model.cc.o" "gcc" "src/pipesim/CMakeFiles/optimus_pipesim.dir/throughput_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/optimus_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/optimus_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/optimus_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/optimus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

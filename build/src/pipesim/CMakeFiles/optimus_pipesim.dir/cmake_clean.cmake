@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_pipesim.dir/pipe_model.cc.o"
+  "CMakeFiles/optimus_pipesim.dir/pipe_model.cc.o.d"
+  "CMakeFiles/optimus_pipesim.dir/throughput_model.cc.o"
+  "CMakeFiles/optimus_pipesim.dir/throughput_model.cc.o.d"
+  "liboptimus_pipesim.a"
+  "liboptimus_pipesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_pipesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

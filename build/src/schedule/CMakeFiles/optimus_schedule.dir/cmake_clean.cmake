@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_schedule.dir/interleaved.cc.o"
+  "CMakeFiles/optimus_schedule.dir/interleaved.cc.o.d"
+  "CMakeFiles/optimus_schedule.dir/schedule.cc.o"
+  "CMakeFiles/optimus_schedule.dir/schedule.cc.o.d"
+  "liboptimus_schedule.a"
+  "liboptimus_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_simnet.dir/cost_model.cc.o"
+  "CMakeFiles/optimus_simnet.dir/cost_model.cc.o.d"
+  "liboptimus_simnet.a"
+  "liboptimus_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

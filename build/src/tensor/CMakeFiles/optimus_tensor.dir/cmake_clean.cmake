@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_tensor.dir/matmul.cc.o"
+  "CMakeFiles/optimus_tensor.dir/matmul.cc.o.d"
+  "CMakeFiles/optimus_tensor.dir/tensor.cc.o"
+  "CMakeFiles/optimus_tensor.dir/tensor.cc.o.d"
+  "liboptimus_tensor.a"
+  "liboptimus_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

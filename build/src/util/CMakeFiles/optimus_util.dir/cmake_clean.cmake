@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_util.dir/cli.cc.o"
+  "CMakeFiles/optimus_util.dir/cli.cc.o.d"
+  "CMakeFiles/optimus_util.dir/csv_writer.cc.o"
+  "CMakeFiles/optimus_util.dir/csv_writer.cc.o.d"
+  "CMakeFiles/optimus_util.dir/logging.cc.o"
+  "CMakeFiles/optimus_util.dir/logging.cc.o.d"
+  "CMakeFiles/optimus_util.dir/random.cc.o"
+  "CMakeFiles/optimus_util.dir/random.cc.o.d"
+  "CMakeFiles/optimus_util.dir/stats.cc.o"
+  "CMakeFiles/optimus_util.dir/stats.cc.o.d"
+  "CMakeFiles/optimus_util.dir/table_printer.cc.o"
+  "CMakeFiles/optimus_util.dir/table_printer.cc.o.d"
+  "liboptimus_util.a"
+  "liboptimus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_mod.dir/test_util_mod.cc.o"
+  "CMakeFiles/test_util_mod.dir/test_util_mod.cc.o.d"
+  "test_util_mod"
+  "test_util_mod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_mod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_tensor "/root/repo/build/tests/test_tensor")
+set_tests_properties(test_tensor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;27;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_nn "/root/repo/build/tests/test_nn")
+set_tests_properties(test_nn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;28;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_compress "/root/repo/build/tests/test_compress")
+set_tests_properties(test_compress PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;29;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_schedule "/root/repo/build/tests/test_schedule")
+set_tests_properties(test_schedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;30;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_data "/root/repo/build/tests/test_data")
+set_tests_properties(test_data PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;31;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_parallel "/root/repo/build/tests/test_parallel")
+set_tests_properties(test_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;32;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_simnet "/root/repo/build/tests/test_simnet")
+set_tests_properties(test_simnet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;33;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cluster "/root/repo/build/tests/test_cluster")
+set_tests_properties(test_cluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;34;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_pipesim "/root/repo/build/tests/test_pipesim")
+set_tests_properties(test_pipesim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;35;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;36;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_util_mod "/root/repo/build/tests/test_util_mod")
+set_tests_properties(test_util_mod PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;37;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_interleaved "/root/repo/build/tests/test_interleaved")
+set_tests_properties(test_interleaved PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;38;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_failure_modes "/root/repo/build/tests/test_failure_modes")
+set_tests_properties(test_failure_modes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;39;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_channels "/root/repo/build/tests/test_channels")
+set_tests_properties(test_channels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;40;optimus_add_test;/root/repo/tests/CMakeLists.txt;0;")
