@@ -1,0 +1,132 @@
+/**
+ * @file
+ * GEMM kernel microbenchmark tracking the perf trajectory of the
+ * execution runtime. Measures GFLOP/s of the naive reference kernel,
+ * the blocked kernel forced single-threaded, and the blocked kernel
+ * on the full pool, at square sizes 64..1024, and writes
+ * BENCH_gemm.json so the numbers are diffable across PRs.
+ *
+ * Usage: bench_gemm [--max-size 1024] [--reps 3]
+ * Thread count comes from OPTIMUS_THREADS (default: hardware).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hh"
+#include "tensor/matmul.hh"
+#include "tensor/tensor.hh"
+#include "util/cli.hh"
+#include "util/random.hh"
+#include "util/table_printer.hh"
+
+using namespace optimus;
+
+namespace
+{
+
+using Kernel = void (*)(float *, const float *, const float *,
+                        int64_t, int64_t, int64_t, bool);
+
+double
+seconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-reps GFLOP/s for one kernel at size n. */
+double
+measure(Kernel kernel, const Tensor &a, const Tensor &b, Tensor &c,
+        int reps)
+{
+    const int64_t n = a.rows();
+    const double flops = 2.0 * n * n * n;
+    // Warm-up run primes caches and the thread pool.
+    kernel(c.data(), a.data(), b.data(), n, n, n, false);
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const double t0 = seconds();
+        kernel(c.data(), a.data(), b.data(), n, n, n, false);
+        const double dt = seconds() - t0;
+        const double gflops = flops / dt * 1e-9;
+        if (gflops > best)
+            best = gflops;
+    }
+    return best;
+}
+
+void
+blockedSerial(float *c, const float *a, const float *b, int64_t m,
+              int64_t k, int64_t n, bool accumulate)
+{
+    SerialRegion serial;
+    gemm(c, a, b, m, k, n, accumulate);
+}
+
+struct Row
+{
+    int64_t size;
+    double naive, serial, threaded;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const int64_t max_size = args.getInt("max-size", 1024);
+    const int reps = static_cast<int>(args.getInt("reps", 3));
+
+    std::printf("=== GEMM kernel microbenchmark ===\n");
+    std::printf("pool threads: %d\n\n", runtimeThreads());
+
+    std::vector<Row> rows;
+    Rng rng(7);
+    for (int64_t n = 64; n <= max_size; n *= 2) {
+        Tensor a = Tensor::randn({n, n}, rng);
+        Tensor b = Tensor::randn({n, n}, rng);
+        Tensor c({n, n});
+        Row row;
+        row.size = n;
+        row.naive = measure(gemmReference, a, b, c, reps);
+        row.serial = measure(blockedSerial, a, b, c, reps);
+        row.threaded = measure(gemm, a, b, c, reps);
+        rows.push_back(row);
+        std::printf("%5lld: naive %7.2f  blocked-1t %7.2f (%.2fx)  "
+                    "blocked-%dt %7.2f (%.2fx)\n",
+                    static_cast<long long>(n), row.naive, row.serial,
+                    row.serial / row.naive, runtimeThreads(),
+                    row.threaded, row.threaded / row.naive);
+    }
+
+    FILE *f = std::fopen("BENCH_gemm.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_gemm.json\n");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"gemm\",\n");
+    std::fprintf(f, "  \"threads\": %d,\n", runtimeThreads());
+    std::fprintf(f, "  \"unit\": \"GFLOP/s\",\n  \"sizes\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(f,
+                     "    {\"n\": %lld, \"naive\": %.3f, "
+                     "\"blocked_1thread\": %.3f, "
+                     "\"blocked_pool\": %.3f, "
+                     "\"speedup_1thread\": %.3f, "
+                     "\"speedup_pool\": %.3f}%s\n",
+                     static_cast<long long>(r.size), r.naive,
+                     r.serial, r.threaded, r.serial / r.naive,
+                     r.threaded / r.naive,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nresults written to BENCH_gemm.json\n");
+    return 0;
+}

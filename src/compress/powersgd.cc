@@ -4,11 +4,24 @@
 #include <cmath>
 #include <cstdio>
 
+#include "runtime/runtime.hh"
 #include "tensor/matmul.hh"
 #include "util/logging.hh"
 
 namespace optimus
 {
+
+namespace
+{
+
+/**
+ * Row-reduction grain for the Gram-Schmidt dot products. Fixed so
+ * the chunked double-precision partial sums — combined in chunk
+ * order — are reproducible at any thread count.
+ */
+constexpr int64_t kOrthoGrain = 2048;
+
+} // namespace
 
 void
 orthonormalizeColumns(Tensor &m)
@@ -18,38 +31,50 @@ orthonormalizeColumns(Tensor &m)
     const int64_t cols = m.cols();
     float *data = m.data();
 
+    auto colDot = [&](int64_t ja, int64_t jb) {
+        return parallelReduceSum(
+            0, rows, kOrthoGrain, [&](int64_t lo, int64_t hi) {
+                double s = 0.0;
+                for (int64_t i = lo; i < hi; ++i)
+                    s += static_cast<double>(data[i * cols + ja]) *
+                         data[i * cols + jb];
+                return s;
+            });
+    };
+
     for (int64_t j = 0; j < cols; ++j) {
-        double norm_before_sq = 0.0;
-        for (int64_t i = 0; i < rows; ++i)
-            norm_before_sq += static_cast<double>(data[i * cols + j]) *
-                              data[i * cols + j];
+        const double norm_before_sq = colDot(j, j);
         // Subtract projections onto previous columns (modified
         // Gram-Schmidt: re-read the updated column each time).
         for (int64_t p = 0; p < j; ++p) {
-            double proj = 0.0;
-            for (int64_t i = 0; i < rows; ++i)
-                proj += static_cast<double>(data[i * cols + j]) *
-                        data[i * cols + p];
-            for (int64_t i = 0; i < rows; ++i)
-                data[i * cols + j] -= static_cast<float>(proj) *
-                                      data[i * cols + p];
+            const double proj = colDot(j, p);
+            parallelFor(0, rows, kOrthoGrain,
+                        [&](int64_t lo, int64_t hi) {
+                            for (int64_t i = lo; i < hi; ++i)
+                                data[i * cols + j] -=
+                                    static_cast<float>(proj) *
+                                    data[i * cols + p];
+                        });
         }
-        double norm_sq = 0.0;
-        for (int64_t i = 0; i < rows; ++i)
-            norm_sq += static_cast<double>(data[i * cols + j]) *
-                       data[i * cols + j];
+        const double norm_sq = colDot(j, j);
         const double norm = std::sqrt(norm_sq);
         // A column that lost (almost) all of its norm to the
         // projections is linearly dependent on earlier columns;
         // renormalizing it would amplify float noise into a random
         // direction, so zero it instead.
         if (norm < 1e-8 || norm_sq < 1e-10 * norm_before_sq) {
-            for (int64_t i = 0; i < rows; ++i)
-                data[i * cols + j] = 0.0f;
+            parallelFor(0, rows, kOrthoGrain,
+                        [&](int64_t lo, int64_t hi) {
+                            for (int64_t i = lo; i < hi; ++i)
+                                data[i * cols + j] = 0.0f;
+                        });
         } else {
             const float inv = static_cast<float>(1.0 / norm);
-            for (int64_t i = 0; i < rows; ++i)
-                data[i * cols + j] *= inv;
+            parallelFor(0, rows, kOrthoGrain,
+                        [&](int64_t lo, int64_t hi) {
+                            for (int64_t i = lo; i < hi; ++i)
+                                data[i * cols + j] *= inv;
+                        });
         }
     }
 }

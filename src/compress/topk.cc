@@ -37,10 +37,15 @@ TopKCompressor::compress(const Tensor &input, Tensor &output)
     std::vector<int64_t> order(n);
     std::iota(order.begin(), order.end(), 0);
     const float *src = input.data();
-    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
-                     [src](int64_t a, int64_t b) {
-                         return std::fabs(src[a]) > std::fabs(src[b]);
-                     });
+    // fraction == 1.0 keeps every element; the O(n) selection would
+    // only shuffle `order` for nothing.
+    if (k < n) {
+        std::nth_element(order.begin(), order.begin() + (k - 1),
+                         order.end(), [src](int64_t a, int64_t b) {
+                             return std::fabs(src[a]) >
+                                    std::fabs(src[b]);
+                         });
+    }
 
     output = Tensor(input.shape());
     float *dst = output.data();

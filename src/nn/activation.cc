@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/runtime.hh"
 #include "util/logging.hh"
 
 namespace optimus
@@ -12,6 +13,9 @@ namespace
 
 constexpr float kSqrt2OverPi = 0.7978845608028654f;
 constexpr float kGeluCoeff = 0.044715f;
+
+/** parallelFor grain for element-wise maps (disjoint writes). */
+constexpr int64_t kElemGrain = 4096;
 
 } // namespace
 
@@ -39,8 +43,10 @@ Gelu::forward(const Tensor &x)
     const float *xd = x.data();
     float *yd = y.data();
     const int64_t n = x.size();
-    for (int64_t i = 0; i < n; ++i)
-        yd[i] = value(xd[i]);
+    parallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            yd[i] = value(xd[i]);
+    });
     stash_.push_back(x);
     return y;
 }
@@ -58,8 +64,10 @@ Gelu::backward(const Tensor &dy)
     const float *dyd = dy.data();
     float *dxd = dx.data();
     const int64_t n = dy.size();
-    for (int64_t i = 0; i < n; ++i)
-        dxd[i] = dyd[i] * derivative(xd[i]);
+    parallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            dxd[i] = dyd[i] * derivative(xd[i]);
+    });
     return dx;
 }
 
@@ -70,8 +78,10 @@ Relu::forward(const Tensor &x)
     const float *xd = x.data();
     float *yd = y.data();
     const int64_t n = x.size();
-    for (int64_t i = 0; i < n; ++i)
-        yd[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
+    parallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            yd[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
+    });
     stash_.push_back(x);
     return y;
 }
@@ -88,8 +98,10 @@ Relu::backward(const Tensor &dy)
     const float *dyd = dy.data();
     float *dxd = dx.data();
     const int64_t n = dy.size();
-    for (int64_t i = 0; i < n; ++i)
-        dxd[i] = xd[i] > 0.0f ? dyd[i] : 0.0f;
+    parallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            dxd[i] = xd[i] > 0.0f ? dyd[i] : 0.0f;
+    });
     return dx;
 }
 

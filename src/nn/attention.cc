@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/runtime.hh"
 #include "tensor/matmul.hh"
 #include "util/logging.hh"
 
@@ -66,17 +67,24 @@ MultiHeadAttention::forward(const Tensor &x)
     Stash st;
     st.batch = batch;
     st.qkv = qkv_->forward(x); // [N x 3h]
-    st.probs.reserve(batch * heads_);
+    st.probs.resize(batch * heads_);
 
+    // Each (batch, head) pair reads its own q/k/v slices and writes
+    // a disjoint ctx block and probs slot, so the flattened pairs
+    // run concurrently with bitwise-identical results.
     Tensor ctx({n, hidden_});
-    for (int64_t b = 0; b < batch; ++b) {
-        const int64_t row0 = b * seqLen_;
-        for (int64_t hd = 0; hd < heads_; ++hd) {
-            Tensor q = extractBlock(st.qkv, row0, hd * dh, seqLen_, dh);
+    parallelFor(0, batch * heads_, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t t = lo; t < hi; ++t) {
+            const int64_t b = t / heads_;
+            const int64_t hd = t % heads_;
+            const int64_t row0 = b * seqLen_;
+            Tensor q = extractBlock(st.qkv, row0, hd * dh, seqLen_,
+                                    dh);
             Tensor k = extractBlock(st.qkv, row0, hidden_ + hd * dh,
                                     seqLen_, dh);
-            Tensor v = extractBlock(st.qkv, row0, 2 * hidden_ + hd * dh,
-                                    seqLen_, dh);
+            Tensor v = extractBlock(st.qkv, row0,
+                                    2 * hidden_ + hd * dh, seqLen_,
+                                    dh);
 
             Tensor scores = matmulNT(q, k); // [S x S]
             scores.scale(scale);
@@ -105,9 +113,9 @@ MultiHeadAttention::forward(const Tensor &x)
 
             Tensor head_ctx = matmul(scores, v); // [S x dh]
             accumulateBlock(ctx, head_ctx, row0, hd * dh);
-            st.probs.push_back(std::move(scores));
+            st.probs[t] = std::move(scores);
         }
-    }
+    });
     stash_.push_back(std::move(st));
     return proj_->forward(ctx);
 }
@@ -127,11 +135,15 @@ MultiHeadAttention::backward(const Tensor &dy)
     Tensor dctx = proj_->backward(dy); // [N x h]
     OPTIMUS_ASSERT(dctx.rows() == n);
 
+    // Mirrors the forward pass: disjoint dqkv blocks per
+    // (batch, head) pair.
     Tensor dqkv({n, 3 * hidden_});
-    for (int64_t b = 0; b < batch; ++b) {
-        const int64_t row0 = b * seqLen_;
-        for (int64_t hd = 0; hd < heads_; ++hd) {
-            const Tensor &probs = st.probs[b * heads_ + hd];
+    parallelFor(0, batch * heads_, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t t = lo; t < hi; ++t) {
+            const int64_t b = t / heads_;
+            const int64_t hd = t % heads_;
+            const int64_t row0 = b * seqLen_;
+            const Tensor &probs = st.probs[t];
             Tensor q = extractBlock(st.qkv, row0, hd * dh, seqLen_, dh);
             Tensor k = extractBlock(st.qkv, row0, hidden_ + hd * dh,
                                     seqLen_, dh);
@@ -170,7 +182,7 @@ MultiHeadAttention::backward(const Tensor &dy)
             accumulateBlock(dqkv, dk, row0, hidden_ + hd * dh);
             accumulateBlock(dqkv, dv, row0, 2 * hidden_ + hd * dh);
         }
-    }
+    });
     return qkv_->backward(dqkv);
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/runtime.hh"
 #include "util/logging.hh"
 
 namespace optimus
@@ -36,26 +37,31 @@ LayerNorm::forward(const Tensor &x)
     float *nd = st.normalized.data();
     float *yd = y.data();
 
-    for (int64_t i = 0; i < rows; ++i) {
-        const float *row = xd + i * f;
-        double sum = 0.0;
-        for (int64_t j = 0; j < f; ++j)
-            sum += row[j];
-        const float mu = static_cast<float>(sum / f);
-        double var = 0.0;
-        for (int64_t j = 0; j < f; ++j) {
-            const float d = row[j] - mu;
-            var += static_cast<double>(d) * d;
+    // Rows are independent (each owns its statistics and output
+    // slice), so normalization parallelizes with bitwise-identical
+    // results at any thread count.
+    parallelFor(0, rows, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const float *row = xd + i * f;
+            double sum = 0.0;
+            for (int64_t j = 0; j < f; ++j)
+                sum += row[j];
+            const float mu = static_cast<float>(sum / f);
+            double var = 0.0;
+            for (int64_t j = 0; j < f; ++j) {
+                const float d = row[j] - mu;
+                var += static_cast<double>(d) * d;
+            }
+            const float inv_std = 1.0f /
+                std::sqrt(static_cast<float>(var / f) + eps_);
+            st.invStd[i] = inv_std;
+            for (int64_t j = 0; j < f; ++j) {
+                const float xn = (row[j] - mu) * inv_std;
+                nd[i * f + j] = xn;
+                yd[i * f + j] = g[j] * xn + b[j];
+            }
         }
-        const float inv_std = 1.0f /
-            std::sqrt(static_cast<float>(var / f) + eps_);
-        st.invStd[i] = inv_std;
-        for (int64_t j = 0; j < f; ++j) {
-            const float xn = (row[j] - mu) * inv_std;
-            nd[i * f + j] = xn;
-            yd[i * f + j] = g[j] * xn + b[j];
-        }
-    }
+    });
     stash_.push_back(std::move(st));
     return y;
 }
@@ -79,29 +85,44 @@ LayerNorm::backward(const Tensor &dy)
     float *dbd = beta_->grad.data();
     float *dxd = dx.data();
 
+    // dx rows are independent and parallelize; the dgamma/dbeta
+    // accumulation sums over rows into shared vectors, so it stays a
+    // serial sweep in row order — any parallel split would change
+    // the float addition order with the thread count.
+    parallelFor(0, rows, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const float *dyr = dyd + i * f;
+            const float *nr = nd + i * f;
+            float *dxr = dxd + i * f;
+            // dl/dx_hat = dy * gamma; need its row mean and its
+            // x_hat-weighted row mean for the normalization
+            // backward.
+            double sum_dxhat = 0.0;
+            double sum_dxhat_xhat = 0.0;
+            for (int64_t j = 0; j < f; ++j) {
+                const float dxhat = dyr[j] * g[j];
+                sum_dxhat += dxhat;
+                sum_dxhat_xhat +=
+                    static_cast<double>(dxhat) * nr[j];
+            }
+            const float mean_dxhat =
+                static_cast<float>(sum_dxhat / f);
+            const float mean_dxhat_xhat =
+                static_cast<float>(sum_dxhat_xhat / f);
+            const float inv_std = st.invStd[i];
+            for (int64_t j = 0; j < f; ++j) {
+                const float dxhat = dyr[j] * g[j];
+                dxr[j] = inv_std *
+                    (dxhat - mean_dxhat - nr[j] * mean_dxhat_xhat);
+            }
+        }
+    });
     for (int64_t i = 0; i < rows; ++i) {
         const float *dyr = dyd + i * f;
         const float *nr = nd + i * f;
-        float *dxr = dxd + i * f;
-        // dl/dx_hat = dy * gamma; need its row mean and its
-        // x_hat-weighted row mean for the normalization backward.
-        double sum_dxhat = 0.0;
-        double sum_dxhat_xhat = 0.0;
         for (int64_t j = 0; j < f; ++j) {
-            const float dxhat = dyr[j] * g[j];
-            sum_dxhat += dxhat;
-            sum_dxhat_xhat += static_cast<double>(dxhat) * nr[j];
             dgd[j] += dyr[j] * nr[j];
             dbd[j] += dyr[j];
-        }
-        const float mean_dxhat = static_cast<float>(sum_dxhat / f);
-        const float mean_dxhat_xhat =
-            static_cast<float>(sum_dxhat_xhat / f);
-        const float inv_std = st.invStd[i];
-        for (int64_t j = 0; j < f; ++j) {
-            const float dxhat = dyr[j] * g[j];
-            dxr[j] = inv_std *
-                (dxhat - mean_dxhat - nr[j] * mean_dxhat_xhat);
         }
     }
     return dx;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/runtime.hh"
 #include "util/logging.hh"
 
 namespace optimus
@@ -23,27 +24,34 @@ softmaxAndNll(const Tensor &logits, const std::vector<int32_t> &targets,
     probs = Tensor({n, v});
     const float *ld = logits.data();
     float *pd = probs.data();
-    double total_nll = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-        const float *lrow = ld + i * v;
-        float *prow = pd + i * v;
-        float max_val = lrow[0];
-        for (int64_t j = 1; j < v; ++j) {
-            if (lrow[j] > max_val)
-                max_val = lrow[j];
-        }
-        double denom = 0.0;
-        for (int64_t j = 0; j < v; ++j) {
-            prow[j] = std::exp(lrow[j] - max_val);
-            denom += prow[j];
-        }
-        const float inv = static_cast<float>(1.0 / denom);
-        for (int64_t j = 0; j < v; ++j)
-            prow[j] *= inv;
-        const int32_t t = targets[i];
-        OPTIMUS_ASSERT(t >= 0 && t < v);
-        total_nll -= std::log(std::max(1e-30, (double)prow[t]));
-    }
+    // Rows softmax independently; per-row NLL terms are combined in
+    // row order (grain 1 makes each chunk one row), matching the
+    // serial accumulation bit for bit.
+    const double total_nll = parallelReduceSum(
+        0, n, 1, [&](int64_t lo, int64_t hi) {
+            double nll = 0.0;
+            for (int64_t i = lo; i < hi; ++i) {
+                const float *lrow = ld + i * v;
+                float *prow = pd + i * v;
+                float max_val = lrow[0];
+                for (int64_t j = 1; j < v; ++j) {
+                    if (lrow[j] > max_val)
+                        max_val = lrow[j];
+                }
+                double denom = 0.0;
+                for (int64_t j = 0; j < v; ++j) {
+                    prow[j] = std::exp(lrow[j] - max_val);
+                    denom += prow[j];
+                }
+                const float inv = static_cast<float>(1.0 / denom);
+                for (int64_t j = 0; j < v; ++j)
+                    prow[j] *= inv;
+                const int32_t t = targets[i];
+                OPTIMUS_ASSERT(t >= 0 && t < v);
+                nll -= std::log(std::max(1e-30, (double)prow[t]));
+            }
+            return nll;
+        });
     return total_nll / static_cast<double>(n);
 }
 
@@ -72,11 +80,13 @@ SoftmaxCrossEntropy::backward()
     const int64_t v = dlogits.cols();
     const float inv_n = 1.0f / static_cast<float>(n);
     float *dd = dlogits.data();
-    for (int64_t i = 0; i < n; ++i) {
-        dd[i * v + st.targets[i]] -= 1.0f;
-        for (int64_t j = 0; j < v; ++j)
-            dd[i * v + j] *= inv_n;
-    }
+    parallelFor(0, n, 16, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            dd[i * v + st.targets[i]] -= 1.0f;
+            for (int64_t j = 0; j < v; ++j)
+                dd[i * v + j] *= inv_n;
+        }
+    });
     return dlogits;
 }
 

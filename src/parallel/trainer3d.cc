@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/runtime.hh"
 #include "util/logging.hh"
 
 namespace optimus
@@ -148,37 +149,52 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     for (int i = 0; i < d_ways * m_count; ++i)
         micro_batches.push_back(data.sampleBatch(mb_rows, rng));
 
-    for (int d = 0; d < d_ways; ++d) {
-        // Forward all micro-batches in order (message order per
-        // channel is micro-batch order, identical to 1F1B).
-        for (int m = 0; m < m_count; ++m) {
-            const LmBatch &mb = micro_batches[d * m_count + m];
-            Tensor h = stages_[d][0]->forwardTokens(mb.tokens,
-                                                    mb.batch);
-            for (int p = 1; p < p_ways; ++p) {
-                channels_[d][p - 1]->observeForward(h, m);
-                h = stages_[d][p]->forwardHidden(h);
+    // The D replicas touch disjoint state (stages, channels, loss
+    // heads, optimizers) until the all-reduce below, so they execute
+    // concurrently; the DataParallelReducer is the only sync point.
+    // Per-replica losses land in a fixed slot and are summed in
+    // replica order, keeping the reported loss independent of
+    // OPTIMUS_THREADS. Nested parallel regions inside the stages
+    // (GEMM, layer kernels) run inline on the issuing worker.
+    std::vector<double> replica_loss(d_ways, 0.0);
+    parallelFor(0, d_ways, 1, [&](int64_t d_lo, int64_t d_hi) {
+        for (int64_t d = d_lo; d < d_hi; ++d) {
+            // Forward all micro-batches in order (message order per
+            // channel is micro-batch order, identical to 1F1B).
+            for (int m = 0; m < m_count; ++m) {
+                const LmBatch &mb = micro_batches[d * m_count + m];
+                Tensor h = stages_[d][0]->forwardTokens(mb.tokens,
+                                                        mb.batch);
+                for (int p = 1; p < p_ways; ++p) {
+                    channels_[d][p - 1]->observeForward(h, m);
+                    h = stages_[d][p]->forwardHidden(h);
+                }
+                replica_loss[d] += losses_[d].forward(h, mb.targets);
             }
-            loss_sum += losses_[d].forward(h, mb.targets);
-        }
-        // Backward all micro-batches in order.
-        for (int m = 0; m < m_count; ++m) {
-            Tensor g = losses_[d].backward();
-            for (int p = p_ways - 1; p >= 1; --p) {
-                g = stages_[d][p]->backwardHidden(g);
-                g = channels_[d][p - 1]->send(g, m, m_count);
+            // Backward all micro-batches in order.
+            for (int m = 0; m < m_count; ++m) {
+                Tensor g = losses_[d].backward();
+                for (int p = p_ways - 1; p >= 1; --p) {
+                    g = stages_[d][p]->backwardHidden(g);
+                    g = channels_[d][p - 1]->send(g, m, m_count);
+                }
+                g = stages_[d][0]->backwardHidden(g);
+                stages_[d][0]->backwardTokens(g);
             }
-            g = stages_[d][0]->backwardHidden(g);
-            stages_[d][0]->backwardTokens(g);
         }
-    }
+    });
+    for (int d = 0; d < d_ways; ++d)
+        loss_sum += replica_loss[d];
 
-    // Average gradients over micro-batches.
+    // Average gradients over micro-batches (per-replica optimizer
+    // state is disjoint).
     const float inv_m = 1.0f / static_cast<float>(m_count);
-    for (int d = 0; d < d_ways; ++d) {
-        for (int p = 0; p < p_ways; ++p)
-            optimizers_[d][p]->scaleGrad(inv_m);
-    }
+    parallelFor(0, d_ways, 1, [&](int64_t d_lo, int64_t d_hi) {
+        for (int64_t d = d_lo; d < d_hi; ++d) {
+            for (int p = 0; p < p_ways; ++p)
+                optimizers_[d][p]->scaleGrad(inv_m);
+        }
+    });
 
     // Data-parallel gradient all-reduce, excluding the tied
     // embedding tables (the synchronizer owns those).
@@ -210,12 +226,14 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     // Optimizer update; replicas update identically because their
     // gradients are now identical.
     if (config_.applyUpdates) {
-        for (int d = 0; d < d_ways; ++d) {
-            for (int p = 0; p < p_ways; ++p) {
-                optimizers_[d][p]->step();
-                optimizers_[d][p]->zeroGrad();
+        parallelFor(0, d_ways, 1, [&](int64_t d_lo, int64_t d_hi) {
+            for (int64_t d = d_lo; d < d_hi; ++d) {
+                for (int p = 0; p < p_ways; ++p) {
+                    optimizers_[d][p]->step();
+                    optimizers_[d][p]->zeroGrad();
+                }
             }
-        }
+        });
     }
 
     for (int d = 0; d < d_ways; ++d) {

@@ -1,0 +1,206 @@
+#include "runtime/runtime.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+namespace
+{
+
+/** Marks threads that are currently executing a pool task. */
+thread_local bool t_inWorker = false;
+
+int
+configuredThreads()
+{
+    if (const char *env = std::getenv("OPTIMUS_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return static_cast<int>(parsed > 256 ? 256 : parsed);
+        warn("ignoring invalid OPTIMUS_THREADS='%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+int64_t
+chunkCount(int64_t begin, int64_t end, int64_t grain)
+{
+    const int64_t range = end - begin;
+    return (range + grain - 1) / grain;
+}
+
+} // namespace
+
+ThreadPool &
+ThreadPool::instance()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::ThreadPool() : threads_(configuredThreads())
+{
+    workers_.reserve(threads_ - 1);
+    for (int w = 1; w < threads_; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return t_inWorker;
+}
+
+void
+ThreadPool::runChunks(int worker_id, int64_t num_chunks)
+{
+    // Static round-robin assignment: worker w owns chunks
+    // w, w + T, w + 2T, ... Chunk boundaries are a pure function of
+    // (begin, end, grain), so results never depend on T.
+    for (int64_t c = worker_id; c < num_chunks; c += threads_) {
+        const int64_t lo = jobBegin_ + c * jobGrain_;
+        int64_t hi = lo + jobGrain_;
+        if (hi > jobEnd_)
+            hi = jobEnd_;
+        (*jobFn_)(lo, hi);
+    }
+}
+
+void
+ThreadPool::workerLoop(int worker_id)
+{
+    t_inWorker = true;
+    uint64_t seen_epoch = 0;
+    while (true) {
+        int64_t num_chunks = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return shutdown_ || jobEpoch_ != seen_epoch;
+            });
+            if (shutdown_)
+                return;
+            seen_epoch = jobEpoch_;
+            num_chunks = jobChunks_;
+        }
+        runChunks(worker_id, num_chunks);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--workersBusy_ == 0)
+                done_.notify_one();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const RangeFn &fn)
+{
+    OPTIMUS_ASSERT(grain >= 1);
+    if (end <= begin)
+        return;
+
+    // Serial pool, a nested call from a worker, or a range that
+    // cannot fill more than one chunk: run inline. The chunk
+    // decomposition is irrelevant to plain loops (only reductions
+    // observe it, and parallelReduceSum chunks explicitly).
+    const int64_t num_chunks = chunkCount(begin, end, grain);
+    if (threads_ == 1 || t_inWorker || num_chunks == 1) {
+        fn(begin, end);
+        return;
+    }
+
+    std::lock_guard<std::mutex> run_lock(runMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobFn_ = &fn;
+        jobBegin_ = begin;
+        jobEnd_ = end;
+        jobGrain_ = grain;
+        jobChunks_ = num_chunks;
+        workersBusy_ = threads_ - 1;
+        ++jobEpoch_;
+    }
+    wake_.notify_all();
+
+    // The caller participates as worker 0.
+    t_inWorker = true;
+    runChunks(0, num_chunks);
+    t_inWorker = false;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return workersBusy_ == 0; });
+}
+
+double
+ThreadPool::parallelReduceSum(int64_t begin, int64_t end, int64_t grain,
+                              const RangeSumFn &fn)
+{
+    OPTIMUS_ASSERT(grain >= 1);
+    if (end <= begin)
+        return 0.0;
+
+    const int64_t num_chunks = chunkCount(begin, end, grain);
+    std::vector<double> partial(num_chunks, 0.0);
+    // Same chunking whether this runs inline or on the pool, so the
+    // final left-to-right combine is thread-count-invariant.
+    parallelFor(0, num_chunks, 1, [&](int64_t c0, int64_t c1) {
+        for (int64_t c = c0; c < c1; ++c) {
+            const int64_t lo = begin + c * grain;
+            const int64_t hi = lo + grain < end ? lo + grain : end;
+            partial[c] = fn(lo, hi);
+        }
+    });
+    double total = 0.0;
+    for (double p : partial)
+        total += p;
+    return total;
+}
+
+SerialRegion::SerialRegion() : saved_(t_inWorker)
+{
+    t_inWorker = true;
+}
+
+SerialRegion::~SerialRegion()
+{
+    t_inWorker = saved_;
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain,
+            const RangeFn &fn)
+{
+    ThreadPool::instance().parallelFor(begin, end, grain, fn);
+}
+
+double
+parallelReduceSum(int64_t begin, int64_t end, int64_t grain,
+                  const RangeSumFn &fn)
+{
+    return ThreadPool::instance().parallelReduceSum(begin, end, grain,
+                                                    fn);
+}
+
+int
+runtimeThreads()
+{
+    return ThreadPool::instance().threads();
+}
+
+} // namespace optimus

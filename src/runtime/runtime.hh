@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared threaded execution runtime: a fixed-size thread pool with a
+ * deterministic `parallelFor` primitive used by the GEMM kernels, the
+ * element-wise NN layers, the compression kernels, and the replica
+ * loop in Trainer3d.
+ *
+ * Determinism contract
+ * --------------------
+ * `parallelFor(begin, end, grain, fn)` decomposes [begin, end) into
+ * chunks of exactly `grain` iterations (last chunk may be short).
+ * Chunk boundaries depend ONLY on (begin, end, grain) — never on the
+ * thread count — and chunks are assigned to workers statically
+ * (round-robin by chunk index). Because every chunk performs the same
+ * floating-point operations in the same order no matter which worker
+ * runs it, any kernel whose chunks write disjoint outputs produces
+ * bitwise-identical results for OPTIMUS_THREADS=1 and
+ * OPTIMUS_THREADS=N. Reductions use `parallelReduceSum`, which sums
+ * per-chunk partials in chunk-index order — again a function of the
+ * chunking only, so equally thread-count-invariant.
+ *
+ * Nested parallelism: a `parallelFor` issued from inside a pool
+ * worker (e.g. a GEMM called from a replica task) runs inline on the
+ * calling worker. This keeps the pool deadlock-free and preserves the
+ * chunk decomposition (and therefore the numerics) exactly.
+ *
+ * Pool size: `OPTIMUS_THREADS` if set (clamped to [1, 256]), else
+ * `std::thread::hardware_concurrency()`. Read once at first use.
+ */
+
+#ifndef OPTIMUS_RUNTIME_RUNTIME_HH
+#define OPTIMUS_RUNTIME_RUNTIME_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace optimus
+{
+
+/** Body of one parallel-for chunk: fn(lo, hi) over [lo, hi). */
+using RangeFn = std::function<void(int64_t, int64_t)>;
+
+/** Reduction body: returns the partial sum over [lo, hi). */
+using RangeSumFn = std::function<double(int64_t, int64_t)>;
+
+/**
+ * Fixed-size worker pool (singleton). Construction spawns
+ * `threads() - 1` workers; the caller of a parallel region always
+ * participates as worker 0, so `OPTIMUS_THREADS=1` spawns nothing
+ * and every parallel region degenerates to a plain serial loop.
+ */
+class ThreadPool
+{
+  public:
+    /** Process-wide pool, created on first use. */
+    static ThreadPool &instance();
+
+    /** Worker count (including the calling thread). */
+    int threads() const { return threads_; }
+
+    /**
+     * Run fn over [begin, end) in chunks of `grain`, blocking until
+     * every chunk completed. See the file comment for the
+     * determinism contract. @pre grain >= 1
+     */
+    void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                     const RangeFn &fn);
+
+    /**
+     * Chunked deterministic reduction: partial sums are computed per
+     * chunk (in parallel) and combined in chunk-index order.
+     */
+    double parallelReduceSum(int64_t begin, int64_t end, int64_t grain,
+                             const RangeSumFn &fn);
+
+    /** True when called from inside a pool worker task. */
+    static bool inParallelRegion();
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+  private:
+    ThreadPool();
+
+    void workerLoop(int worker_id);
+    void runChunks(int worker_id, int64_t num_chunks);
+
+    int threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    /** Incremented per job; workers run the job whose id they see. */
+    uint64_t jobEpoch_ = 0;
+    int workersBusy_ = 0;
+    bool shutdown_ = false;
+
+    /** Active job (valid while workersBusy_ > 0). */
+    const RangeFn *jobFn_ = nullptr;
+    int64_t jobBegin_ = 0;
+    int64_t jobGrain_ = 1;
+    int64_t jobEnd_ = 0;
+    int64_t jobChunks_ = 0;
+
+    /** Serializes external callers (one parallel region at a time). */
+    std::mutex runMutex_;
+};
+
+/**
+ * RAII guard forcing every parallel region issued from the current
+ * thread to run inline (single-threaded) while alive. The chunk
+ * decomposition is unchanged, so results are bitwise identical to
+ * pooled execution — this exists for single-thread baseline
+ * measurements (bench_gemm) and tests.
+ */
+class SerialRegion
+{
+  public:
+    SerialRegion();
+    ~SerialRegion();
+
+    SerialRegion(const SerialRegion &) = delete;
+    SerialRegion &operator=(const SerialRegion &) = delete;
+
+  private:
+    bool saved_;
+};
+
+/** Convenience wrapper over ThreadPool::instance().parallelFor. */
+void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const RangeFn &fn);
+
+/** Convenience wrapper over ThreadPool::instance().parallelReduceSum. */
+double parallelReduceSum(int64_t begin, int64_t end, int64_t grain,
+                         const RangeSumFn &fn);
+
+/** Pool width (1 means fully serial execution). */
+int runtimeThreads();
+
+} // namespace optimus
+
+#endif // OPTIMUS_RUNTIME_RUNTIME_HH

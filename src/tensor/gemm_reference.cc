@@ -1,0 +1,36 @@
+#include "tensor/matmul.hh"
+
+#include <cstring>
+
+namespace optimus
+{
+
+/**
+ * The seed's naive i-k-j kernel, preserved verbatim as the testing
+ * oracle and the benchmark baseline. It lives in its own translation
+ * unit compiled with the project's portable baseline flags (not the
+ * -march=native options the blocked kernel gets), so bench_gemm's
+ * "naive" column keeps measuring the kernel the seed actually
+ * shipped. The original data-dependent `if (av == 0.0f) continue;`
+ * branch is gone: it defeated vectorization and was a net loss on
+ * dense inputs.
+ */
+void
+gemmReference(float *c, const float *a, const float *b, int64_t m,
+              int64_t k, int64_t n, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, sizeof(float) * m * n);
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (int64_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            const float *brow = b + p * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+} // namespace optimus

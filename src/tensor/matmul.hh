@@ -5,8 +5,14 @@
  * accumulate with `beta`-style semantics chosen by the caller
  * (overwrite vs. accumulate).
  *
- * The inner loops use i-k-j ordering over row-major data so the
- * innermost loop is a unit-stride saxpy the compiler vectorizes.
+ * All entry points route through a shared cache-blocked kernel
+ * (MC/KC/NC tiling with packed B panels and a register-tile
+ * micro-kernel) whose row panels run on the execution runtime's
+ * thread pool (see runtime/runtime.hh). Transposed operands are
+ * handled by packing strided panels — no full transposed() copy is
+ * ever made. Results are bitwise reproducible for any
+ * OPTIMUS_THREADS setting because the panel decomposition depends
+ * only on the problem shape.
  */
 
 #ifndef OPTIMUS_TENSOR_MATMUL_HH
@@ -44,6 +50,14 @@ void matmulAccNT(Tensor &c, const Tensor &a, const Tensor &b);
  */
 void gemm(float *c, const float *a, const float *b, int64_t m,
           int64_t k, int64_t n, bool accumulate);
+
+/**
+ * Naive single-threaded i-k-j triple loop kept as the testing and
+ * benchmarking oracle for the blocked kernel. Same contract as
+ * gemm().
+ */
+void gemmReference(float *c, const float *a, const float *b,
+                   int64_t m, int64_t k, int64_t n, bool accumulate);
 
 } // namespace optimus
 

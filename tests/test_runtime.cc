@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The execution runtime: full coverage of parallelFor / reduce
+ * semantics, chunk-boundary determinism, nested inlining, and the
+ * serial-region guard.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hh"
+
+using namespace optimus;
+
+namespace
+{
+
+const bool kForceThreads = [] {
+    ::setenv("OPTIMUS_THREADS", "4", 0);
+    return true;
+}();
+
+} // namespace
+
+TEST(Runtime, PoolRespectsEnvironment)
+{
+    ASSERT_TRUE(kForceThreads);
+    EXPECT_GE(runtimeThreads(), 1);
+    EXPECT_LE(runtimeThreads(), 256);
+}
+
+TEST(Runtime, ParallelForCoversRangeExactlyOnce)
+{
+    const int64_t n = 10007; // prime: every grain leaves a ragged tail
+    for (int64_t grain : {1, 7, 64, 4096, 20000}) {
+        std::vector<std::atomic<int>> hits(n);
+        for (auto &h : hits)
+            h.store(0);
+        parallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i)
+                hits[i].fetch_add(1);
+        });
+        for (int64_t i = 0; i < n; ++i)
+            ASSERT_EQ(1, hits[i].load()) << "grain " << grain;
+    }
+}
+
+TEST(Runtime, ParallelForEmptyAndReversedRanges)
+{
+    bool ran = false;
+    parallelFor(5, 5, 1, [&](int64_t, int64_t) { ran = true; });
+    parallelFor(9, 3, 1, [&](int64_t, int64_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(Runtime, ReduceChunkBoundariesDependOnlyOnGrain)
+{
+    // parallelFor may coalesce chunks when it runs inline (plain
+    // loops cannot observe the decomposition), but reductions see
+    // exactly ceil(range/grain) chunks at grain-aligned boundaries
+    // in every execution mode — that is the determinism contract.
+    auto boundaries = [](bool serial) {
+        std::vector<std::pair<int64_t, int64_t>> out;
+        std::mutex m;
+        auto body = [&](int64_t lo, int64_t hi) {
+            std::lock_guard<std::mutex> lock(m);
+            out.emplace_back(lo, hi);
+            return 0.0;
+        };
+        if (serial) {
+            SerialRegion guard;
+            parallelReduceSum(0, 1000, 17, body);
+        } else {
+            parallelReduceSum(0, 1000, 17, body);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    };
+    const auto pooled = boundaries(false);
+    ASSERT_EQ(59u, pooled.size()); // ceil(1000 / 17)
+    EXPECT_EQ(pooled, boundaries(true));
+    for (size_t c = 0; c < pooled.size(); ++c) {
+        EXPECT_EQ(static_cast<int64_t>(c) * 17, pooled[c].first);
+        EXPECT_EQ(std::min<int64_t>(1000, (c + 1) * 17),
+                  pooled[c].second);
+    }
+}
+
+TEST(Runtime, ReduceSumMatchesSerialAndIsDeterministic)
+{
+    const int64_t n = 5000;
+    std::vector<double> values(n);
+    for (int64_t i = 0; i < n; ++i)
+        values[i] = 1.0 / (1.0 + i);
+
+    auto body = [&](int64_t lo, int64_t hi) {
+        double s = 0.0;
+        for (int64_t i = lo; i < hi; ++i)
+            s += values[i];
+        return s;
+    };
+    const double pooled = parallelReduceSum(0, n, 64, body);
+    const double again = parallelReduceSum(0, n, 64, body);
+    EXPECT_EQ(pooled, again);
+
+    SerialRegion guard;
+    const double serial = parallelReduceSum(0, n, 64, body);
+    EXPECT_EQ(pooled, serial);
+}
+
+TEST(Runtime, NestedParallelForRunsInline)
+{
+    // A nested region must execute on the worker that issued it
+    // (no deadlock, no cross-worker interleaving).
+    std::atomic<int> outer_chunks{0};
+    std::atomic<int> inner_total{0};
+    parallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            outer_chunks.fetch_add(1);
+            EXPECT_TRUE(ThreadPool::inParallelRegion() ||
+                        runtimeThreads() == 1);
+            parallelFor(0, 100, 10, [&](int64_t l2, int64_t h2) {
+                inner_total.fetch_add(
+                    static_cast<int>(h2 - l2));
+            });
+        }
+    });
+    EXPECT_EQ(8, outer_chunks.load());
+    EXPECT_EQ(800, inner_total.load());
+}
+
+TEST(Runtime, SerialRegionRestoresState)
+{
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+    {
+        SerialRegion guard;
+        EXPECT_TRUE(ThreadPool::inParallelRegion());
+    }
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+}
+
+TEST(Runtime, BackToBackRegionsReuseWorkers)
+{
+    // Hammer the pool with many small jobs to shake out epoch /
+    // wakeup races.
+    std::vector<int64_t> sums(64);
+    for (int iter = 0; iter < 200; ++iter) {
+        parallelFor(0, 64, 4, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i)
+                sums[i] += i;
+        });
+    }
+    for (int64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(200 * i, sums[i]);
+}
