@@ -16,8 +16,17 @@ int64_t
 ErrorFeedbackCompressor::compress(const Tensor &input, Tensor &output)
 {
     Tensor fed = input;
-    if (residual_.size() == input.size())
+    if (residual_.shape() == input.shape()) {
         fed.add(residual_);
+    } else if (residual_.size() != 0) {
+        // A shape change mid-stream means the caller rewired the
+        // channel; folding a stale residual into an unrelated tensor
+        // (even one of coincidentally equal size) would silently
+        // corrupt the gradient stream, so drop it and restart.
+        warn("error feedback: residual %s dropped for input %s",
+             residual_.shapeString().c_str(),
+             input.shapeString().c_str());
+    }
     const int64_t bytes = inner_->compress(fed, output);
     residual_ = fed;
     residual_.sub(output);
@@ -54,8 +63,16 @@ int64_t
 LazyErrorBuffer::send(const Tensor &input, Tensor &output)
 {
     Tensor fed = input;
-    if (enabled_ && error_.size() == input.size())
-        fed.add(error_);
+    if (enabled_) {
+        if (error_.shape() == input.shape()) {
+            fed.add(error_);
+        } else if (error_.size() != 0) {
+            // Same stale-state policy as ErrorFeedbackCompressor.
+            warn("lazy error buffer: error %s dropped for input %s",
+                 error_.shapeString().c_str(),
+                 input.shapeString().c_str());
+        }
+    }
     const int64_t bytes = inner_->compress(fed, output);
     if (enabled_) {
         error_ = fed;

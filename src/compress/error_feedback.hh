@@ -38,7 +38,9 @@ class ErrorFeedbackCompressor : public Compressor
 
     /**
      * Compresses (input + residual) and stores the new residual
-     * (input + residual - output).
+     * (input + residual - output). If the input's shape differs
+     * from the stored residual's, the stale residual is dropped
+     * (with a warning) and feedback restarts from this message.
      */
     int64_t compress(const Tensor &input, Tensor &output) override;
 
@@ -78,7 +80,8 @@ class LazyErrorBuffer
 
     /**
      * Process one micro-batch's activation gradient: adds the stored
-     * error (when enabled), compresses, stores the new error.
+     * error (when enabled), compresses, stores the new error. A
+     * shape change drops the stale error (with a warning).
      *
      * @param input Exact activation gradient for this micro-batch.
      * @param output Receiver-side reconstruction.

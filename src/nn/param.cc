@@ -25,6 +25,9 @@ std::vector<ParamPtr>
 dedupParams(const std::vector<ParamPtr> &params)
 {
     std::vector<ParamPtr> unique;
+    // Membership test only; output order is the (deterministic)
+    // first-occurrence order of `params`, never the set's.
+    // optlint:allow(DET04) insertion-only membership set
     std::unordered_set<const Param *> seen;
     for (const auto &p : params) {
         if (seen.insert(p.get()).second)

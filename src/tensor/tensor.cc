@@ -24,6 +24,24 @@ shapeProduct(const std::vector<int64_t> &shape)
     return product;
 }
 
+#ifdef OPTIMUS_BOUNDS_CHECK
+/**
+ * Checked builds enforce full shape agreement for elementwise ops,
+ * not just element-count agreement — adding a [2, 8] into a [4, 4]
+ * is almost certainly a plumbing bug even though the sizes match.
+ */
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *op)
+{
+    if (a.shape() != b.shape())
+        panic("Tensor::%s shape mismatch: %s vs %s", op,
+              a.shapeString().c_str(), b.shapeString().c_str());
+}
+#define OPTIMUS_CHECK_SHAPE(a, b, op) checkSameShape((a), (b), (op))
+#else
+#define OPTIMUS_CHECK_SHAPE(a, b, op) ((void)0)
+#endif
+
 } // namespace
 
 Tensor::Tensor() = default;
@@ -90,6 +108,14 @@ Tensor::fromValues(std::vector<int64_t> shape, std::vector<float> values)
     return t;
 }
 
+[[noreturn]] void
+Tensor::boundsFail(int64_t i) const
+{
+    panic("Tensor index %lld out of range [0, %lld) for shape %s",
+          static_cast<long long>(i), static_cast<long long>(size()),
+          shapeString().c_str());
+}
+
 int64_t
 Tensor::dim(int d) const
 {
@@ -149,6 +175,7 @@ void
 Tensor::add(const Tensor &other)
 {
     OPTIMUS_ASSERT(size() == other.size());
+    OPTIMUS_CHECK_SHAPE(*this, other, "add");
     const float *src = other.data();
     float *dst = data();
     const int64_t n = size();
@@ -160,6 +187,7 @@ void
 Tensor::sub(const Tensor &other)
 {
     OPTIMUS_ASSERT(size() == other.size());
+    OPTIMUS_CHECK_SHAPE(*this, other, "sub");
     const float *src = other.data();
     float *dst = data();
     const int64_t n = size();
@@ -178,6 +206,7 @@ void
 Tensor::addScaled(const Tensor &other, float alpha)
 {
     OPTIMUS_ASSERT(size() == other.size());
+    OPTIMUS_CHECK_SHAPE(*this, other, "addScaled");
     const float *src = other.data();
     float *dst = data();
     const int64_t n = size();
@@ -189,6 +218,8 @@ void
 Tensor::addProduct(const Tensor &a, const Tensor &b)
 {
     OPTIMUS_ASSERT(size() == a.size() && size() == b.size());
+    OPTIMUS_CHECK_SHAPE(*this, a, "addProduct");
+    OPTIMUS_CHECK_SHAPE(*this, b, "addProduct");
     const float *pa = a.data();
     const float *pb = b.data();
     float *dst = data();

@@ -73,9 +73,28 @@ class Tensor
     float *data() { return data_.data(); }
     const float *data() const { return data_.data(); }
 
-    /** Flat element access. */
-    float &operator[](int64_t i) { return data_[i]; }
-    float operator[](int64_t i) const { return data_[i]; }
+    /**
+     * Flat element access. Under OPTIMUS_BOUNDS_CHECK (default in
+     * Debug and sanitized builds) an out-of-range index panics with
+     * the offending index and shape instead of touching memory past
+     * the buffer; Release builds keep the unchecked fast path.
+     */
+    float &operator[](int64_t i)
+    {
+#ifdef OPTIMUS_BOUNDS_CHECK
+        if (i < 0 || i >= size())
+            boundsFail(i);
+#endif
+        return data_[i];
+    }
+    float operator[](int64_t i) const
+    {
+#ifdef OPTIMUS_BOUNDS_CHECK
+        if (i < 0 || i >= size())
+            boundsFail(i);
+#endif
+        return data_[i];
+    }
 
     /** 2D element access. @pre rank() == 2 */
     float &at(int64_t r, int64_t c);
@@ -136,6 +155,9 @@ class Tensor
     std::string shapeString() const;
 
   private:
+    /** Cold failure path for the checked operator[]. */
+    [[noreturn]] void boundsFail(int64_t i) const;
+
     std::vector<int64_t> shape_;
     std::vector<float> data_;
 };

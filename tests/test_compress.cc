@@ -412,5 +412,134 @@ INSTANTIATE_TEST_SUITE_P(
                       CompressorKind::Ternary,
                       CompressorKind::OneBit));
 
+// --------------------------------------------------------------------
+// Edge cases: degenerate shapes and mid-stream reconfiguration must
+// fail cleanly (clamp, skip, or reset) rather than hit UB. The
+// ASan/UBSan and TSan CI jobs run these with bounds checking on.
+// --------------------------------------------------------------------
+
+TEST(PowerSgdEdge, RankLargerThanBothDimsClampsCleanly)
+{
+    Rng rng(20);
+    Tensor m = Tensor::randn({4, 6}, rng);
+    PowerSgdCompressor comp(/*rank=*/16, 3);
+    Tensor out;
+    const int64_t bytes = comp.compress(m, out);
+    // Effective rank clamps to min(rows, cols) = 4.
+    EXPECT_EQ(bytes, 4 * 4 * (4 + 6));
+    EXPECT_EQ(comp.payloadBytes(4, 6), 4 * 4 * (4 + 6));
+    EXPECT_EQ(out.rows(), 4);
+    EXPECT_EQ(out.cols(), 6);
+    // At clamped-full rank the warm-started iteration converges to
+    // an (almost) exact reconstruction.
+    for (int i = 0; i < 30; ++i)
+        comp.compress(m, out);
+    EXPECT_LT(sub(m, out).norm() / m.norm(), 0.05);
+}
+
+TEST(PowerSgdEdge, DistributedRankClampsToDims)
+{
+    Rng rng(21);
+    const int workers = 2;
+    std::vector<Tensor> grads;
+    for (int d = 0; d < workers; ++d)
+        grads.push_back(Tensor::randn({3, 10}, rng));
+    std::vector<const Tensor *> inputs;
+    for (const auto &g : grads)
+        inputs.push_back(&g);
+    DistributedPowerSgd dps(workers, /*rank=*/64, 5);
+    Tensor mean_out;
+    const int64_t bytes = dps.reduce(inputs, mean_out);
+    EXPECT_EQ(bytes, 4 * 3 * (3 + 10));
+    EXPECT_EQ(mean_out.rows(), 3);
+    EXPECT_EQ(mean_out.cols(), 10);
+}
+
+TEST(TopKEdge, EmptyTensorKeepsNothing)
+{
+    TopKCompressor comp(0.5);
+    // k clamps to 0 when there is nothing to keep.
+    EXPECT_EQ(comp.keptCount(0), 0);
+    Tensor empty = Tensor::zeros(0);
+    Tensor out;
+    const int64_t bytes = comp.compress(empty, out);
+    EXPECT_EQ(bytes, 0);
+    EXPECT_EQ(out.size(), 0);
+
+    Tensor empty2d = Tensor::zeros(0, 5);
+    const int64_t bytes2d = comp.compress(empty2d, out);
+    EXPECT_EQ(bytes2d, 0);
+    EXPECT_EQ(out.size(), 0);
+    EXPECT_EQ(out.rows(), 0);
+    EXPECT_EQ(out.cols(), 5);
+}
+
+TEST(TopKEdge, KeepAllFastPathIsExact)
+{
+    Rng rng(22);
+    Tensor m = Tensor::randn({6, 9}, rng);
+    TopKCompressor comp(1.0); // k == n: selection must be skipped
+    Tensor out;
+    const int64_t bytes = comp.compress(m, out);
+    EXPECT_TRUE(out.allClose(m, 0.0f));
+    EXPECT_EQ(bytes, m.size() * 8);
+}
+
+TEST(TopKEdge, TinyFractionKeepsAtLeastOne)
+{
+    Tensor m = Tensor::fromValues({1, 4}, {0.1f, -9.0f, 0.2f, 0.3f});
+    TopKCompressor comp(1e-9);
+    EXPECT_EQ(comp.keptCount(4), 1);
+    Tensor out;
+    comp.compress(m, out);
+    EXPECT_FLOAT_EQ(out[1], -9.0f);
+    EXPECT_FLOAT_EQ(out[0] + out[2] + out[3], 0.0f);
+}
+
+TEST(ErrorFeedbackEdge, ShapeChangeDropsStaleResidual)
+{
+    Rng rng(23);
+    ErrorFeedbackCompressor ef(
+        std::make_unique<PowerSgdCompressor>(2, 5));
+    Tensor g1 = Tensor::randn({8, 8}, rng);
+    Tensor out;
+    ef.compress(g1, out);
+    ASSERT_EQ(ef.residual().rows(), 8);
+
+    // Same element count, different shape: the stale residual must
+    // not be folded into the new stream.
+    Tensor g2 = Tensor::randn({4, 16}, rng);
+    ef.compress(g2, out);
+    Tensor fresh = g2;
+    fresh.sub(out);
+    EXPECT_EQ(ef.residual().rows(), 4);
+    EXPECT_EQ(ef.residual().cols(), 16);
+    EXPECT_TRUE(ef.residual().allClose(fresh, 1e-5f));
+
+    // Different element count as well: still clean.
+    Tensor g3 = Tensor::randn({3, 5}, rng);
+    ef.compress(g3, out);
+    EXPECT_EQ(out.rows(), 3);
+    EXPECT_EQ(out.cols(), 5);
+}
+
+TEST(ErrorFeedbackEdge, LazyBufferShapeChangeDropsStaleError)
+{
+    Rng rng(24);
+    LazyErrorBuffer lep(std::make_unique<PowerSgdCompressor>(2, 5),
+                        true);
+    Tensor g1 = Tensor::randn({10, 4}, rng);
+    Tensor out;
+    lep.send(g1, out);
+    ASSERT_EQ(lep.storedError().rows(), 10);
+
+    Tensor g2 = Tensor::randn({5, 8}, rng);
+    lep.send(g2, out);
+    Tensor fresh = g2;
+    fresh.sub(out);
+    EXPECT_EQ(lep.storedError().rows(), 5);
+    EXPECT_TRUE(lep.storedError().allClose(fresh, 1e-5f));
+}
+
 } // namespace
 } // namespace optimus

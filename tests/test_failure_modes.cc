@@ -37,6 +37,29 @@ TEST(FailureDeathTest, TensorRankMisuseDies)
     EXPECT_DEATH(t.at(0, 0), "assertion");
 }
 
+#ifdef OPTIMUS_BOUNDS_CHECK
+// Checked builds (Debug and the sanitizer CI jobs) also police the
+// flat fast path and full shape agreement in elementwise ops.
+TEST(FailureDeathTest, FlatIndexOutOfBoundsDiesWhenChecked)
+{
+    Tensor t = Tensor::zeros(2, 3);
+    EXPECT_DEATH(t[6], "out of range");
+    EXPECT_DEATH(t[-1], "out of range");
+    const Tensor &ct = t;
+    EXPECT_DEATH(ct[100], "out of range");
+}
+
+TEST(FailureDeathTest, ElementwiseShapeMismatchDiesWhenChecked)
+{
+    Tensor a = Tensor::zeros(2, 8);
+    Tensor b = Tensor::zeros(4, 4); // same size, different shape
+    EXPECT_DEATH(a.add(b), "shape mismatch");
+    EXPECT_DEATH(a.sub(b), "shape mismatch");
+    EXPECT_DEATH(a.addScaled(b, 0.5f), "shape mismatch");
+    EXPECT_DEATH(a.addProduct(b, b), "shape mismatch");
+}
+#endif
+
 TEST(FailureDeathTest, MatmulShapeMismatchDies)
 {
     Tensor a = Tensor::zeros(2, 3);

@@ -1,0 +1,74 @@
+// Seeded determinism-rule violations. Never compiled — optlint
+// fixtures are scan-only inputs for the --self-test mode; every
+// violating line carries an expect annotation that the analyzer
+// must reproduce exactly (no misses, no spurious findings).
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+int
+libcRandom()
+{
+    return rand(); // optlint:expect(DET01)
+}
+
+void
+libcSeed()
+{
+    srand(42); // optlint:expect(DET01)
+}
+
+unsigned
+hardwareEntropy()
+{
+    std::random_device rd; // optlint:expect(DET02)
+    return rd();
+}
+
+long
+wallClockSeed()
+{
+    long t = time(nullptr); // optlint:expect(DET03)
+    auto now =
+        std::chrono::system_clock::now(); // optlint:expect(DET03)
+    return t + now.time_since_epoch().count();
+}
+
+int
+unorderedIteration()
+{
+    std::unordered_map<int, int> m; // optlint:expect(DET04)
+    std::unordered_set<int> s;      // optlint:expect(DET04)
+    int total = 0;
+    for (auto &kv : m)
+        total += kv.second;
+    return total + static_cast<int>(s.size());
+}
+
+double
+stdEngine()
+{
+    std::mt19937 gen(7); // optlint:expect(DET05)
+    std::default_random_engine e; // optlint:expect(DET05)
+    return static_cast<double>(gen() + e());
+}
+
+// Names that merely *contain* banned substrings, member accesses,
+// and banned names inside string literals must not fire.
+struct Sampler
+{
+    int rand;
+};
+
+int
+noFalsePositives(const Sampler &s)
+{
+    int time_budget = 3; // identifier, not a call
+    int grand_total = s.rand + 1; // member access, not ::rand
+    const char *msg = "call rand() and srand() and time()"; // strings
+    return time_budget + grand_total + static_cast<int>(msg[0]);
+}

@@ -1,0 +1,11 @@
+// A properly guarded header must produce no HYG02 finding.
+
+#ifndef OPTLINT_FIXTURE_HYG_GUARDED_HH
+#define OPTLINT_FIXTURE_HYG_GUARDED_HH
+
+namespace fixture
+{
+int guarded();
+} // namespace fixture
+
+#endif // OPTLINT_FIXTURE_HYG_GUARDED_HH

@@ -1,0 +1,59 @@
+// Seeded hygiene-rule violations: banned libc functions and float
+// accumulators in loops. Scan-only (see det_hazards.cc).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+void
+bannedFunctions(char *dst, const char *src)
+{
+    strcpy(dst, src);            // optlint:expect(HYG01)
+    strcat(dst, src);            // optlint:expect(HYG01)
+    sprintf(dst, "%s", src);     // optlint:expect(HYG01)
+    int v = atoi(src);           // optlint:expect(HYG01)
+    double d = atof(src);        // optlint:expect(HYG01)
+    (void)v;
+    (void)d;
+}
+
+void
+boundedAlternativesAreFine(char *dst, size_t cap, const char *src)
+{
+    snprintf(dst, cap, "%s", src);
+    long v = strtol(src, nullptr, 10);
+    (void)v;
+}
+
+float
+floatAccumulator(const float *x, long n)
+{
+    float acc = 0.0f;
+    for (long i = 0; i < n; ++i)
+        acc += x[i]; // optlint:expect(HYG03)
+    return acc;
+}
+
+float
+floatAccumulatorWhile(const float *x, long n)
+{
+    float drift = 0.0f;
+    long i = 0;
+    while (i < n) {
+        drift -= x[i]; // optlint:expect(HYG03)
+        ++i;
+    }
+    return drift;
+}
+
+double
+doubleAccumulatorIsFine(const float *x, long n)
+{
+    double acc = 0.0;
+    float last = 0.0f;
+    for (long i = 0; i < n; ++i) {
+        acc += x[i];
+        last = x[i]; // plain assignment, not accumulation
+    }
+    return acc + last;
+}

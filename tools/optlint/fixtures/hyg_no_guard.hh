@@ -1,0 +1,6 @@
+// optlint:expect(HYG02) -- this header deliberately has no guard.
+
+namespace fixture
+{
+int unguarded();
+} // namespace fixture

@@ -1,0 +1,8 @@
+// #pragma once is an accepted alternative to a classic guard.
+
+#pragma once
+
+namespace fixture
+{
+int pragmaGuarded();
+} // namespace fixture

@@ -1,0 +1,31 @@
+// Every violation in this file carries a suppression comment, so
+// the self-test expects ZERO findings here. If the suppression
+// machinery regresses, these lines surface as SPURIOUS.
+
+#include <cstdlib>
+#include <unordered_set>
+
+int
+justifiedLibcRandom()
+{
+    // Same-line suppression.
+    return rand(); // optlint:allow(DET01) fixture: suppression demo
+}
+
+// optlint:allow(DET04) own-line suppression covers the next line.
+std::unordered_set<int> gMembershipOnly;
+
+void
+justifiedBanned(char *dst, const char *src)
+{
+    strcpy(dst, src); // optlint:allow(HYG01) fixture: suppression demo
+}
+
+float
+justifiedFloatAcc(const float *x, long n)
+{
+    float acc = 0.0f;
+    for (long i = 0; i < n; ++i)
+        acc += x[i]; // optlint:allow(HYG03) fixture: suppression demo
+    return acc;
+}

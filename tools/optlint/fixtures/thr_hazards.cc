@@ -1,0 +1,58 @@
+// Seeded threading-rule violations: order-dependent accumulation
+// into shared state from inside parallelFor bodies. Scan-only (see
+// det_hazards.cc).
+
+#include <cstdint>
+
+namespace optimus
+{
+void parallelFor(int64_t, int64_t, int64_t, void *);
+double parallelReduceSum(int64_t, int64_t, int64_t, void *);
+} // namespace optimus
+
+double
+racySum(const float *x, int64_t n)
+{
+    double total = 0.0;
+    int64_t hits = 0;
+    optimus::parallelFor(0, n, 64, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            total += x[i]; // optlint:expect(THR01)
+            if (x[i] > 0.0f)
+                ++hits; // optlint:expect(THR01)
+        }
+    });
+    return total + static_cast<double>(hits);
+}
+
+double
+racyScale(float *x, int64_t n, double norm)
+{
+    optimus::parallelFor(0, n, 64, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            norm *= 0.5; // optlint:expect(THR01)
+    });
+    return norm;
+}
+
+// The sanctioned patterns must stay silent: chunk-local partials,
+// disjoint indexed stores, and parallelReduceSum reductions.
+double
+cleanKernels(float *y, const float *x, int64_t n)
+{
+    optimus::parallelFor(0, n, 64, [&](int64_t lo, int64_t hi) {
+        double row_acc = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+            row_acc += x[i];        // lambda-local accumulator
+            y[i] += x[i] * 2.0f;    // disjoint indexed store
+        }
+        y[lo] = static_cast<float>(row_acc);
+    });
+    return optimus::parallelReduceSum(
+        0, n, 64, [&](int64_t lo, int64_t hi) {
+            double s = 0.0;
+            for (int64_t i = lo; i < hi; ++i)
+                s += x[i];
+            return s;
+        });
+}
