@@ -100,6 +100,18 @@ ensureWarmQ(Tensor &q, int64_t cols, int r, Rng &rng)
     orthonormalizeColumns(q);
 }
 
+/** Ensure scratch is a zeroed [rows x cols] tensor, reusing storage. */
+void
+ensureZeroed(Tensor &scratch, int64_t rows, int64_t cols)
+{
+    if (scratch.rank() == 2 && scratch.rows() == rows &&
+        scratch.cols() == cols) {
+        scratch.setZero();
+        return;
+    }
+    scratch = Tensor({rows, cols});
+}
+
 } // namespace
 
 PowerSgdCompressor::PowerSgdCompressor(int rank, uint64_t seed)
@@ -181,19 +193,20 @@ DistributedPowerSgd::reduce(const std::vector<const Tensor *> &inputs,
     ensureWarmQ(q_, cols, r, rng_);
 
     // Phase 1: local P_d = M_d * Q, then all-reduce(sum).
-    Tensor p_sum({rows, r});
+    ensureZeroed(pScratch_, rows, r);
     for (const Tensor *t : inputs)
-        matmulAcc(p_sum, *t, q_);
-    orthonormalizeColumns(p_sum);
+        matmulAcc(pScratch_, *t, q_);
+    orthonormalizeColumns(pScratch_);
 
     // Phase 2: local Q_d = M_d^T * P_hat, then all-reduce(mean).
-    Tensor q_sum({cols, r});
+    ensureZeroed(qScratch_, cols, r);
     for (const Tensor *t : inputs)
-        matmulAccTN(q_sum, *t, p_sum);
-    q_sum.scale(1.0f / static_cast<float>(workers_));
-    q_ = q_sum;
+        matmulAccTN(qScratch_, *t, pScratch_);
+    qScratch_.scale(1.0f / static_cast<float>(workers_));
+    q_ = qScratch_;
 
-    mean_output = matmulNT(p_sum, q_);
+    ensureZeroed(mean_output, rows, cols);
+    matmulAccNT(mean_output, pScratch_, q_);
     return payloadBytes(rows, cols);
 }
 
@@ -208,6 +221,8 @@ void
 DistributedPowerSgd::reset()
 {
     q_ = Tensor();
+    pScratch_ = Tensor();
+    qScratch_ = Tensor();
     rng_.seed(seed_);
 }
 

@@ -122,6 +122,14 @@ class DistributedPowerSgd
     uint64_t seed_;
     Rng rng_;
     Tensor q_;
+    /**
+     * Persistent P/Q accumulation scratch, zeroed and reused across
+     * reduce() calls so the steady state allocates nothing. Starting
+     * from a zeroed buffer and accumulating is bitwise identical to
+     * the old freshly-allocated tensors (which were zeroed too).
+     */
+    Tensor pScratch_;
+    Tensor qScratch_;
 };
 
 } // namespace optimus

@@ -35,6 +35,8 @@ runQualityExperiment(const QualityRunConfig &config,
     tc.dp = preset.dp;
     tc.fusedEmbeddingSync = preset.fusedEmbeddingSync;
     tc.instrumentChannels = config.instrument;
+    tc.reduceMode = config.reduceMode;
+    tc.bucketBytes = config.bucketBytes;
 
     Trainer3d trainer(tc);
     SyntheticCorpus corpus(config.corpus);
@@ -125,6 +127,8 @@ gradientApproximationError(const QualityRunConfig &config,
     tc.microBatches = config.microBatches;
     tc.microBatchSize = config.microBatchSize;
     tc.applyUpdates = false; // keep the accumulated gradients
+    tc.reduceMode = config.reduceMode;
+    tc.bucketBytes = config.bucketBytes;
 
     Trainer3dConfig tc_exact = tc;
     tc_exact.cb = CbConfig{};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/runtime.hh"
 #include "util/logging.hh"
 
 namespace optimus
@@ -12,9 +13,22 @@ namespace
 {
 
 /**
+ * Element grain of the combine kernel. Fixed (never derived from the
+ * thread count) so the chunk grid is a pure function of the tensor
+ * size, per the runtime's determinism contract.
+ */
+constexpr int64_t kCombineGrain = 4096;
+
+/**
  * Combine per-worker tensors into their (double-accumulated) sum,
  * optionally divided by the worker count, and write the result back
  * into every worker's tensor.
+ *
+ * Fused per element: each element accumulates its per-worker values
+ * in worker order into a local double and writes the scaled result
+ * straight back — no O(n) scratch buffer, and bitwise identical to
+ * the former two-pass form (the per-element operation sequence is
+ * unchanged) at any OPTIMUS_THREADS.
  */
 void
 combine(const std::vector<Tensor *> &tensors, bool average)
@@ -24,19 +38,18 @@ combine(const std::vector<Tensor *> &tensors, bool average)
     for (Tensor *t : tensors)
         OPTIMUS_ASSERT(t != nullptr && t->size() == n);
 
-    std::vector<double> acc(n, 0.0);
-    for (const Tensor *t : tensors) {
-        const float *d = t->data();
-        for (int64_t i = 0; i < n; ++i)
-            acc[i] += d[i];
-    }
     const double scale =
         average ? 1.0 / static_cast<double>(tensors.size()) : 1.0;
-    for (Tensor *t : tensors) {
-        float *d = t->data();
-        for (int64_t i = 0; i < n; ++i)
-            d[i] = static_cast<float>(acc[i] * scale);
-    }
+    parallelFor(0, n, kCombineGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            double acc = 0.0;
+            for (const Tensor *t : tensors)
+                acc += t->data()[i];
+            const float v = static_cast<float>(acc * scale);
+            for (Tensor *t : tensors)
+                t->data()[i] = v;
+        }
+    });
 }
 
 /** Ring all-reduce per-rank traffic: 2V(R-1)/R bytes. */
@@ -103,9 +116,15 @@ DataParallelReducer::reduce(
     for (const auto &list : worker_params)
         OPTIMUS_ASSERT(list.size() == param_count);
 
-    auto is_excluded = [&excluded](const Param *p) {
-        return std::find(excluded.begin(), excluded.end(), p) !=
-               excluded.end();
+    // Sorted-pointer membership set (binary search instead of the
+    // old O(params x excluded) linear scan). The sort order is
+    // address order — run-dependent — but only membership is ever
+    // queried, so no iteration order leaks into results.
+    std::vector<const Param *> excluded_sorted(excluded);
+    std::sort(excluded_sorted.begin(), excluded_sorted.end());
+    auto is_excluded = [&excluded_sorted](const Param *p) {
+        return std::binary_search(excluded_sorted.begin(),
+                                  excluded_sorted.end(), p);
     };
 
     ReduceVolume volume;
@@ -152,8 +171,11 @@ DataParallelReducer::reduce(
             }
         }
 
-        // Error-fed inputs M_d = grad_d + e_d.
-        std::vector<Tensor> fed(workers_);
+        // Error-fed inputs M_d = grad_d + e_d, built in persistent
+        // per-parameter scratch: the copy assignment reuses each fed
+        // tensor's storage, so the steady state allocates nothing.
+        std::vector<Tensor> &fed = fedScratch_[j];
+        fed.resize(workers_);
         std::vector<const Tensor *> inputs(workers_);
         for (int d = 0; d < workers_; ++d) {
             fed[d] = *grads[d];
@@ -162,7 +184,7 @@ DataParallelReducer::reduce(
             inputs[d] = &fed[d];
         }
 
-        Tensor mean_approx;
+        Tensor &mean_approx = meanScratch_[j];
         volume.actualBytes += it->second->reduce(inputs, mean_approx);
 
         for (int d = 0; d < workers_; ++d) {
@@ -196,6 +218,8 @@ DataParallelReducer::reset()
 {
     dps_.clear();
     residuals_.clear();
+    fedScratch_.clear();
+    meanScratch_.clear();
 }
 
 int64_t
@@ -237,9 +261,12 @@ EmbeddingSynchronizer::synchronize(
     }
 
     if (fused_) {
-        // One all-reduce over 2D copies computing sum/D: scale every
-        // copy by... the collective computes sum; we want sum/D, so
-        // divide afterwards (free: folded into the same op).
+        // Fused variant (Fig 7b): a single all-reduce over all 2D
+        // copies computes the raw sum of both stages' gradients;
+        // every copy is then scaled by 1/D, yielding sum/D — the sum
+        // over the two tied tables of their D-way-averaged
+        // gradients. A real collective folds the 1/D scale into the
+        // reduction for free; here it is an explicit second pass.
         std::vector<Tensor *> grads;
         for (const auto &p : first_copies)
             grads.push_back(&p->grad);

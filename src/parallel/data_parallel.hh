@@ -114,6 +114,10 @@ class DataParallelReducer
     std::map<size_t, std::unique_ptr<DistributedPowerSgd>> dps_;
     /** residuals_[param index][worker]. */
     std::map<size_t, std::vector<Tensor>> residuals_;
+    /** Persistent error-fed input scratch (per param, per worker). */
+    std::map<size_t, std::vector<Tensor>> fedScratch_;
+    /** Persistent mean-reconstruction scratch per param. */
+    std::map<size_t, Tensor> meanScratch_;
 };
 
 /** Volumes from one embedding synchronization. */

@@ -1,0 +1,352 @@
+#include "parallel/reduce_engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+namespace
+{
+
+/**
+ * Element grain of the flat bucket combine. Fixed (never derived
+ * from the thread count) so the chunk grid — and therefore the
+ * float arithmetic — is a pure function of the bucket layout.
+ */
+constexpr int64_t kCombineGrain = 4096;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+/** Runtime state of one bucket (layout + persistent scratch). */
+struct ReduceEngine::Bucket
+{
+    BucketSpec spec;
+    /** grads[e][d]: worker d's gradient tensor of packed entry e. */
+    std::vector<std::vector<Tensor *>> grads;
+    /** Shared ownership keeping the gradient tensors alive. */
+    std::vector<ParamPtr> owners;
+
+    /** Compressed-bucket state (single compressible parameter). */
+    std::unique_ptr<DistributedPowerSgd> dps;
+    /** Persistent error-fed inputs M_d = grad_d + e_d. */
+    std::vector<Tensor> fed;
+    /** Per-worker error-feedback residuals e_d. */
+    std::vector<Tensor> residual;
+    /** Persistent mean reconstruction. */
+    Tensor mean;
+
+    /** Per-iteration results (written by exactly one task). */
+    ReduceVolume volume;
+    double busySeconds = 0.0;
+};
+
+ReduceEngine::ReduceEngine(const ReduceEngineConfig &config)
+    : config_(config)
+{
+    OPTIMUS_ASSERT(config.workers >= 1);
+    OPTIMUS_ASSERT(config.bucketBytes >= 1);
+}
+
+ReduceEngine::~ReduceEngine() = default;
+
+void
+ReduceEngine::bind(
+    const std::vector<std::vector<ParamPtr>> &worker_params,
+    const std::vector<const Param *> &excluded)
+{
+    if (bound_)
+        return;
+    OPTIMUS_ASSERT(static_cast<int>(worker_params.size()) ==
+                   config_.workers);
+    const size_t param_count = worker_params[0].size();
+    for (const auto &list : worker_params)
+        OPTIMUS_ASSERT(list.size() == param_count);
+
+    // Sorted-pointer membership set: the order is address order
+    // (run-dependent) but only membership is ever queried, so no
+    // iteration order can leak into results.
+    std::vector<const Param *> excluded_sorted(excluded);
+    std::sort(excluded_sorted.begin(), excluded_sorted.end());
+
+    std::unique_ptr<Bucket> open;
+    auto close_open = [&] {
+        if (open)
+            buckets_.push_back(std::move(open));
+    };
+
+    for (size_t j = 0; j < param_count; ++j) {
+        const Param *p0 = worker_params[0][j].get();
+        if (std::binary_search(excluded_sorted.begin(),
+                               excluded_sorted.end(), p0))
+            continue;
+        const int64_t elems = worker_params[0][j]->size();
+        for (int d = 0; d < config_.workers; ++d)
+            OPTIMUS_ASSERT(worker_params[d][j]->size() == elems);
+
+        const bool compress =
+            config_.compressStage && config_.dp.enabled &&
+            DataParallelReducer::compressible(*worker_params[0][j]);
+        if (compress) {
+            // Dedicated bucket: PowerSGD state is shaped by this
+            // parameter's matrix, and its per-parameter seed keeps
+            // the compressed stream identical to the legacy path.
+            close_open();
+            auto bucket = std::make_unique<Bucket>();
+            bucket->spec.params.push_back(j);
+            bucket->spec.offsets.push_back(0);
+            bucket->spec.elems = elems;
+            bucket->spec.compressed = true;
+            bucket->grads.emplace_back();
+            for (int d = 0; d < config_.workers; ++d) {
+                bucket->grads[0].push_back(
+                    &worker_params[d][j]->grad);
+                bucket->owners.push_back(worker_params[d][j]);
+            }
+            bucket->dps = std::make_unique<DistributedPowerSgd>(
+                config_.workers, config_.dp.spec.rank,
+                config_.seed + 0x1000 * (j + 1));
+            const auto &shape = worker_params[0][j]->value.shape();
+            for (int d = 0; d < config_.workers; ++d) {
+                bucket->fed.emplace_back(shape);
+                if (config_.dp.errorFeedback)
+                    bucket->residual.emplace_back(shape);
+            }
+            bucket->mean = Tensor(shape);
+            buckets_.push_back(std::move(bucket));
+            continue;
+        }
+
+        const int64_t bytes =
+            static_cast<int64_t>(sizeof(float)) * elems;
+        if (open && static_cast<int64_t>(sizeof(float)) *
+                            open->spec.elems +
+                        bytes >
+                    config_.bucketBytes)
+            close_open();
+        if (!open)
+            open = std::make_unique<Bucket>();
+        open->spec.params.push_back(j);
+        open->spec.offsets.push_back(open->spec.elems);
+        open->spec.elems += elems;
+        open->grads.emplace_back();
+        for (int d = 0; d < config_.workers; ++d) {
+            open->grads.back().push_back(&worker_params[d][j]->grad);
+            open->owners.push_back(worker_params[d][j]);
+        }
+    }
+    close_open();
+
+    specs_.reserve(buckets_.size());
+    for (const auto &bucket : buckets_)
+        specs_.push_back(bucket->spec);
+    bound_ = true;
+}
+
+void
+ReduceEngine::beginIteration(TaskGroup &group, bool overlap)
+{
+    group_ = &group;
+    overlap_ = overlap;
+    enqueued_ = false;
+    arrivals_.store(0, std::memory_order_relaxed);
+    for (auto &bucket : buckets_) {
+        bucket->volume = ReduceVolume{};
+        bucket->busySeconds = 0.0;
+    }
+}
+
+void
+ReduceEngine::notifyReplicaDone()
+{
+    if (!overlap_)
+        return;
+    // acq_rel: the last arrival must observe every replica's
+    // gradient writes before the buckets go onto the queue.
+    const int arrived =
+        arrivals_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    OPTIMUS_ASSERT(arrived <= config_.workers);
+    if (arrived == config_.workers)
+        enqueueAll();
+}
+
+void
+ReduceEngine::flush()
+{
+    if (!enqueued_)
+        enqueueAll();
+}
+
+void
+ReduceEngine::enqueueAll()
+{
+    OPTIMUS_ASSERT(group_ != nullptr && bound_);
+    enqueued_ = true;
+    for (auto &bucket : buckets_) {
+        Bucket *b = bucket.get();
+        group_->run([this, b] { reduceBucket(*b); });
+    }
+}
+
+void
+ReduceEngine::reduceBucket(Bucket &bucket)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    if (bucket.spec.compressed)
+        reduceCompressed(bucket);
+    else
+        reduceExact(bucket);
+    bucket.busySeconds = secondsSince(t0);
+}
+
+void
+ReduceEngine::reduceExact(Bucket &bucket)
+{
+    const int workers = config_.workers;
+    const double scale = 1.0 / static_cast<double>(workers);
+    const auto &offsets = bucket.spec.offsets;
+    const size_t entries = offsets.size();
+
+    // Mean all-reduce over the bucket's flat extent. Chunks are cut
+    // from flat coordinates (grain-fixed, entry-agnostic); each
+    // element accumulates its replica values in replica order in
+    // double — the exact arithmetic of the legacy combine(), so the
+    // result is bitwise identical to the barriered per-parameter
+    // path no matter how chunks land on workers.
+    parallelFor(0, bucket.spec.elems, kCombineGrain,
+                [&](int64_t lo, int64_t hi) {
+                    size_t e = static_cast<size_t>(
+                                   std::upper_bound(offsets.begin(),
+                                                    offsets.end(),
+                                                    lo) -
+                                   offsets.begin()) -
+                               1;
+                    int64_t pos = lo;
+                    while (pos < hi) {
+                        const int64_t entry_end =
+                            e + 1 < entries ? offsets[e + 1]
+                                            : bucket.spec.elems;
+                        const int64_t stop =
+                            entry_end < hi ? entry_end : hi;
+                        const int64_t base = pos - offsets[e];
+                        const auto &grads = bucket.grads[e];
+                        for (int64_t i = pos; i < stop; ++i) {
+                            const int64_t k = base + (i - pos);
+                            double acc = 0.0;
+                            for (int d = 0; d < workers; ++d)
+                                acc += grads[d]->data()[k];
+                            const float mean = static_cast<float>(
+                                acc * scale);
+                            for (int d = 0; d < workers; ++d)
+                                grads[d]->data()[k] = mean;
+                        }
+                        pos = stop;
+                        ++e;
+                    }
+                });
+
+    const int64_t bytes =
+        static_cast<int64_t>(sizeof(float)) * bucket.spec.elems;
+    bucket.volume.exactBytes = bytes;
+    bucket.volume.actualBytes = bytes;
+}
+
+void
+ReduceEngine::reduceCompressed(Bucket &bucket)
+{
+    const int workers = config_.workers;
+    std::vector<const Tensor *> inputs(workers);
+    for (int d = 0; d < workers; ++d) {
+        // Persistent scratch: the copy assignment reuses the fed
+        // tensor's storage, so the steady state allocates nothing.
+        bucket.fed[d] = *bucket.grads[0][d];
+        if (config_.dp.errorFeedback)
+            bucket.fed[d].add(bucket.residual[d]);
+        inputs[d] = &bucket.fed[d];
+    }
+
+    bucket.volume.actualBytes =
+        bucket.dps->reduce(inputs, bucket.mean);
+    bucket.volume.exactBytes =
+        static_cast<int64_t>(sizeof(float)) * bucket.spec.elems;
+
+    for (int d = 0; d < workers; ++d) {
+        if (config_.dp.errorFeedback) {
+            bucket.residual[d] = bucket.fed[d];
+            bucket.residual[d].sub(bucket.mean);
+        }
+        *bucket.grads[0][d] = bucket.mean;
+    }
+}
+
+ReduceVolume
+ReduceEngine::collect(double *busy_seconds) const
+{
+    ReduceVolume volume;
+    double busy = 0.0;
+    for (const auto &bucket : buckets_) {
+        volume += bucket->volume;
+        busy += bucket->busySeconds;
+    }
+    if (busy_seconds)
+        *busy_seconds = busy;
+    return volume;
+}
+
+const std::vector<BucketSpec> &
+ReduceEngine::buckets() const
+{
+    return specs_;
+}
+
+std::vector<double>
+ReduceEngine::residualNorms() const
+{
+    std::vector<double> norms(config_.workers, 0.0);
+    for (const auto &bucket : buckets_) {
+        for (size_t d = 0; d < bucket->residual.size(); ++d) {
+            const double n = bucket->residual[d].norm();
+            norms[d] += n * n;
+        }
+    }
+    for (double &n : norms)
+        n = std::sqrt(n);
+    return norms;
+}
+
+int64_t
+ReduceEngine::stateBytes() const
+{
+    int64_t total = 0;
+    for (const auto &bucket : buckets_) {
+        if (bucket->dps)
+            total += bucket->dps->stateBytes();
+        for (const Tensor &t : bucket->residual)
+            total += static_cast<int64_t>(sizeof(float)) * t.size();
+    }
+    return total;
+}
+
+void
+ReduceEngine::reset()
+{
+    for (auto &bucket : buckets_) {
+        if (bucket->dps)
+            bucket->dps->reset();
+        for (Tensor &t : bucket->residual)
+            t.setZero();
+    }
+}
+
+} // namespace optimus

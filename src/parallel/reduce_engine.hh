@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Bucketed, backward-overlapped data-parallel gradient reduction.
+ *
+ * The legacy `DataParallelReducer` walks one pipeline stage's
+ * parameters sequentially after a hard barrier at the end of
+ * backward. This engine restructures that hottest non-GEMM path the
+ * way DDP/Megatron do:
+ *
+ *  - **Bucketing.** Each stage's (non-excluded) parameters are
+ *    flattened, in parameter order, into fixed-capacity buckets of
+ *    `bucketBytes` (a parameter larger than a bucket gets a bucket
+ *    of its own; parameters never split across buckets, so every
+ *    bucket is a contiguous extent of the stage's flat gradient
+ *    space). Compressible parameters of a compression-selected
+ *    stage are carved into dedicated single-parameter buckets that
+ *    own a `DistributedPowerSgd` instance and per-worker error-
+ *    feedback residuals.
+ *
+ *  - **Overlap.** Buckets are independent tasks on the runtime
+ *    thread pool's task queue (`TaskGroup`). In overlapped mode the
+ *    D-th replica to finish backward for the stage enqueues the
+ *    stage's buckets, so late-stage reduction runs on idle pool
+ *    workers while early stages are still in backward. In barriered
+ *    mode the trainer enqueues everything after the replica loop —
+ *    the same tasks, just later.
+ *
+ *  - **Determinism.** A bucket reduce is bitwise identical no
+ *    matter which thread runs it or when: the exact path combines
+ *    elements of the bucket's flat extent in chunks of a fixed
+ *    grain, accumulating over replicas in replica order in double
+ *    (exactly the legacy `combine()` arithmetic), and the
+ *    compressed path is the same per-parameter distributed-PowerSGD
+ *    protocol with the same per-parameter seeds. Buckets write
+ *    disjoint state, and volumes are summed in bucket-index order.
+ *    Overlapped == barriered == legacy, bitwise, at any
+ *    OPTIMUS_THREADS.
+ *
+ *  - **No per-step churn.** Error-fed inputs, residuals, and the
+ *    mean reconstruction live in per-bucket persistent scratch;
+ *    the exact combine needs no scratch at all.
+ */
+
+#ifndef OPTIMUS_PARALLEL_REDUCE_ENGINE_HH
+#define OPTIMUS_PARALLEL_REDUCE_ENGINE_HH
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "parallel/data_parallel.hh"
+#include "runtime/runtime.hh"
+
+namespace optimus
+{
+
+/** Static configuration of one stage's reduce engine. */
+struct ReduceEngineConfig
+{
+    /** Compression policy (shared across stages). */
+    DpCompressionConfig dp;
+    /** Whether this stage was selected for compression. */
+    bool compressStage = false;
+    /** Data-parallel width D. */
+    int workers = 1;
+    /** Engine-local seed (per-parameter compressor seeds derive). */
+    uint64_t seed = 0;
+    /** Bucket capacity in bytes of flattened fp32 gradient. */
+    int64_t bucketBytes = 256 * 1024;
+};
+
+/** One bucket of the flattened stage gradient (layout metadata). */
+struct BucketSpec
+{
+    /** Parameter indices packed into this bucket, in order. */
+    std::vector<size_t> params;
+    /** Flat offset of each parameter inside the bucket. */
+    std::vector<int64_t> offsets;
+    /** Total elements in the bucket. */
+    int64_t elems = 0;
+    /** True for a dedicated compressed (PowerSGD) bucket. */
+    bool compressed = false;
+};
+
+/**
+ * Gradient reduction engine for one pipeline stage across D
+ * data-parallel workers. Construction is cheap; the bucket layout
+ * binds lazily to the first parameter lists seen (they must stay
+ * stable afterwards, which stage modules guarantee).
+ */
+class ReduceEngine
+{
+  public:
+    explicit ReduceEngine(const ReduceEngineConfig &config);
+    ~ReduceEngine();
+
+    /**
+     * Bind aligned per-worker parameter lists and build the bucket
+     * layout. @p excluded parameters (the tied embedding tables,
+     * owned by the embedding synchronizer) get no bucket.
+     * Idempotent after the first call.
+     */
+    void bind(const std::vector<std::vector<ParamPtr>> &worker_params,
+              const std::vector<const Param *> &excluded);
+
+    bool bound() const { return bound_; }
+
+    /**
+     * Arm the engine for one iteration. @p group receives the
+     * bucket tasks; with @p overlap the D-th notifyReplicaDone()
+     * call enqueues them, otherwise flush() does.
+     */
+    void beginIteration(TaskGroup &group, bool overlap);
+
+    /**
+     * Replica-done signal, called from inside the replica loop
+     * (thread-safe) once this stage's backward — and micro-batch
+     * gradient scaling — finished on one replica. The last arrival
+     * enqueues every bucket when overlap is armed.
+     */
+    void notifyReplicaDone();
+
+    /** Enqueue any bucket not yet enqueued this iteration. */
+    void flush();
+
+    /**
+     * Collect this iteration's traffic volumes (bucket order, so
+     * the sum is schedule-independent). Call after the TaskGroup
+     * drained. @p busy_seconds, when non-null, receives the summed
+     * wall time spent inside this stage's bucket tasks.
+     */
+    ReduceVolume collect(double *busy_seconds = nullptr) const;
+
+    /** Bucket layout (tests, diagnostics). */
+    const std::vector<BucketSpec> &buckets() const;
+
+    /** Per-worker residual error norms (diagnostics / tests). */
+    std::vector<double> residualNorms() const;
+
+    /** Persistent compressor + residual bytes (memory accounting). */
+    int64_t stateBytes() const;
+
+    /** Drop warm compressor state and residuals. */
+    void reset();
+
+    bool compressesStage() const { return config_.compressStage; }
+
+  private:
+    struct Bucket;
+
+    void enqueueAll();
+    void reduceBucket(Bucket &bucket);
+    void reduceExact(Bucket &bucket);
+    void reduceCompressed(Bucket &bucket);
+
+    ReduceEngineConfig config_;
+    bool bound_ = false;
+    std::vector<std::unique_ptr<Bucket>> buckets_;
+    /** Cached layout view (mirrors buckets_[i]->spec). */
+    std::vector<BucketSpec> specs_;
+
+    /** Per-iteration state. */
+    TaskGroup *group_ = nullptr;
+    bool overlap_ = false;
+    bool enqueued_ = false;
+    std::atomic<int> arrivals_{0};
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_PARALLEL_REDUCE_ENGINE_HH

@@ -1,12 +1,26 @@
 #include "parallel/trainer3d.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 
-#include "runtime/runtime.hh"
 #include "util/logging.hh"
 
 namespace optimus
 {
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
 
 /** Forward-only view of replica 0 used for validation/zero-shot. */
 class Trainer3d::ReplicaScorer : public LmScorer
@@ -82,11 +96,23 @@ Trainer3d::Trainer3d(const Trainer3dConfig &config)
     }
 
     reducers_.reserve(p_ways);
+    engines_.reserve(p_ways);
     for (int p = 0; p < p_ways; ++p) {
+        const bool selected =
+            stageSelectedForCompression(config.dp, p, p_ways);
+        // Same per-stage seed for both paths: the engine's
+        // per-parameter compressor streams must match the legacy
+        // reducer's bit for bit.
+        const uint64_t stage_seed = config.seed + 31 * (p + 1);
         reducers_.push_back(std::make_unique<DataParallelReducer>(
-            config.dp,
-            stageSelectedForCompression(config.dp, p, p_ways),
-            d_ways, config.seed + 31 * (p + 1)));
+            config.dp, selected, d_ways, stage_seed));
+        ReduceEngineConfig ec;
+        ec.dp = config.dp;
+        ec.compressStage = selected;
+        ec.workers = d_ways;
+        ec.seed = stage_seed;
+        ec.bucketBytes = config.bucketBytes;
+        engines_.push_back(std::make_unique<ReduceEngine>(ec));
     }
 
     scorer_ = std::make_unique<ReplicaScorer>(*this);
@@ -121,6 +147,14 @@ Trainer3d::channel(int d, int s)
     return *channels_[d][s - 1];
 }
 
+const ReduceEngine &
+Trainer3d::reduceEngine(int p) const
+{
+    OPTIMUS_ASSERT(p >= 0 &&
+                   p < static_cast<int>(engines_.size()));
+    return *engines_[p];
+}
+
 IterationStats
 Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
 {
@@ -128,6 +162,11 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     const int p_ways = config_.pipelineStages;
     const int m_count = config_.microBatches;
     const int64_t mb_rows = config_.microBatchSize;
+
+    const bool use_engine =
+        config_.reduceMode != DpReduceMode::Sequential;
+    const bool overlap =
+        config_.reduceMode == DpReduceMode::Overlapped;
 
     IterationStats stats;
     double loss_sum = 0.0;
@@ -149,9 +188,36 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     for (int i = 0; i < d_ways * m_count; ++i)
         micro_batches.push_back(data.sampleBatch(mb_rows, rng));
 
+    // Tied embedding tables are excluded from the DP all-reduce (the
+    // synchronizer owns them); the list is needed up front so the
+    // engines can bind their bucket layouts before backward starts.
+    std::vector<const Param *> excluded;
+    for (int d = 0; d < d_ways; ++d) {
+        if (auto table = stages_[d][0]->embeddingTable())
+            excluded.push_back(table.get());
+        if (auto table = stages_[d][p_ways - 1]->embeddingTable())
+            excluded.push_back(table.get());
+    }
+
+    if (use_engine) {
+        for (int p = 0; p < p_ways; ++p) {
+            if (!engines_[p]->bound()) {
+                std::vector<std::vector<ParamPtr>> worker_params;
+                worker_params.reserve(d_ways);
+                for (int d = 0; d < d_ways; ++d)
+                    worker_params.push_back(stages_[d][p]->params());
+                engines_[p]->bind(worker_params, excluded);
+            }
+            engines_[p]->beginIteration(reduceGroup_, overlap);
+        }
+    }
+
+    const float inv_m = 1.0f / static_cast<float>(m_count);
+    const auto t_iter = Clock::now();
+
     // The D replicas touch disjoint state (stages, channels, loss
     // heads, optimizers) until the all-reduce below, so they execute
-    // concurrently; the DataParallelReducer is the only sync point.
+    // concurrently; the gradient all-reduce is the only sync point.
     // Per-replica losses land in a fixed slot and are summed in
     // replica order, keeping the reported loss independent of
     // OPTIMUS_THREADS. Nested parallel regions inside the stages
@@ -171,50 +237,77 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
                 }
                 replica_loss[d] += losses_[d].forward(h, mb.targets);
             }
-            // Backward all micro-batches in order.
+            // Backward all micro-batches in order. On the last
+            // micro-batch a stage's gradients are final the moment
+            // its backward returns, so the engine path scales them
+            // by 1/M right there and signals the stage's engine; the
+            // D-th replica's signal puts the stage's buckets on the
+            // pool queue while earlier stages are still in backward.
             for (int m = 0; m < m_count; ++m) {
                 Tensor g = losses_[d].backward();
                 for (int p = p_ways - 1; p >= 1; --p) {
                     g = stages_[d][p]->backwardHidden(g);
+                    if (use_engine && m == m_count - 1) {
+                        optimizers_[d][p]->scaleGrad(inv_m);
+                        engines_[p]->notifyReplicaDone();
+                    }
                     g = channels_[d][p - 1]->send(g, m, m_count);
                 }
                 g = stages_[d][0]->backwardHidden(g);
                 stages_[d][0]->backwardTokens(g);
+                if (use_engine && m == m_count - 1) {
+                    optimizers_[d][0]->scaleGrad(inv_m);
+                    engines_[0]->notifyReplicaDone();
+                }
             }
         }
     });
+    stats.phases.forwardBackward = secondsSince(t_iter);
     for (int d = 0; d < d_ways; ++d)
         loss_sum += replica_loss[d];
 
-    // Average gradients over micro-batches (per-replica optimizer
-    // state is disjoint).
-    const float inv_m = 1.0f / static_cast<float>(m_count);
-    parallelFor(0, d_ways, 1, [&](int64_t d_lo, int64_t d_hi) {
-        for (int64_t d = d_lo; d < d_hi; ++d) {
-            for (int p = 0; p < p_ways; ++p)
-                optimizers_[d][p]->scaleGrad(inv_m);
-        }
-    });
+    // Legacy path: average gradients over micro-batches after the
+    // loop (per-replica optimizer state is disjoint). The engine
+    // path already scaled in-loop — same multiplications, earlier.
+    if (!use_engine) {
+        parallelFor(0, d_ways, 1, [&](int64_t d_lo, int64_t d_hi) {
+            for (int64_t d = d_lo; d < d_hi; ++d) {
+                for (int p = 0; p < p_ways; ++p)
+                    optimizers_[d][p]->scaleGrad(inv_m);
+            }
+        });
+    }
 
-    // Data-parallel gradient all-reduce, excluding the tied
-    // embedding tables (the synchronizer owns those).
-    std::vector<const Param *> excluded;
-    for (int d = 0; d < d_ways; ++d) {
-        if (auto table = stages_[d][0]->embeddingTable())
-            excluded.push_back(table.get());
-        if (auto table = stages_[d][p_ways - 1]->embeddingTable())
-            excluded.push_back(table.get());
+    // Data-parallel gradient all-reduce. Exposed time only: in
+    // overlapped mode most bucket tasks already ran during backward.
+    const auto t_reduce = Clock::now();
+    if (use_engine) {
+        for (int p = 0; p < p_ways; ++p)
+            engines_[p]->flush();
+        reduceGroup_.wait();
+        for (int p = 0; p < p_ways; ++p) {
+            double busy = 0.0;
+            stats.dpVolume += engines_[p]->collect(&busy);
+            stats.phases.dpReduceBusy += busy;
+        }
+    } else {
+        for (int p = 0; p < p_ways; ++p) {
+            std::vector<std::vector<ParamPtr>> worker_params;
+            worker_params.reserve(d_ways);
+            for (int d = 0; d < d_ways; ++d)
+                worker_params.push_back(stages_[d][p]->params());
+            stats.dpVolume += reducers_[p]->reduce(worker_params,
+                                                   excluded);
+        }
     }
-    for (int p = 0; p < p_ways; ++p) {
-        std::vector<std::vector<ParamPtr>> worker_params;
-        worker_params.reserve(d_ways);
-        for (int d = 0; d < d_ways; ++d)
-            worker_params.push_back(stages_[d][p]->params());
-        stats.dpVolume += reducers_[p]->reduce(worker_params,
-                                               excluded);
-    }
+    stats.phases.dpReduce = secondsSince(t_reduce);
+    if (!use_engine)
+        stats.phases.dpReduceBusy = stats.phases.dpReduce;
+    stats.phases.overlapHidden = std::max(
+        0.0, stats.phases.dpReduceBusy - stats.phases.dpReduce);
 
     // Embedding synchronization (baseline or fused).
+    const auto t_emb = Clock::now();
     std::vector<ParamPtr> first_copies, last_copies;
     for (int d = 0; d < d_ways; ++d) {
         first_copies.push_back(stages_[d][0]->embeddingTable());
@@ -222,9 +315,11 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
             stages_[d][p_ways - 1]->embeddingTable());
     }
     stats.embVolume = embSync_.synchronize(first_copies, last_copies);
+    stats.phases.embSync = secondsSince(t_emb);
 
     // Optimizer update; replicas update identically because their
     // gradients are now identical.
+    const auto t_opt = Clock::now();
     if (config_.applyUpdates) {
         parallelFor(0, d_ways, 1, [&](int64_t d_lo, int64_t d_hi) {
             for (int64_t d = d_lo; d < d_hi; ++d) {
@@ -235,6 +330,7 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
             }
         });
     }
+    stats.phases.optimizer = secondsSince(t_opt);
 
     for (int d = 0; d < d_ways; ++d) {
         for (int s = 1; s < p_ways; ++s) {
@@ -249,6 +345,7 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
 
     ++iterations_;
     stats.loss = loss_sum / static_cast<double>(d_ways * m_count);
+    stats.phases.total = secondsSince(t_iter);
     return stats;
 }
 
@@ -310,8 +407,12 @@ Trainer3d::compressorStateBytes() const
         for (const auto &ch : replica)
             total += ch->compressorStateBytes();
     }
+    // Only one of the two reduce paths holds warm state (whichever
+    // the configured mode exercises); the other contributes zero.
     for (const auto &reducer : reducers_)
         total += reducer->stateBytes();
+    for (const auto &engine : engines_)
+        total += engine->stateBytes();
     return total;
 }
 

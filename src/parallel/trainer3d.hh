@@ -30,10 +30,32 @@
 #include "nn/optimizer.hh"
 #include "parallel/channels.hh"
 #include "parallel/data_parallel.hh"
+#include "parallel/reduce_engine.hh"
 #include "parallel/stage_module.hh"
+#include "runtime/runtime.hh"
 
 namespace optimus
 {
+
+/**
+ * How the data-parallel gradient all-reduce is scheduled. All three
+ * modes produce bitwise-identical parameters (see reduce_engine.hh);
+ * they differ only in when and where the work runs.
+ */
+enum class DpReduceMode
+{
+    /** Legacy path: sequential per-parameter reduce after backward. */
+    Sequential,
+    /** Bucketed engine, all buckets enqueued after the replica loop. */
+    Barriered,
+    /**
+     * Bucketed engine, stage p's buckets enqueued by the last
+     * replica to finish stage p's backward, so reduction overlaps
+     * the rest of backward (the default, and the structure the
+     * paper's hidden-communication arguments assume).
+     */
+    Overlapped,
+};
 
 /** Complete configuration for one training run. */
 struct Trainer3dConfig
@@ -63,6 +85,10 @@ struct Trainer3dConfig
      */
     bool applyUpdates = true;
     uint64_t seed = 123;
+    /** Scheduling of the DP gradient all-reduce. */
+    DpReduceMode reduceMode = DpReduceMode::Overlapped;
+    /** Bucket capacity for the bucketed reduce modes. */
+    int64_t bucketBytes = 256 * 1024;
 
     /** Sequences per iteration across all replicas. */
     int64_t globalBatch() const
@@ -70,6 +96,26 @@ struct Trainer3dConfig
         return static_cast<int64_t>(dataParallel) * microBatches *
                microBatchSize;
     }
+};
+
+/**
+ * Wall-time breakdown of one iteration (seconds, steady clock).
+ * `forwardBackward` is the replica-loop wall time; in overlapped
+ * mode it already contains any reduction hidden behind backward.
+ * `dpReduce` is the *exposed* reduce time (flush + drain after the
+ * replica loop), `dpReduceBusy` the summed time spent inside bucket
+ * tasks wherever they ran, and `overlapHidden` their difference —
+ * the reduce work that cost no critical-path time.
+ */
+struct StepPhaseTimes
+{
+    double forwardBackward = 0.0;
+    double dpReduce = 0.0;
+    double dpReduceBusy = 0.0;
+    double overlapHidden = 0.0;
+    double embSync = 0.0;
+    double optimizer = 0.0;
+    double total = 0.0;
 };
 
 /** Per-iteration metrics. */
@@ -85,6 +131,8 @@ struct IterationStats
     int64_t interStageBytes = 0;
     /** Inter-stage backward bytes without compression. */
     int64_t interStageBytesExact = 0;
+    /** Per-phase wall-time breakdown. */
+    StepPhaseTimes phases;
 };
 
 /** The simulated distributed training run. */
@@ -114,6 +162,9 @@ class Trainer3d
 
     /** Backward channel into stage-1 of replica d, sender stage s. */
     BackwardChannel &channel(int d, int s);
+
+    /** Bucketed reduce engine of stage @p p (layout inspection). */
+    const ReduceEngine &reduceEngine(int p) const;
 
     const Trainer3dConfig &config() const { return config_; }
 
@@ -148,8 +199,12 @@ class Trainer3d
     std::vector<SoftmaxCrossEntropy> losses_;
     /** optimizers_[d][p]. */
     std::vector<std::vector<std::unique_ptr<Optimizer>>> optimizers_;
-    /** reducers_[p]: one per pipeline stage. */
+    /** reducers_[p]: legacy sequential reducer, one per stage. */
     std::vector<std::unique_ptr<DataParallelReducer>> reducers_;
+    /** engines_[p]: bucketed reduce engine, one per stage. */
+    std::vector<std::unique_ptr<ReduceEngine>> engines_;
+    /** Completion handle for in-flight bucket reductions. */
+    TaskGroup reduceGroup_;
     EmbeddingSynchronizer embSync_;
     std::unique_ptr<ReplicaScorer> scorer_;
     int64_t iterations_ = 0;

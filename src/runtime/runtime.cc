@@ -88,23 +88,115 @@ ThreadPool::workerLoop(int worker_id)
     uint64_t seen_epoch = 0;
     while (true) {
         int64_t num_chunks = 0;
+        bool have_job = false;
+        PendingTask task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [&] {
-                return shutdown_ || jobEpoch_ != seen_epoch;
+                return shutdown_ || jobEpoch_ != seen_epoch ||
+                       !tasks_.empty();
             });
             if (shutdown_)
                 return;
-            seen_epoch = jobEpoch_;
-            num_chunks = jobChunks_;
+            if (jobEpoch_ != seen_epoch) {
+                // A parallelFor job outranks queued tasks: its
+                // caller blocks until every worker checked in.
+                seen_epoch = jobEpoch_;
+                num_chunks = jobChunks_;
+                have_job = true;
+            } else {
+                task = std::move(tasks_.front());
+                tasks_.pop_front();
+            }
         }
-        runChunks(worker_id, num_chunks);
-        {
+        if (have_job) {
+            runChunks(worker_id, num_chunks);
             std::lock_guard<std::mutex> lock(mutex_);
             if (--workersBusy_ == 0)
                 done_.notify_one();
+        } else {
+            task.fn();
+            finishTask(*task.group);
         }
     }
+}
+
+void
+ThreadPool::finishTask(TaskGroup &group)
+{
+    std::lock_guard<std::mutex> lock(group.mutex_);
+    if (--group.pending_ == 0)
+        group.done_.notify_all();
+}
+
+void
+ThreadPool::submit(TaskGroup &group, std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> glock(group.mutex_);
+        ++group.submitted_;
+    }
+    if (threads_ == 1) {
+        // Serial pool: no workers exist, run inline right here. The
+        // task body still sees inParallelRegion() so its nested
+        // parallel regions decompose identically to pooled runs.
+        const bool saved = t_inWorker;
+        t_inWorker = true;
+        fn();
+        t_inWorker = saved;
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> glock(group.mutex_);
+        ++group.pending_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(PendingTask{std::move(fn), &group});
+    }
+    wake_.notify_one();
+}
+
+bool
+ThreadPool::runOneTask()
+{
+    PendingTask task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tasks_.empty())
+            return false;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+    }
+    const bool saved = t_inWorker;
+    t_inWorker = true;
+    task.fn();
+    t_inWorker = saved;
+    finishTask(*task.group);
+    return true;
+}
+
+void
+TaskGroup::run(std::function<void()> fn)
+{
+    ThreadPool::instance().submit(*this, std::move(fn));
+}
+
+void
+TaskGroup::wait()
+{
+    ThreadPool &pool = ThreadPool::instance();
+    while (pool.runOneTask()) {
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+int64_t
+TaskGroup::submitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return submitted_;
 }
 
 void

@@ -33,6 +33,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -46,6 +47,8 @@ using RangeFn = std::function<void(int64_t, int64_t)>;
 
 /** Reduction body: returns the partial sum over [lo, hi). */
 using RangeSumFn = std::function<double(int64_t, int64_t)>;
+
+class TaskGroup;
 
 /**
  * Fixed-size worker pool (singleton). Construction spawns
@@ -80,6 +83,25 @@ class ThreadPool
     /** True when called from inside a pool worker task. */
     static bool inParallelRegion();
 
+    /**
+     * Enqueue one independent task belonging to @p group. Tasks are
+     * popped FIFO by pool workers that are not currently executing
+     * parallelFor chunks — including while a parallelFor job is in
+     * flight, which is what lets bucketed gradient reduction overlap
+     * the backward replica loop. On a serial pool (threads() == 1)
+     * the task runs inline immediately. Task bodies execute with
+     * inParallelRegion() true, so nested parallel regions run inline
+     * and the determinism contract is preserved regardless of which
+     * thread picks a task up.
+     */
+    void submit(TaskGroup &group, std::function<void()> fn);
+
+    /**
+     * Pop and execute one queued task on the calling thread.
+     * @return false when the queue was empty.
+     */
+    bool runOneTask();
+
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -90,6 +112,14 @@ class ThreadPool
 
     void workerLoop(int worker_id);
     void runChunks(int worker_id, int64_t num_chunks);
+    static void finishTask(TaskGroup &group);
+
+    /** One queued task and the group awaiting its completion. */
+    struct PendingTask
+    {
+        std::function<void()> fn;
+        TaskGroup *group = nullptr;
+    };
 
     int threads_ = 1;
     std::vector<std::thread> workers_;
@@ -101,6 +131,8 @@ class ThreadPool
     uint64_t jobEpoch_ = 0;
     int workersBusy_ = 0;
     bool shutdown_ = false;
+    /** FIFO task queue (guarded by mutex_). */
+    std::deque<PendingTask> tasks_;
 
     /** Active job (valid while workersBusy_ > 0). */
     const RangeFn *jobFn_ = nullptr;
@@ -111,6 +143,52 @@ class ThreadPool
 
     /** Serializes external callers (one parallel region at a time). */
     std::mutex runMutex_;
+};
+
+/**
+ * Completion handle over a set of independent tasks submitted to the
+ * pool's task queue. The producer/consumer order is deterministic
+ * where it matters: tasks are popped FIFO, every task's *result* must
+ * be independent of when and where it runs (the submitting code owns
+ * that property — bucket reductions write disjoint state and fix
+ * their chunk grids), and wait() drains the queue on the caller
+ * before blocking, so a serial pool and a saturated pool both make
+ * progress. A group is reusable: wait() leaves it empty and ready
+ * for the next round of run() calls. Not reentrant — run()/wait()
+ * are for code outside pool tasks (wait() from inside a task would
+ * deadlock a single-worker pool).
+ */
+class TaskGroup
+{
+  public:
+    TaskGroup() = default;
+
+    /** @pre all submitted tasks completed (call wait() first). */
+    ~TaskGroup() = default;
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Submit one task (inline on a serial pool). */
+    void run(std::function<void()> fn);
+
+    /**
+     * Execute queued tasks on the calling thread until the queue is
+     * empty, then block until every task of this group finished.
+     */
+    void wait();
+
+    /** Tasks submitted over this group's lifetime (diagnostics). */
+    int64_t submitted() const;
+
+  private:
+    friend class ThreadPool;
+
+    mutable std::mutex mutex_;
+    std::condition_variable done_;
+    /** Tasks submitted but not yet completed (guarded by mutex_). */
+    int64_t pending_ = 0;
+    int64_t submitted_ = 0;
 };
 
 /**

@@ -158,3 +158,68 @@ TEST(Runtime, BackToBackRegionsReuseWorkers)
     for (int64_t i = 0; i < 64; ++i)
         EXPECT_EQ(200 * i, sums[i]);
 }
+
+TEST(TaskGroup, RunsAllTasksAndCounts)
+{
+    TaskGroup group;
+    std::atomic<int> done{0};
+    for (int i = 0; i < 64; ++i)
+        group.run([&done] { done.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(64, done.load());
+    EXPECT_EQ(64, group.submitted());
+}
+
+TEST(TaskGroup, IsReusableAcrossRounds)
+{
+    TaskGroup group;
+    std::atomic<int> done{0};
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 8; ++i)
+            group.run([&done] { done.fetch_add(1); });
+        group.wait();
+        EXPECT_EQ(8 * (round + 1), done.load());
+    }
+    EXPECT_EQ(40, group.submitted());
+}
+
+TEST(TaskGroup, TasksSeeParallelRegionAndNestInline)
+{
+    // A task body must run with inParallelRegion() set so nested
+    // parallel regions decompose inline, keeping the determinism
+    // contract independent of which thread picks the task up.
+    TaskGroup group;
+    std::atomic<int> in_region{0};
+    std::atomic<int64_t> nested_sum{0};
+    group.run([&] {
+        if (ThreadPool::inParallelRegion())
+            in_region.fetch_add(1);
+        parallelFor(0, 100, 7, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i)
+                nested_sum.fetch_add(i);
+        });
+    });
+    group.wait();
+    EXPECT_EQ(1, in_region.load());
+    EXPECT_EQ(4950, nested_sum.load());
+}
+
+TEST(TaskGroup, TasksRunConcurrentlyWithParallelFor)
+{
+    // Submit tasks, then immediately run a parallelFor job: workers
+    // must both finish the job (it outranks tasks) and drain the
+    // queue without deadlock.
+    TaskGroup group;
+    std::atomic<int> task_done{0};
+    std::vector<int64_t> touched(256, 0);
+    for (int i = 0; i < 16; ++i)
+        group.run([&task_done] { task_done.fetch_add(1); });
+    parallelFor(0, 256, 16, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            touched[i] = i;
+    });
+    group.wait();
+    EXPECT_EQ(16, task_done.load());
+    for (int64_t i = 0; i < 256; ++i)
+        EXPECT_EQ(i, touched[i]);
+}
