@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Trace-vs-analytic consistency benchmark for the communication
+ * transport layer: runs the real miniature trainer with tracing on
+ * at each Fig 10 configuration point (the technique-preset ladder),
+ * replays the recorded trace through the paper-scale cluster's link
+ * classes (pipesim/trace_replay.hh), and compares the per-category
+ * volumes and times against the analytic closed forms the
+ * performance pillar uses. Writes BENCH_commtrace.json.
+ *
+ * The gates (all exact, not approximate):
+ *   - inter-stage exact bytes equal the counting formula
+ *     D * (P-1) * M * 4 * mbs * seqLen * hidden per iteration;
+ *   - p2p traffic equals on-wire bytes (alpha-beta identity);
+ *   - DP traffic equals ringAllReduceTraffic(wire bytes, D) --
+ *     bitwise, because ring traffic is linear in V and D is a power
+ *     of two here;
+ *   - per-iteration embedding-sync traffic equals Eq 15 (baseline)
+ *     or Eq 16 (fused) exactly;
+ *   - replayed per-category seconds equal an independent
+ *     canonical-order walk through the same alpha-beta functions.
+ *
+ * Usage: bench_commtrace [--iters 3] [--smoke]
+ * --smoke shrinks the model and exits 1 on any gate violation, for
+ * ctest / sanitizer jobs. Thread count comes from OPTIMUS_THREADS.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/mapping.hh"
+#include "comm/transport.hh"
+#include "core/performance_experiment.hh"
+#include "core/presets.hh"
+#include "data/corpus.hh"
+#include "data/dataset.hh"
+#include "parallel/trainer3d.hh"
+#include "pipesim/trace_replay.hh"
+#include "runtime/runtime.hh"
+#include "simnet/cost_model.hh"
+#include "util/cli.hh"
+
+using namespace optimus;
+
+namespace
+{
+
+GptConfig
+benchModel(bool smoke)
+{
+    GptConfig model;
+    model.vocab = 24;
+    model.hidden = smoke ? 16 : 32;
+    model.layers = 4;
+    model.heads = smoke ? 2 : 4;
+    model.seqLen = 8;
+    model.seed = 77;
+    return model;
+}
+
+Trainer3dConfig
+makeConfig(const GptConfig &model, const TechniquePreset &preset,
+           bool smoke)
+{
+    Trainer3dConfig config;
+    config.model = model;
+    // D is kept a power of two so the ring-traffic linearity gate
+    // holds bitwise (V/D divisions are exact in double).
+    config.dataParallel = 2;
+    config.pipelineStages = smoke ? 2 : 4;
+    config.microBatches = 4;
+    config.microBatchSize = 2;
+    config.cb = preset.cb;
+    config.dp = preset.dp;
+    config.fusedEmbeddingSync = preset.fusedEmbeddingSync;
+    config.traceCommunication = true;
+    return config;
+}
+
+LmDataset
+benchData(const GptConfig &model)
+{
+    CorpusConfig cc;
+    cc.vocab = model.vocab;
+    cc.totalTokens = 6000;
+    cc.seed = 5;
+    SyntheticCorpus corpus(cc);
+    return {corpus.train(), model.seqLen};
+}
+
+struct GateReport
+{
+    int checked = 0;
+    int failed = 0;
+
+    void expect(bool ok, const char *what, const std::string &where)
+    {
+        ++checked;
+        if (!ok) {
+            ++failed;
+            std::fprintf(stderr, "GATE VIOLATION [%s] %s\n",
+                         where.c_str(), what);
+        }
+    }
+};
+
+void
+printCategoryJson(FILE *f, const char *name,
+                  const ReplayCategory &cat, const char *tail)
+{
+    std::fprintf(f,
+                 "      \"%s\": {\"events\": %lld, \"exact_bytes\": "
+                 "%lld, \"wire_bytes\": %lld, \"traffic_bytes\": "
+                 "%.3f, \"seconds\": %.9e}%s\n",
+                 name, static_cast<long long>(cat.events),
+                 static_cast<long long>(cat.exactBytes),
+                 static_cast<long long>(cat.wireBytes),
+                 cat.trafficBytes, cat.seconds, tail);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const bool smoke = args.getBool("smoke", false);
+    const int iters =
+        static_cast<int>(args.getInt("iters", smoke ? 2 : 3));
+
+    const GptConfig model = benchModel(smoke);
+    const LmDataset data = benchData(model);
+    const std::vector<TechniquePreset> ladder =
+        presets::ablationLadder();
+
+    // Paper-scale link classes (Table 1 cluster): the bridge prices
+    // the miniature trainer's real traffic with the same LinkSpecs
+    // the analytic simulator uses.
+    const HardwareConfig hw;
+    const GptModelSpec paper_model;
+    const ParallelConfig paper_parallel;
+    const TrainingPlan paper_plan;
+    const MappedWorkload workload(hw, paper_model, paper_parallel,
+                                  paper_plan);
+    const LinkSpec p2p = workload.p2pLink();
+    const LinkSpec coll = workload.collectiveLink();
+    const TraceReplayer replayer(p2p, coll);
+
+    std::printf("=== comm trace replay benchmark ===\n");
+    std::printf("pool threads: %d  iters: %d  presets: %zu%s\n\n",
+                runtimeThreads(), iters, ladder.size(),
+                smoke ? "  [smoke]" : "");
+
+    FILE *f = std::fopen("BENCH_commtrace.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_commtrace.json\n");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"commtrace\",\n");
+    std::fprintf(f, "  \"threads\": %d,\n", runtimeThreads());
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"iterations\": %d,\n", iters);
+    std::fprintf(f, "  \"p2p_link\": {\"bandwidth\": %.6e, "
+                    "\"latency\": %.6e},\n",
+                 p2p.bandwidth, p2p.latency);
+    std::fprintf(f, "  \"collective_link\": {\"bandwidth\": %.6e, "
+                    "\"latency\": %.6e},\n",
+                 coll.bandwidth, coll.latency);
+    std::fprintf(f, "  \"points\": [\n");
+
+    GateReport gates;
+    for (size_t pi = 0; pi < ladder.size(); ++pi) {
+        const TechniquePreset &preset = ladder[pi];
+        const Trainer3dConfig tc = makeConfig(model, preset, smoke);
+        Trainer3d trainer(tc);
+        Rng rng(11);
+        for (int it = 0; it < iters; ++it)
+            trainer.trainIteration(data, rng);
+        const CommTrace &trace = *trainer.trace();
+        const ReplayResult replay = replayer.replay(trace);
+
+        // Gate 1: inter-stage exact bytes by the counting formula.
+        const int64_t boundary = 4LL * tc.microBatchSize *
+                                 model.seqLen * model.hidden;
+        const int64_t expect_is = static_cast<int64_t>(iters) *
+                                  tc.dataParallel *
+                                  (tc.pipelineStages - 1) *
+                                  tc.microBatches * boundary;
+        gates.expect(replay.interStage.exactBytes == expect_is,
+                     "inter-stage exact bytes != D*(P-1)*M*payload",
+                     preset.name);
+
+        // Gate 2: p2p traffic is exactly the on-wire bytes.
+        gates.expect(
+            replay.interStage.trafficBytes ==
+                static_cast<double>(replay.interStage.wireBytes),
+            "p2p traffic != wire bytes", preset.name);
+
+        // Gate 3: DP ring traffic linearity (every DP event spans
+        // the D replicas).
+        gates.expect(
+            replay.dpReduce.trafficBytes ==
+                ringAllReduceTraffic(
+                    static_cast<double>(replay.dpReduce.wireBytes),
+                    tc.dataParallel),
+            "dp traffic != ringAllReduceTraffic(wire, D)",
+            preset.name);
+
+        // Gate 4: per-iteration embedding-sync traffic lands on the
+        // paper's closed form (Eq 15 baseline / Eq 16 fused).
+        const int64_t table_bytes =
+            4LL * model.vocab * model.hidden;
+        for (int it = 0; it < iters; ++it) {
+            const ReplayResult one = replayer.replay(trace, it);
+            const double expect_emb =
+                preset.fusedEmbeddingSync
+                    ? embSyncTrafficFused(
+                          static_cast<double>(table_bytes),
+                          tc.dataParallel)
+                    : embSyncTrafficBaseline(
+                          static_cast<double>(table_bytes),
+                          tc.dataParallel);
+            gates.expect(one.embSync.trafficBytes == expect_emb,
+                         "emb sync traffic != Eq 15/16 closed form",
+                         preset.name);
+        }
+
+        // Gate 5: replayed seconds equal an independent
+        // canonical-order walk through the same alpha-beta
+        // functions, accumulated per category exactly as the
+        // replayer does.
+        double walk_seconds[4] = {0.0, 0.0, 0.0, 0.0};
+        for (const CommEvent &ev : trace.sorted()) {
+            const int c = static_cast<int>(ev.phase);
+            if (ev.verb == CommVerb::P2pSend)
+                walk_seconds[c] += p2pTime(
+                    static_cast<double>(ev.wireBytes), p2p);
+            else
+                walk_seconds[c] += ringAllReduceTime(
+                    static_cast<double>(ev.wireBytes), ev.ranks,
+                    coll);
+        }
+        gates.expect(
+            replay.interStage.seconds == walk_seconds[0] &&
+                replay.dpReduce.seconds == walk_seconds[1] &&
+                replay.embSync.seconds == walk_seconds[2] &&
+                replay.other.seconds == walk_seconds[3],
+            "replayed seconds != independent recomputation",
+            preset.name);
+
+        std::printf(
+            "%-14s events %5lld  IS %.2f KiB -> %.2f KiB  DP %.2f "
+            "KiB  EMB traffic %.0f B  comm %.3f ms\n",
+            preset.name.c_str(),
+            static_cast<long long>(trace.size()),
+            replay.interStage.exactBytes / 1024.0,
+            replay.interStage.wireBytes / 1024.0,
+            replay.dpReduce.wireBytes / 1024.0,
+            replay.embSync.trafficBytes,
+            1e3 * replay.totalSeconds());
+
+        std::fprintf(f, "    {\"preset\": \"%s\",\n",
+                     preset.name.c_str());
+        std::fprintf(f, "      \"trace_events\": %lld,\n",
+                     static_cast<long long>(trace.size()));
+        printCategoryJson(f, "inter_stage", replay.interStage, ",");
+        printCategoryJson(f, "dp_reduce", replay.dpReduce, ",");
+        printCategoryJson(f, "emb_sync", replay.embSync, ",");
+        std::fprintf(f,
+                     "      \"analytic\": {\"inter_stage_exact\": "
+                     "%lld, \"emb_traffic_per_iter\": %.3f},\n",
+                     static_cast<long long>(expect_is),
+                     preset.fusedEmbeddingSync
+                         ? embSyncTrafficFused(
+                               static_cast<double>(table_bytes),
+                               tc.dataParallel)
+                         : embSyncTrafficBaseline(
+                               static_cast<double>(table_bytes),
+                               tc.dataParallel));
+        std::fprintf(f, "      \"total_seconds\": %.9e}%s\n",
+                     replay.totalSeconds(),
+                     pi + 1 < ladder.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"gates_checked\": %d,\n", gates.checked);
+    std::fprintf(f, "  \"gates_failed\": %d\n}\n", gates.failed);
+    std::fclose(f);
+
+    std::printf("\n%d/%d consistency gates passed; results written "
+                "to BENCH_commtrace.json\n",
+                gates.checked - gates.failed, gates.checked);
+    if (gates.failed != 0) {
+        std::fprintf(stderr, "FAILED: %d consistency gates\n",
+                     gates.failed);
+        return 1;
+    }
+    return 0;
+}

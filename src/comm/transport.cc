@@ -1,0 +1,438 @@
+#include "comm/transport.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "runtime/runtime.hh"
+#include "simnet/cost_model.hh"
+#include "util/logging.hh"
+
+namespace optimus
+{
+
+namespace
+{
+
+/**
+ * Element grain of the collective combine kernel. Fixed (never
+ * derived from the thread count) so the chunk grid is a pure
+ * function of the group layout, per the runtime's determinism
+ * contract; same value the parallel/ kernels historically used.
+ */
+constexpr int64_t kCombineGrain = 4096;
+
+/** Comparable projection of a CompressorSpec for commEventLess. */
+std::tuple<int, int, double, uint64_t>
+specKey(const CompressorSpec &spec)
+{
+    return {static_cast<int>(spec.kind), spec.rank, spec.topkFraction,
+            spec.seed};
+}
+
+std::tuple<int64_t, int, int, int, int, int64_t, int64_t, int, int,
+           int, std::tuple<int, int, double, uint64_t>>
+eventKey(const CommEvent &e)
+{
+    return {e.iteration,
+            static_cast<int>(e.phase),
+            static_cast<int>(e.verb),
+            e.ranks,
+            e.groups,
+            e.exactBytes,
+            e.wireBytes,
+            e.src,
+            e.dst,
+            e.replica,
+            specKey(e.compressor)};
+}
+
+bool
+eventSelected(const CommEvent &e, CommPhase phase, int64_t iteration)
+{
+    return e.phase == phase &&
+           (iteration < 0 || e.iteration == iteration);
+}
+
+/**
+ * Mean/sum all-reduce over one segmented group. Chunks are cut from
+ * flat coordinates (grain-fixed, segment-agnostic); each element
+ * accumulates its per-rank values in rank order in double and the
+ * scaled float result is written back to every rank — the exact
+ * arithmetic of the legacy parallel/ combine() and bucket kernels,
+ * so results are bitwise identical to them at any OPTIMUS_THREADS.
+ */
+void
+combineGroup(const CommGroup &group, ReduceOp op)
+{
+    OPTIMUS_ASSERT(group.ranks >= 1 && !group.segLens.empty());
+    OPTIMUS_ASSERT(group.segOffsets.size() == group.segLens.size());
+    const int ranks = group.ranks;
+    const double scale =
+        op == ReduceOp::Mean ? 1.0 / static_cast<double>(ranks) : 1.0;
+    const auto &offsets = group.segOffsets;
+    const size_t segments = offsets.size();
+
+    parallelFor(0, group.totalElems, kCombineGrain,
+                [&](int64_t lo, int64_t hi) {
+                    size_t e = static_cast<size_t>(
+                                   std::upper_bound(offsets.begin(),
+                                                    offsets.end(),
+                                                    lo) -
+                                   offsets.begin()) -
+                               1;
+                    int64_t pos = lo;
+                    while (pos < hi) {
+                        const int64_t seg_end =
+                            e + 1 < segments ? offsets[e + 1]
+                                             : group.totalElems;
+                        const int64_t stop =
+                            seg_end < hi ? seg_end : hi;
+                        const int64_t base = pos - offsets[e];
+                        const auto &ptrs = group.segPtrs[e];
+                        for (int64_t i = pos; i < stop; ++i) {
+                            const int64_t k = base + (i - pos);
+                            double acc = 0.0;
+                            for (int d = 0; d < ranks; ++d)
+                                acc += ptrs[d][k];
+                            const float v =
+                                static_cast<float>(acc * scale);
+                            for (int d = 0; d < ranks; ++d)
+                                ptrs[d][k] = v;
+                        }
+                        pos = stop;
+                        ++e;
+                    }
+                });
+}
+
+} // namespace
+
+const char *
+commVerbName(CommVerb verb)
+{
+    switch (verb) {
+      case CommVerb::P2pSend:
+        return "p2pSend";
+      case CommVerb::AllReduce:
+        return "allReduce";
+      case CommVerb::AllReduceCompressed:
+        return "allReduceCompressed";
+      case CommVerb::Broadcast:
+        return "broadcast";
+    }
+    return "?";
+}
+
+const char *
+commPhaseName(CommPhase phase)
+{
+    switch (phase) {
+      case CommPhase::InterStage:
+        return "interStage";
+      case CommPhase::DpReduce:
+        return "dpReduce";
+      case CommPhase::EmbSync:
+        return "embSync";
+      case CommPhase::Other:
+        return "other";
+    }
+    return "?";
+}
+
+bool
+commEventLess(const CommEvent &a, const CommEvent &b)
+{
+    return eventKey(a) < eventKey(b);
+}
+
+double
+commEventTraffic(const CommEvent &event)
+{
+    switch (event.verb) {
+      case CommVerb::P2pSend:
+        return static_cast<double>(event.wireBytes);
+      case CommVerb::AllReduce:
+      case CommVerb::AllReduceCompressed:
+        // Per-rank ring traffic of one group; every rank belongs to
+        // exactly one of the event's concurrent groups, so the
+        // per-rank figure is independent of the multiplicity.
+        return ringAllReduceTraffic(
+            static_cast<double>(event.wireBytes), event.ranks);
+      case CommVerb::Broadcast:
+        // Ring/allgather-style broadcast: V(R-1)/R per rank.
+        return event.ranks <= 1
+                   ? 0.0
+                   : static_cast<double>(event.wireBytes) *
+                         (event.ranks - 1) / event.ranks;
+    }
+    return 0.0;
+}
+
+void
+CommGroup::finalize()
+{
+    OPTIMUS_ASSERT(segPtrs.size() == segLens.size());
+    segOffsets.resize(segLens.size());
+    totalElems = 0;
+    for (size_t e = 0; e < segLens.size(); ++e) {
+        OPTIMUS_ASSERT(segLens[e] >= 0);
+        OPTIMUS_ASSERT(static_cast<int>(segPtrs[e].size()) == ranks);
+        segOffsets[e] = totalElems;
+        totalElems += segLens[e];
+    }
+}
+
+CommGroup
+CommGroup::fromTensors(const std::vector<Tensor *> &tensors)
+{
+    OPTIMUS_ASSERT(!tensors.empty());
+    CommGroup group;
+    group.ranks = static_cast<int>(tensors.size());
+    group.segPtrs.emplace_back();
+    for (Tensor *t : tensors) {
+        OPTIMUS_ASSERT(t != nullptr &&
+                       t->size() == tensors[0]->size());
+        group.segPtrs[0].push_back(t->data());
+    }
+    group.segLens.push_back(tensors[0]->size());
+    group.finalize();
+    return group;
+}
+
+CommVolume
+CommTrace::volume(CommPhase phase, int64_t iteration) const
+{
+    CommVolume total;
+    for (const CommEvent &e : events_) {
+        if (eventSelected(e, phase, iteration)) {
+            total.exactBytes += e.exactBytes;
+            total.wireBytes += e.wireBytes;
+        }
+    }
+    return total;
+}
+
+int64_t
+CommTrace::count(CommPhase phase, int64_t iteration) const
+{
+    int64_t n = 0;
+    for (const CommEvent &e : events_) {
+        if (eventSelected(e, phase, iteration))
+            ++n;
+    }
+    return n;
+}
+
+double
+CommTrace::trafficBytes(CommPhase phase, int64_t iteration) const
+{
+    // Canonical order: double addition is order-sensitive, and the
+    // append order of a concurrent run is not deterministic.
+    double total = 0.0;
+    for (const CommEvent &e : sorted()) {
+        if (eventSelected(e, phase, iteration))
+            total += commEventTraffic(e);
+    }
+    return total;
+}
+
+std::vector<CommEvent>
+CommTrace::sorted() const
+{
+    std::vector<CommEvent> copy(events_);
+    std::sort(copy.begin(), copy.end(), commEventLess);
+    return copy;
+}
+
+CommEvent
+Transport::allReduceTensors(CommPhase phase,
+                            const std::vector<Tensor *> &tensors,
+                            ReduceOp op)
+{
+    return allReduce(phase, CommGroup::fromTensors(tensors), op);
+}
+
+CommEvent
+InProcessTransport::p2pSend(CommPhase phase, int src, int dst,
+                            int replica, int64_t exact_bytes,
+                            int64_t wire_bytes,
+                            const CompressorSpec &compressor)
+{
+    CommEvent event;
+    event.iteration = iteration();
+    event.phase = phase;
+    event.verb = CommVerb::P2pSend;
+    event.src = src;
+    event.dst = dst;
+    event.replica = replica;
+    event.ranks = 2;
+    event.exactBytes = exact_bytes;
+    event.wireBytes = wire_bytes;
+    event.compressor = compressor;
+    return event;
+}
+
+CommEvent
+InProcessTransport::allReduce(CommPhase phase, const CommGroup &group,
+                              ReduceOp op)
+{
+    combineGroup(group, op);
+    CommEvent event;
+    event.iteration = iteration();
+    event.phase = phase;
+    event.verb = CommVerb::AllReduce;
+    event.ranks = group.ranks;
+    event.exactBytes =
+        static_cast<int64_t>(sizeof(float)) * group.totalElems;
+    event.wireBytes = event.exactBytes;
+    return event;
+}
+
+CommEvent
+InProcessTransport::allReduceGrouped(
+    CommPhase phase, const std::vector<CommGroup> &groups,
+    ReduceOp op)
+{
+    OPTIMUS_ASSERT(!groups.empty());
+    // The groups are disjoint and concurrent on real hardware; in
+    // process their kernels run one after another, exactly matching
+    // the legacy successive combine() calls.
+    for (const CommGroup &group : groups) {
+        OPTIMUS_ASSERT(group.ranks == groups[0].ranks);
+        OPTIMUS_ASSERT(group.totalElems == groups[0].totalElems);
+        combineGroup(group, op);
+    }
+    CommEvent event;
+    event.iteration = iteration();
+    event.phase = phase;
+    event.verb = CommVerb::AllReduce;
+    event.ranks = groups[0].ranks;
+    event.groups = static_cast<int>(groups.size());
+    event.exactBytes =
+        static_cast<int64_t>(sizeof(float)) * groups[0].totalElems;
+    event.wireBytes = event.exactBytes;
+    return event;
+}
+
+CommEvent
+InProcessTransport::allReduceCompressed(
+    CommPhase phase, DistributedPowerSgd &dps,
+    const std::vector<const Tensor *> &inputs, Tensor &mean_output)
+{
+    OPTIMUS_ASSERT(!inputs.empty());
+    const int64_t wire = dps.reduce(inputs, mean_output);
+    CommEvent event;
+    event.iteration = iteration();
+    event.phase = phase;
+    event.verb = CommVerb::AllReduceCompressed;
+    event.ranks = dps.workers();
+    event.exactBytes =
+        static_cast<int64_t>(sizeof(float)) * inputs[0]->size();
+    event.wireBytes = wire;
+    event.compressor.kind = CompressorKind::PowerSgd;
+    event.compressor.rank = dps.rank();
+    return event;
+}
+
+CommEvent
+InProcessTransport::broadcast(CommPhase phase, CommGroup &group)
+{
+    OPTIMUS_ASSERT(group.ranks >= 1);
+    parallelFor(0, group.totalElems, kCombineGrain,
+                [&](int64_t lo, int64_t hi) {
+                    const auto &offsets = group.segOffsets;
+                    size_t e = static_cast<size_t>(
+                                   std::upper_bound(offsets.begin(),
+                                                    offsets.end(),
+                                                    lo) -
+                                   offsets.begin()) -
+                               1;
+                    int64_t pos = lo;
+                    while (pos < hi) {
+                        const int64_t seg_end =
+                            e + 1 < offsets.size()
+                                ? offsets[e + 1]
+                                : group.totalElems;
+                        const int64_t stop =
+                            seg_end < hi ? seg_end : hi;
+                        const int64_t base = pos - offsets[e];
+                        const auto &ptrs = group.segPtrs[e];
+                        for (int64_t i = pos; i < stop; ++i) {
+                            const int64_t k = base + (i - pos);
+                            const float v = ptrs[0][k];
+                            for (int d = 1; d < group.ranks; ++d)
+                                ptrs[d][k] = v;
+                        }
+                        pos = stop;
+                        ++e;
+                    }
+                });
+    CommEvent event;
+    event.iteration = iteration();
+    event.phase = phase;
+    event.verb = CommVerb::Broadcast;
+    event.src = 0;
+    event.ranks = group.ranks;
+    event.exactBytes =
+        static_cast<int64_t>(sizeof(float)) * group.totalElems;
+    event.wireBytes = event.exactBytes;
+    return event;
+}
+
+CommEvent
+RecordingTransport::record(const CommEvent &event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    trace_.append(event);
+    return event;
+}
+
+CommEvent
+RecordingTransport::p2pSend(CommPhase phase, int src, int dst,
+                            int replica, int64_t exact_bytes,
+                            int64_t wire_bytes,
+                            const CompressorSpec &compressor)
+{
+    return record(inner_.p2pSend(phase, src, dst, replica,
+                                 exact_bytes, wire_bytes,
+                                 compressor));
+}
+
+CommEvent
+RecordingTransport::allReduce(CommPhase phase, const CommGroup &group,
+                              ReduceOp op)
+{
+    return record(inner_.allReduce(phase, group, op));
+}
+
+CommEvent
+RecordingTransport::allReduceGrouped(
+    CommPhase phase, const std::vector<CommGroup> &groups,
+    ReduceOp op)
+{
+    return record(inner_.allReduceGrouped(phase, groups, op));
+}
+
+CommEvent
+RecordingTransport::allReduceCompressed(
+    CommPhase phase, DistributedPowerSgd &dps,
+    const std::vector<const Tensor *> &inputs, Tensor &mean_output)
+{
+    return record(
+        inner_.allReduceCompressed(phase, dps, inputs, mean_output));
+}
+
+CommEvent
+RecordingTransport::broadcast(CommPhase phase, CommGroup &group)
+{
+    return record(inner_.broadcast(phase, group));
+}
+
+Transport &
+defaultTransport()
+{
+    static InProcessTransport transport;
+    return transport;
+}
+
+} // namespace optimus

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * The communication transport layer: every byte the training engine
+ * moves — inter-stage backward sends, data-parallel gradient
+ * all-reduces (exact or PowerSGD-compressed), and the embedding
+ * synchronization collectives — goes through one `Transport`
+ * interface speaking the verbs the paper talks about: `p2pSend`,
+ * `allReduce`, `allReduceCompressed`, `broadcast`.
+ *
+ * Each verb performs the data movement *and* returns a completed
+ * `CommEvent` describing it (iteration, phase, kind, logical ranks,
+ * exact vs on-wire bytes, compressor spec). Components never
+ * hand-maintain byte counters: they fold returned events into
+ * `CommVolume` views, so all byte math lives here and the counters
+ * components expose are provably derived from the event stream.
+ *
+ * `InProcessTransport` owns the combine kernel the trainer has
+ * always used (double accumulation in rank order over a fixed chunk
+ * grain), so routing a component through the transport is bitwise
+ * neutral. `RecordingTransport` decorates any transport and appends
+ * every event to a per-run `CommTrace`, which the simnet/pipesim
+ * bridge replays through the alpha-beta cost model
+ * (pipesim/trace_replay.hh) — the quality pillar's real traffic
+ * priced by the performance pillar's links.
+ */
+
+#ifndef OPTIMUS_COMM_TRANSPORT_HH
+#define OPTIMUS_COMM_TRANSPORT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "compress/powersgd.hh"
+#include "tensor/tensor.hh"
+
+namespace optimus
+{
+
+/** The verb set of the transport interface. */
+enum class CommVerb
+{
+    P2pSend,
+    AllReduce,
+    AllReduceCompressed,
+    Broadcast,
+};
+
+/** Which training phase issued an operation (trace category). */
+enum class CommPhase
+{
+    InterStage, ///< backward activation-gradient sends (Section 5)
+    DpReduce,   ///< data-parallel gradient all-reduce (Section 7)
+    EmbSync,    ///< tied-embedding synchronization (Section 6)
+    Other,      ///< uncategorized (library helpers, tests)
+};
+
+/** Reduction operator of an exact all-reduce. */
+enum class ReduceOp
+{
+    Mean,
+    Sum,
+};
+
+const char *commVerbName(CommVerb verb);
+const char *commPhaseName(CommPhase phase);
+
+/**
+ * One completed communication operation. `exactBytes` is the
+ * uncompressed logical message size V of one collective group (or
+ * one p2p payload); `wireBytes` is what actually crossed the wire
+ * for that group. `groups` counts concurrent disjoint groups
+ * executing the same collective (e.g. the baseline embedding sync
+ * averages the first-stage and last-stage tables at once: one event
+ * with ranks = D, groups = 2) — per-rank cost formulas depend on
+ * (V, ranks) only, which is what makes trace-summed traffic land
+ * exactly on the paper's closed forms (Eq 15/16).
+ */
+struct CommEvent
+{
+    int64_t iteration = 0;
+    CommPhase phase = CommPhase::Other;
+    CommVerb verb = CommVerb::AllReduce;
+    /** Logical sender / receiver rank of a p2p send (else -1). */
+    int src = -1;
+    int dst = -1;
+    /** Data-parallel replica issuing a p2p send (else -1). */
+    int replica = -1;
+    /** Ranks participating in one collective group (p2p: 2). */
+    int ranks = 1;
+    /** Concurrent disjoint groups covered by this event. */
+    int groups = 1;
+    int64_t exactBytes = 0;
+    int64_t wireBytes = 0;
+    /** Compressor that produced wireBytes (kind None when exact). */
+    CompressorSpec compressor{};
+};
+
+/**
+ * Strict weak order over every event field: the canonical trace
+ * order. Concurrent recording makes the append order run-dependent;
+ * consumers that sum event-derived doubles (traffic, modeled time)
+ * iterate in canonical order so their results are deterministic.
+ */
+bool commEventLess(const CommEvent &a, const CommEvent &b);
+
+/**
+ * Per-rank alpha-beta traffic of one event in bytes: ring
+ * all-reduce traffic 2V(R-1)/R for collectives (computed by the
+ * same simnet function the analytic formulas use, so trace-summed
+ * and closed-form traffic agree bit for bit), V for a p2p payload,
+ * and allgather-style V(R-1)/R for a broadcast.
+ */
+double commEventTraffic(const CommEvent &event);
+
+/** Integer byte totals folded from events (order-independent). */
+struct CommVolume
+{
+    int64_t exactBytes = 0;
+    int64_t wireBytes = 0;
+
+    void add(const CommEvent &event)
+    {
+        exactBytes += event.exactBytes;
+        wireBytes += event.wireBytes;
+    }
+
+    void merge(const CommVolume &other)
+    {
+        exactBytes += other.exactBytes;
+        wireBytes += other.wireBytes;
+    }
+};
+
+/**
+ * One collective group: @p ranks logical ranks, each holding the
+ * same segmented flat float vector. `segPtrs[e][d]` is rank d's
+ * storage for segment e (`segLens[e]` floats). A bucket of packed
+ * parameters is one group with one segment per parameter; a plain
+ * per-tensor collective is one group with a single segment.
+ */
+struct CommGroup
+{
+    /** segPtrs[segment][rank]. */
+    std::vector<std::vector<float *>> segPtrs;
+    std::vector<int64_t> segLens;
+    int ranks = 0;
+    /** Prefix offsets + total, filled by finalize(). */
+    std::vector<int64_t> segOffsets;
+    int64_t totalElems = 0;
+
+    /** Compute segOffsets/totalElems; call after filling segments. */
+    void finalize();
+
+    /** Single-segment group: one tensor per rank. */
+    static CommGroup fromTensors(const std::vector<Tensor *> &tensors);
+};
+
+/** Append-only event log of one run (see RecordingTransport). */
+class CommTrace
+{
+  public:
+    void append(const CommEvent &event) { events_.push_back(event); }
+
+    const std::vector<CommEvent> &events() const { return events_; }
+    size_t size() const { return events_.size(); }
+    void clear() { events_.clear(); }
+
+    /**
+     * Integer byte totals of one phase (all iterations, or one when
+     * @p iteration >= 0). Integer sums are order-independent, so
+     * this is deterministic no matter how concurrent recording
+     * interleaved the appends.
+     */
+    CommVolume volume(CommPhase phase, int64_t iteration = -1) const;
+
+    /** Event count of one phase (same filtering as volume()). */
+    int64_t count(CommPhase phase, int64_t iteration = -1) const;
+
+    /**
+     * Per-rank alpha-beta traffic of one phase, summed in canonical
+     * event order (deterministic; see commEventLess).
+     */
+    double trafficBytes(CommPhase phase, int64_t iteration = -1) const;
+
+    /** Copy of the events in canonical order. */
+    std::vector<CommEvent> sorted() const;
+
+  private:
+    std::vector<CommEvent> events_;
+};
+
+/**
+ * The transport interface. Verbs perform the movement and return
+ * the completed event; implementations must keep the arithmetic of
+ * collective reductions bitwise deterministic (accumulate in double
+ * over ranks in rank order; chunk grids a pure function of the
+ * group layout).
+ */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Stamp subsequent events with @p iteration (call between
+     *  iterations, outside parallel regions). */
+    virtual void setIteration(int64_t iteration) = 0;
+
+    /**
+     * Point-to-point payload movement from logical rank @p src to
+     * @p dst. In-process the payload already lives at the receiver,
+     * so this verb is pure accounting: the caller reports the exact
+     * and on-wire sizes (and the compressor that produced them).
+     */
+    virtual CommEvent p2pSend(CommPhase phase, int src, int dst,
+                              int replica, int64_t exact_bytes,
+                              int64_t wire_bytes,
+                              const CompressorSpec &compressor) = 0;
+
+    /** Exact all-reduce over one collective group. */
+    virtual CommEvent allReduce(CommPhase phase, const CommGroup &group,
+                                ReduceOp op) = 0;
+
+    /**
+     * Exact all-reduce over several concurrent disjoint groups of
+     * identical geometry (same ranks, same element count), reported
+     * as one event with the group multiplicity.
+     */
+    virtual CommEvent
+    allReduceGrouped(CommPhase phase,
+                     const std::vector<CommGroup> &groups,
+                     ReduceOp op) = 0;
+
+    /**
+     * Compressed mean all-reduce via the distributed PowerSGD
+     * protocol (the two low-rank all-reduce phases run inside
+     * @p dps); wire bytes are the protocol's logical payload.
+     */
+    virtual CommEvent
+    allReduceCompressed(CommPhase phase, DistributedPowerSgd &dps,
+                        const std::vector<const Tensor *> &inputs,
+                        Tensor &mean_output) = 0;
+
+    /** Replicate rank 0's segments to every other rank. */
+    virtual CommEvent broadcast(CommPhase phase, CommGroup &group) = 0;
+
+    /** Convenience: exact all-reduce of one tensor per rank. */
+    CommEvent allReduceTensors(CommPhase phase,
+                               const std::vector<Tensor *> &tensors,
+                               ReduceOp op);
+};
+
+/**
+ * The in-process transport: reproduces the trainer's historical
+ * behavior bitwise. The collective kernel combines each element's
+ * per-rank values in rank order in double and writes the scaled
+ * result back to every rank, over a fixed element grain
+ * (kCombineGrain) so the chunk grid is a pure function of the group
+ * layout — the exact arithmetic of the former parallel/ combine()
+ * and bucket kernels.
+ */
+class InProcessTransport : public Transport
+{
+  public:
+    void setIteration(int64_t iteration) override
+    {
+        iteration_.store(iteration, std::memory_order_relaxed);
+    }
+
+    CommEvent p2pSend(CommPhase phase, int src, int dst, int replica,
+                      int64_t exact_bytes, int64_t wire_bytes,
+                      const CompressorSpec &compressor) override;
+    CommEvent allReduce(CommPhase phase, const CommGroup &group,
+                        ReduceOp op) override;
+    CommEvent allReduceGrouped(CommPhase phase,
+                               const std::vector<CommGroup> &groups,
+                               ReduceOp op) override;
+    CommEvent
+    allReduceCompressed(CommPhase phase, DistributedPowerSgd &dps,
+                        const std::vector<const Tensor *> &inputs,
+                        Tensor &mean_output) override;
+    CommEvent broadcast(CommPhase phase, CommGroup &group) override;
+
+  private:
+    int64_t iteration() const
+    {
+        return iteration_.load(std::memory_order_relaxed);
+    }
+
+    /** Relaxed atomic: set between iterations, read inside
+     *  concurrently-issued verbs (replica loop, bucket tasks). */
+    std::atomic<int64_t> iteration_{0};
+};
+
+/**
+ * Decorator that appends every completed event to a CommTrace.
+ * Verbs are issued concurrently (the replica loop, overlapped
+ * bucket tasks), so appends are mutex-serialized; the append order
+ * is therefore run-dependent, which is why trace consumers use the
+ * order-independent integer sums or the canonical sorted order.
+ */
+class RecordingTransport : public Transport
+{
+  public:
+    explicit RecordingTransport(Transport &inner) : inner_(inner) {}
+
+    const CommTrace &trace() const { return trace_; }
+    void clearTrace() { trace_.clear(); }
+
+    void setIteration(int64_t iteration) override
+    {
+        inner_.setIteration(iteration);
+    }
+
+    CommEvent p2pSend(CommPhase phase, int src, int dst, int replica,
+                      int64_t exact_bytes, int64_t wire_bytes,
+                      const CompressorSpec &compressor) override;
+    CommEvent allReduce(CommPhase phase, const CommGroup &group,
+                        ReduceOp op) override;
+    CommEvent allReduceGrouped(CommPhase phase,
+                               const std::vector<CommGroup> &groups,
+                               ReduceOp op) override;
+    CommEvent
+    allReduceCompressed(CommPhase phase, DistributedPowerSgd &dps,
+                        const std::vector<const Tensor *> &inputs,
+                        Tensor &mean_output) override;
+    CommEvent broadcast(CommPhase phase, CommGroup &group) override;
+
+  private:
+    CommEvent record(const CommEvent &event);
+
+    Transport &inner_;
+    CommTrace trace_;
+    std::mutex mutex_;
+};
+
+/**
+ * Process-wide InProcessTransport, the fallback for components
+ * constructed without an explicit transport (unit tests, library
+ * helpers). Never records.
+ */
+Transport &defaultTransport();
+
+} // namespace optimus
+
+#endif // OPTIMUS_COMM_TRANSPORT_HH

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/presets.hh"
+#include "pipesim/trace_replay.hh"
 
 namespace optimus
 {
@@ -45,6 +46,18 @@ runPerformanceRow(const HardwareConfig &hw, const GptModelSpec &model,
                   const ParallelConfig &parallel,
                   const TrainingPlan &plan,
                   const TechniquePreset &preset);
+
+/**
+ * Replay a trace recorded from the real trainer (see
+ * Trainer3dConfig::traceCommunication) through the cluster's link
+ * classes and alpha-beta cost model — the bridge from the quality
+ * pillar's real traffic to the performance pillar's timing.
+ */
+ReplayResult replayRecordedTrace(const CommTrace &trace,
+                                 const HardwareConfig &hw,
+                                 const GptModelSpec &model,
+                                 const ParallelConfig &parallel,
+                                 const TrainingPlan &plan);
 
 } // namespace optimus
 

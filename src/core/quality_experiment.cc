@@ -37,6 +37,7 @@ runQualityExperiment(const QualityRunConfig &config,
     tc.instrumentChannels = config.instrument;
     tc.reduceMode = config.reduceMode;
     tc.bucketBytes = config.bucketBytes;
+    tc.traceCommunication = config.traceCommunication;
 
     Trainer3d trainer(tc);
     SyntheticCorpus corpus(config.corpus);
@@ -52,7 +53,9 @@ runQualityExperiment(const QualityRunConfig &config,
     for (int it = 0; it < config.iterations; ++it) {
         const IterationStats stats =
             trainer.trainIteration(train, data_rng);
+        // optlint:allow(COM01) event-derived per-iteration fold.
         result.interStageBytes += stats.interStageBytes;
+        // optlint:allow(COM01) same event-derived fold.
         result.interStageBytesExact += stats.interStageBytesExact;
         result.dpBytes = stats.dpVolume.actualBytes;
         result.dpBytesExact = stats.dpVolume.exactBytes;
@@ -104,6 +107,14 @@ runQualityExperiment(const QualityRunConfig &config,
     result.lepBufferBytes = trainer.lepBufferBytes();
     result.compressorStateBytes = trainer.compressorStateBytes();
     result.parameterBytes = trainer.parameterBytes();
+
+    if (const CommTrace *trace = trainer.trace()) {
+        result.traceEvents = static_cast<int64_t>(trace->size());
+        result.traceInterStage =
+            trace->volume(CommPhase::InterStage);
+        result.traceDp = trace->volume(CommPhase::DpReduce);
+        result.traceEmb = trace->volume(CommPhase::EmbSync);
+    }
     return result;
 }
 

@@ -49,6 +49,12 @@ struct QualityRunConfig
     DpReduceMode reduceMode = DpReduceMode::Overlapped;
     /** Bucket capacity for the bucketed reduce modes. */
     int64_t bucketBytes = 256 * 1024;
+    /**
+     * Record the run's communication into a CommTrace and fold the
+     * per-phase totals into the result (pure observation; results
+     * are bitwise identical either way).
+     */
+    bool traceCommunication = false;
 };
 
 /** Everything a quality run measures. */
@@ -74,6 +80,11 @@ struct QualityResult
     int64_t parameterBytes = 0;
     /** Mean training loss of the last 10% of iterations. */
     double tailTrainLoss = 0.0;
+    /** Trace summary (traceCommunication runs only). */
+    int64_t traceEvents = 0;
+    CommVolume traceInterStage;
+    CommVolume traceDp;
+    CommVolume traceEmb;
 
     /** Volume reduction of inter-stage traffic, in [0, 1). */
     double interStageSaving() const;

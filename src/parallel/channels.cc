@@ -7,13 +7,16 @@ namespace optimus
 {
 
 BackwardChannel::BackwardChannel(const CbConfig &config, int stages,
-                                 int stage, uint64_t seed)
-    : config_(config), stages_(stages), stage_(stage)
+                                 int stage, uint64_t seed,
+                                 Transport *transport, int replica)
+    : config_(config), stages_(stages), stage_(stage),
+      transport_(transport ? transport : &defaultTransport()),
+      replica_(replica)
 {
     OPTIMUS_ASSERT(stage >= 1 && stage < stages);
-    CompressorSpec spec = config.spec;
-    spec.seed = seed;
-    compressor_ = makeCompressor(spec);
+    seededSpec_ = config.spec;
+    seededSpec_.seed = seed;
+    compressor_ = makeCompressor(seededSpec_);
 }
 
 void
@@ -39,10 +42,11 @@ BackwardChannel::send(const Tensor &grad, int micro_batch,
     ++totalSends_;
     const int64_t exact_bytes =
         static_cast<int64_t>(sizeof(float)) * grad.size();
-    bytesUncompressed_ += exact_bytes;
 
     if (!config_.enabled) {
-        bytesSent_ += exact_bytes;
+        volume_.add(transport_->p2pSend(
+            CommPhase::InterStage, stage_, stage_ - 1, replica_,
+            exact_bytes, exact_bytes, CompressorSpec{}));
         return grad;
     }
 
@@ -59,7 +63,11 @@ BackwardChannel::send(const Tensor &grad, int micro_batch,
     Tensor delivered;
     if (compress_this) {
         ++compressedSends_;
-        bytesSent_ += compressor_->compress(fed, delivered);
+        const int64_t wire_bytes =
+            compressor_->compress(fed, delivered);
+        volume_.add(transport_->p2pSend(
+            CommPhase::InterStage, stage_, stage_ - 1, replica_,
+            exact_bytes, wire_bytes, seededSpec_));
         if (config_.lazyErrorPropagation) {
             error_ = fed;
             error_.sub(delivered);
@@ -67,7 +75,9 @@ BackwardChannel::send(const Tensor &grad, int micro_batch,
     } else {
         // Uncompressed message: delivered exactly; any folded-in
         // error is thereby resolved losslessly.
-        bytesSent_ += exact_bytes;
+        volume_.add(transport_->p2pSend(
+            CommPhase::InterStage, stage_, stage_ - 1, replica_,
+            exact_bytes, exact_bytes, CompressorSpec{}));
         delivered = std::move(fed);
         if (config_.lazyErrorPropagation)
             error_ = Tensor();
@@ -109,8 +119,7 @@ BackwardChannel::reset()
     prevForward_ = Tensor();
     forwardDiff_ = Tensor();
     haveForwardDiff_ = false;
-    bytesSent_ = 0;
-    bytesUncompressed_ = 0;
+    volume_ = CommVolume{};
     compressedSends_ = 0;
     totalSends_ = 0;
 }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/transport.hh"
 #include "compress/error_feedback.hh"
 #include "schedule/schedule.hh"
 
@@ -28,7 +29,17 @@ struct CbConfig
     bool lazyErrorPropagation = true;
     /** Compress only epilogue messages (Section 5.2). */
     bool epilogueOnly = true;
-    /** Compression algorithm (paper: PowerSGD rank 16). */
+    /**
+     * Compression algorithm. The paper uses PowerSGD rank 16 on
+     * Megatron-scale [8192 x 3072] boundary messages; the default
+     * here is rank 4 because the miniature model's boundary
+     * messages are tiny (hidden ~16-32 columns), and rank 4 keeps
+     * PowerSGD in the same regime as the paper's rank 16 at scale —
+     * capturing most of the gradient energy per message while still
+     * cutting the payload several-fold (rank 16 would be clamped to
+     * min(rows, cols) and compress almost nothing). The perf-side
+     * presets use the paper's rank 16 (see core/presets.hh).
+     */
     CompressorSpec spec{CompressorKind::PowerSgd, 4, 0.01, 1};
 };
 
@@ -58,9 +69,13 @@ class BackwardChannel
      * @param stages Pipeline depth P.
      * @param stage Sending stage s (receiver is s-1); s >= 1.
      * @param seed Channel-local compressor seed.
+     * @param transport Transport the channel's sends go through
+     *        (defaultTransport() when null).
+     * @param replica Data-parallel replica tag for trace events.
      */
     BackwardChannel(const CbConfig &config, int stages, int stage,
-                    uint64_t seed);
+                    uint64_t seed, Transport *transport = nullptr,
+                    int replica = 0);
 
     /**
      * Transmit the activation gradient of @p micro_batch (out of
@@ -86,11 +101,17 @@ class BackwardChannel
         return stats_;
     }
 
-    /** Total logical payload bytes sent (compressed or not). */
-    int64_t bytesSent() const { return bytesSent_; }
+    /**
+     * Total logical payload bytes sent (compressed or not) — a view
+     * over the wire bytes of the channel's transport events.
+     */
+    int64_t bytesSent() const { return volume_.wireBytes; }
 
-    /** Bytes an uncompressed channel would have sent. */
-    int64_t bytesUncompressed() const { return bytesUncompressed_; }
+    /**
+     * Bytes an uncompressed channel would have sent — a view over
+     * the exact bytes of the channel's transport events.
+     */
+    int64_t bytesUncompressed() const { return volume_.exactBytes; }
 
     /** Number of compressed sends. */
     int64_t compressedSends() const { return compressedSends_; }
@@ -122,6 +143,10 @@ class BackwardChannel
     CbConfig config_;
     int stages_;
     int stage_;
+    Transport *transport_;
+    int replica_;
+    /** The channel's seeded spec, reported in compressed events. */
+    CompressorSpec seededSpec_;
     std::unique_ptr<Compressor> compressor_;
     Tensor error_;
     bool instrument_ = false;
@@ -129,8 +154,8 @@ class BackwardChannel
     Tensor prevForward_;
     Tensor forwardDiff_;
     bool haveForwardDiff_ = false;
-    int64_t bytesSent_ = 0;
-    int64_t bytesUncompressed_ = 0;
+    /** Byte totals folded from the channel's transport events. */
+    CommVolume volume_;
     int64_t compressedSends_ = 0;
     int64_t totalSends_ = 0;
 };

@@ -9,71 +9,22 @@
 namespace optimus
 {
 
-namespace
-{
-
-/**
- * Element grain of the combine kernel. Fixed (never derived from the
- * thread count) so the chunk grid is a pure function of the tensor
- * size, per the runtime's determinism contract.
- */
-constexpr int64_t kCombineGrain = 4096;
-
-/**
- * Combine per-worker tensors into their (double-accumulated) sum,
- * optionally divided by the worker count, and write the result back
- * into every worker's tensor.
- *
- * Fused per element: each element accumulates its per-worker values
- * in worker order into a local double and writes the scaled result
- * straight back — no O(n) scratch buffer, and bitwise identical to
- * the former two-pass form (the per-element operation sequence is
- * unchanged) at any OPTIMUS_THREADS.
- */
-void
-combine(const std::vector<Tensor *> &tensors, bool average)
-{
-    OPTIMUS_ASSERT(!tensors.empty());
-    const int64_t n = tensors[0]->size();
-    for (Tensor *t : tensors)
-        OPTIMUS_ASSERT(t != nullptr && t->size() == n);
-
-    const double scale =
-        average ? 1.0 / static_cast<double>(tensors.size()) : 1.0;
-    parallelFor(0, n, kCombineGrain, [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-            double acc = 0.0;
-            for (const Tensor *t : tensors)
-                acc += t->data()[i];
-            const float v = static_cast<float>(acc * scale);
-            for (Tensor *t : tensors)
-                t->data()[i] = v;
-        }
-    });
-}
-
-/** Ring all-reduce per-rank traffic: 2V(R-1)/R bytes. */
-double
-ringTraffic(int64_t volume_bytes, int ranks)
-{
-    if (ranks <= 1)
-        return 0.0;
-    return 2.0 * static_cast<double>(volume_bytes) * (ranks - 1) /
-           ranks;
-}
-
-} // namespace
+// The combine kernel lives in comm/transport.cc now
+// (InProcessTransport); these wrappers keep the historical
+// library/test entry points working on the default transport.
 
 void
 allReduceAverage(const std::vector<Tensor *> &tensors)
 {
-    combine(tensors, true);
+    defaultTransport().allReduceTensors(CommPhase::Other, tensors,
+                                        ReduceOp::Mean);
 }
 
 void
 allReduceSum(const std::vector<Tensor *> &tensors)
 {
-    combine(tensors, false);
+    defaultTransport().allReduceTensors(CommPhase::Other, tensors,
+                                        ReduceOp::Sum);
 }
 
 bool
@@ -92,9 +43,10 @@ stageSelectedForCompression(const DpCompressionConfig &config,
 
 DataParallelReducer::DataParallelReducer(
     const DpCompressionConfig &config, bool compress_stage,
-    int workers, uint64_t seed)
+    int workers, uint64_t seed, Transport *transport)
     : config_(config), compressStage_(compress_stage),
-      workers_(workers), seed_(seed)
+      workers_(workers), seed_(seed),
+      transport_(transport ? transport : &defaultTransport())
 {
     OPTIMUS_ASSERT(workers >= 1);
 }
@@ -127,7 +79,7 @@ DataParallelReducer::reduce(
                                   excluded_sorted.end(), p);
     };
 
-    ReduceVolume volume;
+    CommVolume comm;
     for (size_t j = 0; j < param_count; ++j) {
         if (is_excluded(worker_params[0][j].get()))
             continue;
@@ -138,17 +90,13 @@ DataParallelReducer::reduce(
                            worker_params[0][j]->size());
             grads.push_back(&worker_params[d][j]->grad);
         }
-        const int64_t exact =
-            static_cast<int64_t>(sizeof(float)) *
-            worker_params[0][j]->size();
-        volume.exactBytes += exact;
 
         const bool compress =
             compressStage_ && config_.enabled &&
             compressible(*worker_params[0][j]);
         if (!compress) {
-            allReduceAverage(grads);
-            volume.actualBytes += exact;
+            comm.add(transport_->allReduceTensors(
+                CommPhase::DpReduce, grads, ReduceOp::Mean));
             continue;
         }
 
@@ -185,7 +133,8 @@ DataParallelReducer::reduce(
         }
 
         Tensor &mean_approx = meanScratch_[j];
-        volume.actualBytes += it->second->reduce(inputs, mean_approx);
+        comm.add(transport_->allReduceCompressed(
+            CommPhase::DpReduce, *it->second, inputs, mean_approx));
 
         for (int d = 0; d < workers_; ++d) {
             if (config_.errorFeedback) {
@@ -195,6 +144,10 @@ DataParallelReducer::reduce(
             *grads[d] = mean_approx;
         }
     }
+    // The returned volume is a view over the event totals.
+    ReduceVolume volume;
+    volume.exactBytes = comm.exactBytes;
+    volume.actualBytes = comm.wireBytes;
     return volume;
 }
 
@@ -255,8 +208,9 @@ EmbeddingSynchronizer::synchronize(
         std::vector<Tensor *> grads;
         for (const auto &p : first_copies)
             grads.push_back(&p->grad);
-        allReduceAverage(grads);
-        volume.trafficBytes = ringTraffic(volume.tableBytes, workers);
+        const CommEvent ev = transport_->allReduceTensors(
+            CommPhase::EmbSync, grads, ReduceOp::Mean);
+        volume.trafficBytes = commEventTraffic(ev);
         return volume;
     }
 
@@ -272,34 +226,45 @@ EmbeddingSynchronizer::synchronize(
             grads.push_back(&p->grad);
         for (const auto &p : last_copies)
             grads.push_back(&p->grad);
-        allReduceSum(grads);
+        const CommEvent ev = transport_->allReduceTensors(
+            CommPhase::EmbSync, grads, ReduceOp::Sum);
         for (Tensor *g : grads)
             g->scale(1.0f / static_cast<float>(workers));
-        volume.trafficBytes =
-            ringTraffic(volume.tableBytes, 2 * workers);
+        // One 2D-rank ring: Eq 16 exactly.
+        volume.trafficBytes = commEventTraffic(ev);
         return volume;
     }
 
     // Baseline: D-way average within each stage group, then a 2-rank
     // sum between the (representative) pair -- every worker of each
     // group already holds the group average, so the pairwise sum is
-    // applied to all copies.
+    // applied to all copies. Each step is one grouped collective:
+    // the two stage groups average concurrently (ranks = D,
+    // groups = 2) and the D pairs sum concurrently (ranks = 2,
+    // groups = D).
     std::vector<Tensor *> first_grads, last_grads;
     for (const auto &p : first_copies)
         first_grads.push_back(&p->grad);
     for (const auto &p : last_copies)
         last_grads.push_back(&p->grad);
-    allReduceAverage(first_grads);
-    allReduceAverage(last_grads);
+    std::vector<CommGroup> stage_groups;
+    stage_groups.push_back(CommGroup::fromTensors(first_grads));
+    stage_groups.push_back(CommGroup::fromTensors(last_grads));
+    const CommEvent avg_ev = transport_->allReduceGrouped(
+        CommPhase::EmbSync, stage_groups, ReduceOp::Mean);
+    std::vector<CommGroup> pair_groups;
     for (int d = 0; d < workers; ++d) {
-        std::vector<Tensor *> pair{first_grads[d], last_grads[d]};
-        allReduceSum(pair);
+        pair_groups.push_back(CommGroup::fromTensors(
+            {first_grads[d], last_grads[d]}));
     }
+    const CommEvent sum_ev = transport_->allReduceGrouped(
+        CommPhase::EmbSync, pair_groups, ReduceOp::Sum);
     // Cost: the DP all-reduce over D ranks (counted once; it is the
     // portion of DP traffic belonging to the embedding) plus the
-    // 2-rank sync, matching Eq 15.
-    volume.trafficBytes = ringTraffic(volume.tableBytes, workers) +
-                          ringTraffic(volume.tableBytes, 2);
+    // 2-rank sync, matching Eq 15. Per-rank traffic of a grouped
+    // event is group-multiplicity independent.
+    volume.trafficBytes =
+        commEventTraffic(avg_ev) + commEventTraffic(sum_ev);
     return volume;
 }
 

@@ -17,16 +17,23 @@
 #include <memory>
 #include <vector>
 
+#include "comm/transport.hh"
 #include "compress/powersgd.hh"
 #include "nn/param.hh"
 
 namespace optimus
 {
 
-/** Exact mean all-reduce over per-worker tensors (double accum). */
+/**
+ * Exact mean all-reduce over per-worker tensors (double accum).
+ * Thin wrapper over defaultTransport() — library/test convenience.
+ */
 void allReduceAverage(const std::vector<Tensor *> &tensors);
 
-/** Exact sum all-reduce over per-worker tensors (double accum). */
+/**
+ * Exact sum all-reduce over per-worker tensors (double accum).
+ * Thin wrapper over defaultTransport() — library/test convenience.
+ */
 void allReduceSum(const std::vector<Tensor *> &tensors);
 
 /** Data-parallel compression configuration (selective stages). */
@@ -49,7 +56,10 @@ struct DpCompressionConfig
 bool stageSelectedForCompression(const DpCompressionConfig &config,
                                  int stage, int stages);
 
-/** Volume bookkeeping from one reduction. */
+/**
+ * Volume bookkeeping from one reduction — a thin view over the
+ * exact/wire byte totals of the reduction's transport events.
+ */
 struct ReduceVolume
 {
     int64_t exactBytes = 0;   ///< what uncompressed DP would send
@@ -57,8 +67,9 @@ struct ReduceVolume
 
     void operator+=(const ReduceVolume &other)
     {
+        // optlint:allow(COM01) event-derived view-merge.
         exactBytes += other.exactBytes;
-        actualBytes += other.actualBytes;
+        actualBytes += other.actualBytes; // optlint:allow(COM01)
     }
 };
 
@@ -76,10 +87,13 @@ class DataParallelReducer
      * @param compress_stage Whether this stage was selected.
      * @param workers Data-parallel width D.
      * @param seed Reducer-local seed.
+     * @param transport Transport the reductions go through
+     *        (defaultTransport() when null).
      */
     DataParallelReducer(const DpCompressionConfig &config,
                         bool compress_stage, int workers,
-                        uint64_t seed);
+                        uint64_t seed,
+                        Transport *transport = nullptr);
 
     /**
      * Average gradients of aligned parameter lists (one list per
@@ -110,6 +124,7 @@ class DataParallelReducer
     bool compressStage_;
     int workers_;
     uint64_t seed_;
+    Transport *transport_;
     /** Per-parameter-index compressor state. */
     std::map<size_t, std::unique_ptr<DistributedPowerSgd>> dps_;
     /** residuals_[param index][worker]. */
@@ -145,7 +160,16 @@ struct EmbSyncVolume
 class EmbeddingSynchronizer
 {
   public:
-    explicit EmbeddingSynchronizer(bool fused) : fused_(fused) {}
+    /**
+     * @param fused Use the fused single all-reduce (Fig 7b).
+     * @param transport Transport the collectives go through
+     *        (defaultTransport() when null).
+     */
+    explicit EmbeddingSynchronizer(bool fused,
+                                   Transport *transport = nullptr)
+        : fused_(fused),
+          transport_(transport ? transport : &defaultTransport())
+    {}
 
     /**
      * @param first_copies Token tables of stage 0, one per worker.
@@ -162,6 +186,7 @@ class EmbeddingSynchronizer
 
   private:
     bool fused_;
+    Transport *transport_;
 };
 
 } // namespace optimus

@@ -12,13 +12,6 @@ namespace optimus
 namespace
 {
 
-/**
- * Element grain of the flat bucket combine. Fixed (never derived
- * from the thread count) so the chunk grid — and therefore the
- * float arithmetic — is a pure function of the bucket layout.
- */
-constexpr int64_t kCombineGrain = 4096;
-
 double
 secondsSince(std::chrono::steady_clock::time_point t0)
 {
@@ -47,13 +40,22 @@ struct ReduceEngine::Bucket
     /** Persistent mean reconstruction. */
     Tensor mean;
 
+    /**
+     * The bucket's collective group (exact buckets only): one
+     * segment per packed parameter, one pointer column per worker.
+     * Built once at bind(); gradient storage is stable afterwards.
+     */
+    CommGroup group;
+
     /** Per-iteration results (written by exactly one task). */
     ReduceVolume volume;
     double busySeconds = 0.0;
 };
 
 ReduceEngine::ReduceEngine(const ReduceEngineConfig &config)
-    : config_(config)
+    : config_(config),
+      transport_(config.transport ? config.transport
+                                  : &defaultTransport())
 {
     OPTIMUS_ASSERT(config.workers >= 1);
     OPTIMUS_ASSERT(config.bucketBytes >= 1);
@@ -148,6 +150,24 @@ ReduceEngine::bind(
     }
     close_open();
 
+    // Build each exact bucket's collective group once: one segment
+    // per packed parameter, pointer columns in worker order.
+    for (auto &bucket : buckets_) {
+        if (bucket->spec.compressed)
+            continue;
+        CommGroup &group = bucket->group;
+        group.ranks = config_.workers;
+        for (size_t e = 0; e < bucket->grads.size(); ++e) {
+            group.segPtrs.emplace_back();
+            for (int d = 0; d < config_.workers; ++d)
+                group.segPtrs[e].push_back(
+                    bucket->grads[e][d]->data());
+            group.segLens.push_back(bucket->grads[e][0]->size());
+        }
+        group.finalize();
+        OPTIMUS_ASSERT(group.totalElems == bucket->spec.elems);
+    }
+
     specs_.reserve(buckets_.size());
     for (const auto &bucket : buckets_)
         specs_.push_back(bucket->spec);
@@ -213,53 +233,14 @@ ReduceEngine::reduceBucket(Bucket &bucket)
 void
 ReduceEngine::reduceExact(Bucket &bucket)
 {
-    const int workers = config_.workers;
-    const double scale = 1.0 / static_cast<double>(workers);
-    const auto &offsets = bucket.spec.offsets;
-    const size_t entries = offsets.size();
-
-    // Mean all-reduce over the bucket's flat extent. Chunks are cut
-    // from flat coordinates (grain-fixed, entry-agnostic); each
-    // element accumulates its replica values in replica order in
-    // double — the exact arithmetic of the legacy combine(), so the
-    // result is bitwise identical to the barriered per-parameter
-    // path no matter how chunks land on workers.
-    parallelFor(0, bucket.spec.elems, kCombineGrain,
-                [&](int64_t lo, int64_t hi) {
-                    size_t e = static_cast<size_t>(
-                                   std::upper_bound(offsets.begin(),
-                                                    offsets.end(),
-                                                    lo) -
-                                   offsets.begin()) -
-                               1;
-                    int64_t pos = lo;
-                    while (pos < hi) {
-                        const int64_t entry_end =
-                            e + 1 < entries ? offsets[e + 1]
-                                            : bucket.spec.elems;
-                        const int64_t stop =
-                            entry_end < hi ? entry_end : hi;
-                        const int64_t base = pos - offsets[e];
-                        const auto &grads = bucket.grads[e];
-                        for (int64_t i = pos; i < stop; ++i) {
-                            const int64_t k = base + (i - pos);
-                            double acc = 0.0;
-                            for (int d = 0; d < workers; ++d)
-                                acc += grads[d]->data()[k];
-                            const float mean = static_cast<float>(
-                                acc * scale);
-                            for (int d = 0; d < workers; ++d)
-                                grads[d]->data()[k] = mean;
-                        }
-                        pos = stop;
-                        ++e;
-                    }
-                });
-
-    const int64_t bytes =
-        static_cast<int64_t>(sizeof(float)) * bucket.spec.elems;
-    bucket.volume.exactBytes = bytes;
-    bucket.volume.actualBytes = bytes;
+    // Mean all-reduce over the bucket's flat extent via the
+    // transport; the segmented combine kernel (grain-fixed chunks,
+    // double accumulation in replica order — bitwise identical to
+    // the legacy per-parameter path) lives in InProcessTransport.
+    const CommEvent ev = transport_->allReduce(
+        CommPhase::DpReduce, bucket.group, ReduceOp::Mean);
+    bucket.volume.exactBytes = ev.exactBytes;
+    bucket.volume.actualBytes = ev.wireBytes;
 }
 
 void
@@ -276,10 +257,10 @@ ReduceEngine::reduceCompressed(Bucket &bucket)
         inputs[d] = &bucket.fed[d];
     }
 
-    bucket.volume.actualBytes =
-        bucket.dps->reduce(inputs, bucket.mean);
-    bucket.volume.exactBytes =
-        static_cast<int64_t>(sizeof(float)) * bucket.spec.elems;
+    const CommEvent ev = transport_->allReduceCompressed(
+        CommPhase::DpReduce, *bucket.dps, inputs, bucket.mean);
+    bucket.volume.exactBytes = ev.exactBytes;
+    bucket.volume.actualBytes = ev.wireBytes;
 
     for (int d = 0; d < workers; ++d) {
         if (config_.dp.errorFeedback) {

@@ -67,6 +67,11 @@ struct ReduceEngineConfig
     uint64_t seed = 0;
     /** Bucket capacity in bytes of flattened fp32 gradient. */
     int64_t bucketBytes = 256 * 1024;
+    /**
+     * Transport the bucket collectives go through
+     * (defaultTransport() when null).
+     */
+    Transport *transport = nullptr;
 };
 
 /** One bucket of the flattened stage gradient (layout metadata). */
@@ -154,6 +159,7 @@ class ReduceEngine
     void reduceCompressed(Bucket &bucket);
 
     ReduceEngineConfig config_;
+    Transport *transport_ = nullptr;
     bool bound_ = false;
     std::vector<std::unique_ptr<Bucket>> buckets_;
     /** Cached layout view (mirrors buckets_[i]->spec). */

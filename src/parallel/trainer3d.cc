@@ -56,7 +56,16 @@ class Trainer3d::ReplicaScorer : public LmScorer
 };
 
 Trainer3d::Trainer3d(const Trainer3dConfig &config)
-    : config_(config), embSync_(config.fusedEmbeddingSync)
+    : config_(config),
+      baseTransport_(std::make_unique<InProcessTransport>()),
+      recorder_(config.traceCommunication
+                    ? std::make_unique<RecordingTransport>(
+                          *baseTransport_)
+                    : nullptr),
+      transport_(recorder_
+                     ? static_cast<Transport *>(recorder_.get())
+                     : baseTransport_.get()),
+      embSync_(config.fusedEmbeddingSync, transport_)
 {
     const int d_ways = config.dataParallel;
     const int p_ways = config.pipelineStages;
@@ -89,7 +98,7 @@ Trainer3d::Trainer3d(const Trainer3dConfig &config)
             // seeds are per-channel, not per-replica-random.
             channels_[d].push_back(std::make_unique<BackwardChannel>(
                 config.cb, p_ways, s,
-                config.seed + 17 * s));
+                config.seed + 17 * s, transport_, d));
             channels_[d].back()->enableInstrumentation(
                 config.instrumentChannels);
         }
@@ -105,13 +114,14 @@ Trainer3d::Trainer3d(const Trainer3dConfig &config)
         // reducer's bit for bit.
         const uint64_t stage_seed = config.seed + 31 * (p + 1);
         reducers_.push_back(std::make_unique<DataParallelReducer>(
-            config.dp, selected, d_ways, stage_seed));
+            config.dp, selected, d_ways, stage_seed, transport_));
         ReduceEngineConfig ec;
         ec.dp = config.dp;
         ec.compressStage = selected;
         ec.workers = d_ways;
         ec.seed = stage_seed;
         ec.bucketBytes = config.bucketBytes;
+        ec.transport = transport_;
         engines_.push_back(std::make_unique<ReduceEngine>(ec));
     }
 
@@ -170,6 +180,10 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
 
     IterationStats stats;
     double loss_sum = 0.0;
+
+    // Stamp this iteration's transport events (outside any parallel
+    // region; the first iteration is 0).
+    transport_->setIteration(iterations_);
 
     // Channel byte counters are cumulative; snapshot them so the
     // returned stats cover this iteration only.
@@ -334,14 +348,17 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
 
     for (int d = 0; d < d_ways; ++d) {
         for (int s = 1; s < p_ways; ++s) {
+            // optlint:allow(COM01) event-derived cumulative view.
             stats.interStageBytes +=
                 channels_[d][s - 1]->bytesSent();
+            // optlint:allow(COM01) same event-derived delta.
             stats.interStageBytesExact +=
                 channels_[d][s - 1]->bytesUncompressed();
         }
     }
+    // optlint:allow(COM01) snapshot subtraction, same view.
     stats.interStageBytes -= base_sent;
-    stats.interStageBytesExact -= base_exact;
+    stats.interStageBytesExact -= base_exact; // optlint:allow(COM01)
 
     ++iterations_;
     stats.loss = loss_sum / static_cast<double>(d_ways * m_count);

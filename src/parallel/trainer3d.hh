@@ -89,6 +89,12 @@ struct Trainer3dConfig
     DpReduceMode reduceMode = DpReduceMode::Overlapped;
     /** Bucket capacity for the bucketed reduce modes. */
     int64_t bucketBytes = 256 * 1024;
+    /**
+     * Record every communication operation into a CommTrace (see
+     * trace()). Recording is pure observation: a traced run is
+     * bitwise identical to an untraced one.
+     */
+    bool traceCommunication = false;
 
     /** Sequences per iteration across all replicas. */
     int64_t globalBatch() const
@@ -186,10 +192,23 @@ class Trainer3d
     /** Iterations executed so far. */
     int64_t iterations() const { return iterations_; }
 
+    /**
+     * The recorded communication trace, or nullptr unless
+     * Trainer3dConfig::traceCommunication is on.
+     */
+    const CommTrace *trace() const
+    {
+        return recorder_ ? &recorder_->trace() : nullptr;
+    }
+
   private:
     class ReplicaScorer;
 
     Trainer3dConfig config_;
+    /** Transport stack; declared before every component using it. */
+    std::unique_ptr<InProcessTransport> baseTransport_;
+    std::unique_ptr<RecordingTransport> recorder_;
+    Transport *transport_ = nullptr;
     /** stages_[d][p]. */
     std::vector<std::vector<std::unique_ptr<StageModule>>> stages_;
     /** channels_[d][s-1] is the channel s -> s-1, s in [1, P). */

@@ -1,0 +1,75 @@
+#include "pipesim/trace_replay.hh"
+
+namespace optimus
+{
+
+const ReplayCategory &
+ReplayResult::category(CommPhase phase) const
+{
+    switch (phase) {
+      case CommPhase::InterStage:
+        return interStage;
+      case CommPhase::DpReduce:
+        return dpReduce;
+      case CommPhase::EmbSync:
+        return embSync;
+      case CommPhase::Other:
+        break;
+    }
+    return other;
+}
+
+ReplayCategory &
+ReplayResult::category(CommPhase phase)
+{
+    return const_cast<ReplayCategory &>(
+        static_cast<const ReplayResult &>(*this).category(phase));
+}
+
+double
+TraceReplayer::eventSeconds(const CommEvent &event) const
+{
+    switch (event.verb) {
+      case CommVerb::P2pSend:
+        return p2pTime(static_cast<double>(event.wireBytes), p2p_);
+      case CommVerb::AllReduce:
+      case CommVerb::AllReduceCompressed:
+        // One group's ring time; the event's disjoint concurrent
+        // groups overlap perfectly in the model, so multiplicity
+        // does not serialize.
+        return ringAllReduceTime(
+            static_cast<double>(event.wireBytes), event.ranks,
+            collective_);
+      case CommVerb::Broadcast: {
+        if (event.ranks <= 1)
+            return 0.0;
+        const double traffic = commEventTraffic(event);
+        return (event.ranks - 1) * collective_.latency +
+               traffic / collective_.bandwidth;
+      }
+    }
+    return 0.0;
+}
+
+ReplayResult
+TraceReplayer::replay(const CommTrace &trace,
+                      int64_t iteration) const
+{
+    // Canonical order: the double sums (traffic, seconds) must not
+    // depend on the run-dependent append order of a concurrent
+    // recording.
+    ReplayResult result;
+    for (const CommEvent &event : trace.sorted()) {
+        if (iteration >= 0 && event.iteration != iteration)
+            continue;
+        ReplayCategory &cat = result.category(event.phase);
+        ++cat.events;
+        cat.exactBytes += event.exactBytes;
+        cat.wireBytes += event.wireBytes;
+        cat.trafficBytes += commEventTraffic(event);
+        cat.seconds += eventSeconds(event);
+    }
+    return result;
+}
+
+} // namespace optimus

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Trace-driven replay bridge between the two pillars: events
+ * recorded from the real miniature trainer (comm/transport.hh) are
+ * mapped onto the cluster's link classes and priced through the
+ * same alpha-beta cost model the analytic simulator uses.
+ *
+ * The point of the bridge is the consistency gate: for a given
+ * configuration the trace-summed per-category volumes must equal
+ * the analytic closed forms (`ringAllReduceTraffic`,
+ * `embSyncTrafficBaseline/Fused`) exactly — the replayed times are
+ * then the same alpha-beta identities applied to *recorded* rather
+ * than *derived* traffic (the Echo-style argument: replaying real
+ * execution is the trustworthy path, analytic formulas must agree
+ * with it).
+ */
+
+#ifndef OPTIMUS_PIPESIM_TRACE_REPLAY_HH
+#define OPTIMUS_PIPESIM_TRACE_REPLAY_HH
+
+#include "cluster/mapping.hh"
+#include "comm/transport.hh"
+#include "simnet/cost_model.hh"
+
+namespace optimus
+{
+
+/** Replay totals of one trace category (one CommPhase). */
+struct ReplayCategory
+{
+    int64_t events = 0;
+    /** Uncompressed logical bytes (sum of event exactBytes). */
+    int64_t exactBytes = 0;
+    /** On-wire bytes (sum of event wireBytes). */
+    int64_t wireBytes = 0;
+    /** Per-rank alpha-beta traffic (canonical-order double sum). */
+    double trafficBytes = 0.0;
+    /** Modeled serialized time of the category's operations. */
+    double seconds = 0.0;
+};
+
+/** Per-category replay of one recorded run. */
+struct ReplayResult
+{
+    ReplayCategory interStage;
+    ReplayCategory dpReduce;
+    ReplayCategory embSync;
+    ReplayCategory other;
+
+    const ReplayCategory &category(CommPhase phase) const;
+    ReplayCategory &category(CommPhase phase);
+
+    double totalSeconds() const
+    {
+        return interStage.seconds + dpReduce.seconds +
+               embSync.seconds + other.seconds;
+    }
+};
+
+/**
+ * Maps CommEvents onto link classes and replays them through the
+ * alpha-beta model. P2p sends ride the p2p link class, collectives
+ * the collective link class (on the Megatron topology both are
+ * inter-node links with the NIC-sharing rule applied; tensor
+ * parallelism never leaves the node and never emits events here).
+ */
+class TraceReplayer
+{
+  public:
+    /** Explicit link classes. */
+    TraceReplayer(const LinkSpec &p2p, const LinkSpec &collective)
+        : p2p_(p2p), collective_(collective)
+    {}
+
+    /** Link classes of a mapped paper-scale workload. */
+    explicit TraceReplayer(const MappedWorkload &workload)
+        : p2p_(workload.p2pLink()),
+          collective_(workload.collectiveLink())
+    {}
+
+    /**
+     * Modeled time of one event: p2pTime for sends,
+     * ringAllReduceTime for collectives (an event's concurrent
+     * disjoint groups run in parallel, so multiplicity does not
+     * serialize), allgather cost for broadcasts.
+     */
+    double eventSeconds(const CommEvent &event) const;
+
+    /**
+     * Replay a recorded trace in canonical event order, summing
+     * volumes, traffic, and modeled time per category. Optionally
+     * restricted to one iteration (@p iteration >= 0).
+     */
+    ReplayResult replay(const CommTrace &trace,
+                        int64_t iteration = -1) const;
+
+    const LinkSpec &p2pLink() const { return p2p_; }
+    const LinkSpec &collectiveLink() const { return collective_; }
+
+  private:
+    LinkSpec p2p_;
+    LinkSpec collective_;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_PIPESIM_TRACE_REPLAY_HH

@@ -1,0 +1,33 @@
+// COM01 fixture: hand-maintained byte counters outside the comm
+// transport layer. Fixture files live outside src/comm/, so the path
+// exemption does not apply here.
+
+struct Volume
+{
+    long exactBytes = 0;
+    long wireBytes = 0;
+};
+
+long
+foldCounters(long n)
+{
+    Volume v;
+    long totalBytes = 0;
+    v.exactBytes += n;   // optlint:expect(COM01)
+    v.wireBytes -= n;    // optlint:expect(COM01)
+    totalBytes += 4 * n; // optlint:expect(COM01)
+    ++totalBytes;        // optlint:expect(COM01)
+
+    // Identifiers without "bytes" are not byte counters.
+    long events = 0;
+    events += 1;
+    ++events;
+
+    // Plain assignment is a view, not bookkeeping.
+    long snapshotBytes = v.exactBytes;
+
+    // optlint:allow(COM01) sanctioned event-derived view-merge.
+    v.exactBytes += snapshotBytes;
+
+    return totalBytes + events + v.exactBytes + v.wireBytes;
+}

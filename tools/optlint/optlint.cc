@@ -321,15 +321,36 @@ const RuleInfo kRules[] = {
     {"HYG02", "header without include guard or #pragma once"},
     {"HYG03", "float accumulator in a loop — accumulate in double "
               "(chunk-order-stable precision), cast once at the end"},
+    {"COM01", "direct mutation of a byte counter outside the comm "
+              "transport layer — every reported byte must derive "
+              "from transport CommEvents (fold via CommVolume); see "
+              "DESIGN.md section 4d"},
 };
 
 /** Paths (substring match) exempt from the DET family. */
 const char *kDetExemptPaths[] = {"util/random."};
 
+/**
+ * Paths (substring match) exempt from COM01: the transport layer
+ * itself (where byte math is supposed to live) and the trace
+ * replayer (which folds recorded events into its categories).
+ */
+const char *kComExemptPaths[] = {"comm/", "pipesim/trace_replay."};
+
 bool
 pathDetExempt(const std::string &path)
 {
     for (const char *p : kDetExemptPaths) {
+        if (path.find(p) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+bool
+pathComExempt(const std::string &path)
+{
+    for (const char *p : kComExemptPaths) {
         if (path.find(p) != std::string::npos)
             return true;
     }
@@ -703,6 +724,54 @@ checkFloatAccumulators(const LexedFile &f, std::vector<Violation> &out)
     }
 }
 
+/**
+ * COM01: compound assignment or increment of an identifier whose
+ * name contains "bytes" is hand-maintained byte bookkeeping, which
+ * the comm transport layer made obsolete: components fold the
+ * CommEvents the transport returns (CommVolume::add) so every
+ * reported byte is provably derived from the event stream. Unlike
+ * THR01, member-access targets *are* flagged — `stats.fooBytes += x`
+ * is exactly the pattern the rule exists to catch. The transport
+ * layer and the trace replayer are exempt by path; the few
+ * sanctioned view-fold sites carry `optlint:allow(COM01)` with a
+ * justification.
+ */
+void
+checkByteCounterWrites(const LexedFile &f, std::vector<Violation> &out)
+{
+    if (pathComExempt(f.path))
+        return;
+    const auto &t = f.tokens;
+    for (size_t k = 0; k < t.size(); ++k) {
+        std::string target;
+        if (isCompoundAssign(t[k])) {
+            if (k > 0 && t[k - 1].kind == TokKind::Ident)
+                target = t[k - 1].text;
+        } else if (t[k].kind == TokKind::Punct &&
+                   (t[k].text == "++" || t[k].text == "--")) {
+            if (k > 0 && t[k - 1].kind == TokKind::Ident)
+                target = t[k - 1].text;
+            else if (k + 1 < t.size() &&
+                     t[k + 1].kind == TokKind::Ident)
+                target = t[k + 1].text;
+        }
+        if (target.empty())
+            continue;
+        std::string lower = target;
+        std::transform(lower.begin(), lower.end(), lower.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(std::tolower(c));
+                       });
+        if (lower.find("bytes") == std::string::npos)
+            continue;
+        addViolation(out, f, t[k].line, "COM01",
+                     "byte counter '" + target +
+                         "' mutated outside the comm transport "
+                         "layer (fold transport CommEvents via "
+                         "CommVolume instead)");
+    }
+}
+
 // ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
@@ -748,6 +817,7 @@ runRules(const LexedFile &f, std::vector<Violation> &out)
     checkIncludeGuard(f, out);
     checkParallelForWrites(f, out);
     checkFloatAccumulators(f, out);
+    checkByteCounterWrites(f, out);
 }
 
 std::string
