@@ -1,8 +1,12 @@
 #include "comm/transport.hh"
 
 #include <algorithm>
+#include <array>
+#include <string>
 #include <tuple>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/runtime.hh"
 #include "simnet/cost_model.hh"
 #include "util/logging.hh"
@@ -426,6 +430,116 @@ CommEvent
 RecordingTransport::broadcast(CommPhase phase, CommGroup &group)
 {
     return record(inner_.broadcast(phase, group));
+}
+
+namespace
+{
+
+/** Per-phase metrics handles, resolved once per phase: registry
+ * references are stable, so caching them keeps the per-event fold
+ * at three relaxed adds plus one histogram observe. */
+struct PhaseMetrics
+{
+    obs::Counter *events;
+    obs::Counter *exactBytes;
+    obs::Counter *wireBytes;
+};
+
+PhaseMetrics &
+phaseMetrics(CommPhase phase)
+{
+    static std::array<PhaseMetrics, 4> all = [] {
+        std::array<PhaseMetrics, 4> built{};
+        auto &registry = obs::MetricsRegistry::instance();
+        for (int p = 0; p < 4; ++p) {
+            const std::string prefix =
+                std::string("comm.") +
+                commPhaseName(static_cast<CommPhase>(p));
+            built[p].events = &registry.counter(prefix + ".events");
+            built[p].exactBytes =
+                &registry.counter(prefix + ".exactBytes");
+            built[p].wireBytes =
+                &registry.counter(prefix + ".wireBytes");
+        }
+        return built;
+    }();
+    return all[static_cast<int>(phase)];
+}
+
+} // namespace
+
+CommEvent
+TracingTransport::note(const CommEvent &event, int64_t begin_ns)
+{
+    if (obs::metricsEnabled()) {
+        PhaseMetrics &metrics = phaseMetrics(event.phase);
+        metrics.events->add(1);
+        metrics.exactBytes->add(event.exactBytes);
+        metrics.wireBytes->add(event.wireBytes);
+        static obs::MetricHistogram &wire_hist =
+            obs::MetricsRegistry::instance().histogram(
+                "comm.event.wireBytes");
+        wire_hist.observe(event.wireBytes);
+    }
+    if (begin_ns != 0 && obs::tracingEnabled()) {
+        obs::emitSpan(commPhaseName(event.phase),
+                      commVerbName(event.verb), begin_ns, obs::nowNs(),
+                      -1, "exactBytes", event.exactBytes, "wireBytes",
+                      event.wireBytes);
+        const int64_t total =
+            wireTotal_.fetch_add(event.wireBytes,
+                                 std::memory_order_relaxed) +
+            event.wireBytes;
+        obs::emitCounter("comm.wireBytes", total);
+    }
+    return event;
+}
+
+CommEvent
+TracingTransport::p2pSend(CommPhase phase, int src, int dst,
+                          int replica, int64_t exact_bytes,
+                          int64_t wire_bytes,
+                          const CompressorSpec &compressor)
+{
+    const int64_t t0 = obs::tracingEnabled() ? obs::nowNs() : 0;
+    return note(inner_.p2pSend(phase, src, dst, replica, exact_bytes,
+                               wire_bytes, compressor),
+                t0);
+}
+
+CommEvent
+TracingTransport::allReduce(CommPhase phase, const CommGroup &group,
+                            ReduceOp op)
+{
+    const int64_t t0 = obs::tracingEnabled() ? obs::nowNs() : 0;
+    return note(inner_.allReduce(phase, group, op), t0);
+}
+
+CommEvent
+TracingTransport::allReduceGrouped(
+    CommPhase phase, const std::vector<CommGroup> &groups,
+    ReduceOp op)
+{
+    const int64_t t0 = obs::tracingEnabled() ? obs::nowNs() : 0;
+    return note(inner_.allReduceGrouped(phase, groups, op), t0);
+}
+
+CommEvent
+TracingTransport::allReduceCompressed(
+    CommPhase phase, DistributedPowerSgd &dps,
+    const std::vector<const Tensor *> &inputs, Tensor &mean_output)
+{
+    const int64_t t0 = obs::tracingEnabled() ? obs::nowNs() : 0;
+    return note(
+        inner_.allReduceCompressed(phase, dps, inputs, mean_output),
+        t0);
+}
+
+CommEvent
+TracingTransport::broadcast(CommPhase phase, CommGroup &group)
+{
+    const int64_t t0 = obs::tracingEnabled() ? obs::nowNs() : 0;
+    return note(inner_.broadcast(phase, group), t0);
 }
 
 Transport &

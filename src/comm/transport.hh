@@ -336,6 +336,52 @@ class RecordingTransport : public Transport
 };
 
 /**
+ * Observability decorator (src/obs): when tracing is enabled, every
+ * completed event becomes a trace span (category = the phase name,
+ * name = the verb name, args = exact/wire bytes) plus a sample on
+ * the cumulative "comm.wireBytes" counter track; when metrics are
+ * enabled, events fold into per-phase event/byte counters and a
+ * wire-size histogram in the global MetricsRegistry. When both are
+ * off a verb costs one extra virtual call and two relaxed loads, so
+ * the trainer installs it unconditionally as the outermost
+ * decorator. Pure observation: events and data movement pass
+ * through bitwise unchanged.
+ */
+class TracingTransport : public Transport
+{
+  public:
+    explicit TracingTransport(Transport &inner) : inner_(inner) {}
+
+    void setIteration(int64_t iteration) override
+    {
+        inner_.setIteration(iteration);
+    }
+
+    CommEvent p2pSend(CommPhase phase, int src, int dst, int replica,
+                      int64_t exact_bytes, int64_t wire_bytes,
+                      const CompressorSpec &compressor) override;
+    CommEvent allReduce(CommPhase phase, const CommGroup &group,
+                        ReduceOp op) override;
+    CommEvent allReduceGrouped(CommPhase phase,
+                               const std::vector<CommGroup> &groups,
+                               ReduceOp op) override;
+    CommEvent
+    allReduceCompressed(CommPhase phase, DistributedPowerSgd &dps,
+                        const std::vector<const Tensor *> &inputs,
+                        Tensor &mean_output) override;
+    CommEvent broadcast(CommPhase phase, CommGroup &group) override;
+
+  private:
+    /** Emit span/counter/metrics for a completed event and return
+     * it unchanged. begin_ns is 0 when tracing was off at entry. */
+    CommEvent note(const CommEvent &event, int64_t begin_ns);
+
+    Transport &inner_;
+    /** Running on-wire total behind the counter track. */
+    std::atomic<int64_t> wireTotal_{0};
+};
+
+/**
  * Process-wide InProcessTransport, the fallback for components
  * constructed without an explicit transport (unit tests, library
  * helpers). Never records.

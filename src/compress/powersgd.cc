@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/trace.hh"
 #include "runtime/runtime.hh"
 #include "tensor/matmul.hh"
 #include "util/logging.hh"
@@ -126,6 +127,8 @@ PowerSgdCompressor::compress(const Tensor &input, Tensor &output)
     OPTIMUS_ASSERT(input.rank() == 2);
     const int64_t rows = input.rows();
     const int64_t cols = input.cols();
+    obs::ScopedSpan span("compress", "powersgd.compress", -1,
+                         "elems", input.size());
     const int r = effectiveRank(rank_, rows, cols);
 
     ensureWarmQ(q_, cols, r, rng_);
@@ -184,6 +187,8 @@ DistributedPowerSgd::reduce(const std::vector<const Tensor *> &inputs,
     OPTIMUS_ASSERT(inputs[0] != nullptr && inputs[0]->rank() == 2);
     const int64_t rows = inputs[0]->rows();
     const int64_t cols = inputs[0]->cols();
+    obs::ScopedSpan span("compress", "powersgd.reduce", -1, "elems",
+                         inputs[0]->size());
     for (const Tensor *t : inputs) {
         OPTIMUS_ASSERT(t != nullptr && t->rank() == 2);
         OPTIMUS_ASSERT(t->rows() == rows && t->cols() == cols);

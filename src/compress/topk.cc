@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace optimus
@@ -33,6 +34,7 @@ TopKCompressor::compress(const Tensor &input, Tensor &output)
 {
     const int64_t n = input.size();
     const int64_t k = keptCount(n);
+    obs::ScopedSpan span("compress", "topk.compress", -1, "elems", n);
 
     std::vector<int64_t> order(n);
     std::iota(order.begin(), order.end(), 0);

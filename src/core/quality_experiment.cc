@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "data/zeroshot.hh"
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace optimus
@@ -38,6 +39,12 @@ runQualityExperiment(const QualityRunConfig &config,
     tc.reduceMode = config.reduceMode;
     tc.bucketBytes = config.bucketBytes;
     tc.traceCommunication = config.traceCommunication;
+    tc.tracePath = config.tracePath;
+
+    if (config.collectMetrics) {
+        obs::MetricsRegistry::instance().resetValues();
+        obs::enableMetrics(true);
+    }
 
     Trainer3d trainer(tc);
     SyntheticCorpus corpus(config.corpus);
@@ -114,6 +121,11 @@ runQualityExperiment(const QualityRunConfig &config,
             trace->volume(CommPhase::InterStage);
         result.traceDp = trace->volume(CommPhase::DpReduce);
         result.traceEmb = trace->volume(CommPhase::EmbSync);
+    }
+    if (config.collectMetrics) {
+        obs::enableMetrics(false);
+        result.metrics =
+            obs::MetricsRegistry::instance().counterSnapshot();
     }
     return result;
 }

@@ -55,6 +55,18 @@ struct QualityRunConfig
      * are bitwise identical either way).
      */
     bool traceCommunication = false;
+    /**
+     * Collect the obs:: metrics registry over the run and snapshot
+     * it into QualityResult::metrics (sorted names, integer values;
+     * deterministic at any OPTIMUS_THREADS). Resets the registry's
+     * values at the start of the run.
+     */
+    bool collectMetrics = false;
+    /**
+     * Span-trace output path, plumbed to Trainer3dConfig::tracePath
+     * (written when the run's trainer is destroyed).
+     */
+    std::string tracePath;
 };
 
 /** Everything a quality run measures. */
@@ -85,6 +97,8 @@ struct QualityResult
     CommVolume traceInterStage;
     CommVolume traceDp;
     CommVolume traceEmb;
+    /** Metrics-registry snapshot (collectMetrics runs only). */
+    std::map<std::string, int64_t> metrics;
 
     /** Volume reduction of inter-stage traffic, in [0, 1). */
     double interStageSaving() const;

@@ -1,0 +1,19 @@
+#include "obs/clock.hh"
+
+#include <chrono>
+
+namespace optimus
+{
+namespace obs
+{
+
+int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace obs
+} // namespace optimus

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The project's single sanctioned wall-clock: a monotonic nanosecond
+ * timestamp. Every wall-time read in src/ outside src/obs and
+ * src/util flows through nowNs() (enforced by optlint rule OBS01),
+ * so phase timers, bucket busy-time, and trace spans all share one
+ * time base — which is what lets tools/tracesum reconcile summed
+ * span durations against StepPhaseTimes exactly.
+ */
+
+#ifndef OPTIMUS_OBS_CLOCK_HH
+#define OPTIMUS_OBS_CLOCK_HH
+
+#include <cstdint>
+
+namespace optimus
+{
+namespace obs
+{
+
+/** Monotonic timestamp in nanoseconds (steady, never wall-seeded). */
+int64_t nowNs();
+
+/** Seconds between two nowNs() readings. */
+inline double
+secondsBetween(int64_t begin_ns, int64_t end_ns)
+{
+    return static_cast<double>(end_ns - begin_ns) * 1e-9;
+}
+
+} // namespace obs
+} // namespace optimus
+
+#endif // OPTIMUS_OBS_CLOCK_HH

@@ -1,0 +1,139 @@
+#include "obs/metrics.hh"
+
+#include <cstdio>
+
+namespace optimus
+{
+namespace obs
+{
+
+std::atomic<bool> g_metricsEnabled{false};
+
+void
+enableMetrics(bool on)
+{
+    g_metricsEnabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+MetricHistogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<MetricHistogram>();
+    return *slot;
+}
+
+std::map<std::string, int64_t>
+MetricsRegistry::counterSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, int64_t> snapshot;
+    for (const auto &[name, counter] : counters_)
+        snapshot[name] = counter->value();
+    for (const auto &[name, gauge] : gauges_)
+        snapshot[name] = gauge->value();
+    return snapshot;
+}
+
+namespace
+{
+
+void
+appendJsonInt(std::string &out, const char *key, int64_t value,
+              bool &first)
+{
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer), "%s\"%s\":%lld",
+                  first ? "" : ",", key,
+                  static_cast<long long>(value));
+    out += buffer;
+    first = false;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::snapshotJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{";
+    bool first = true;
+
+    // counters_ / gauges_ / histograms_ are std::map, so each block
+    // emits in sorted-key order; names are disjoint by convention.
+    for (const auto &[name, counter] : counters_)
+        appendJsonInt(out, name.c_str(), counter->value(), first);
+    for (const auto &[name, gauge] : gauges_)
+        appendJsonInt(out, name.c_str(), gauge->value(), first);
+    for (const auto &[name, histogram] : histograms_) {
+        const Log2Histogram snap = histogram->snapshot();
+        out += first ? "" : ",";
+        first = false;
+        out += "\"" + name + "\":{";
+        bool inner_first = true;
+        appendJsonInt(out, "count", snap.count(), inner_first);
+        appendJsonInt(out, "min", snap.min(), inner_first);
+        appendJsonInt(out, "max", snap.max(), inner_first);
+        appendJsonInt(out, "p50", snap.percentile(50.0), inner_first);
+        appendJsonInt(out, "p99", snap.percentile(99.0), inner_first);
+        out += ",\"buckets\":{";
+        bool bucket_first = true;
+        for (int b = 0; b < Log2Histogram::kBuckets; ++b) {
+            if (snap.bucketCount(b) == 0)
+                continue;
+            char key[32];
+            std::snprintf(key, sizeof(key), "%lld",
+                          static_cast<long long>(
+                              Log2Histogram::bucketUpperBound(b)));
+            appendJsonInt(out, key, snap.bucketCount(b),
+                          bucket_first);
+        }
+        out += "}}";
+    }
+    out += "}";
+    return out;
+}
+
+void
+MetricsRegistry::resetValues()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, counter] : counters_)
+        counter->reset();
+    for (const auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (const auto &[name, histogram] : histograms_)
+        histogram->reset();
+}
+
+} // namespace obs
+} // namespace optimus

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Global metrics registry: named counters, gauges, and log2
+ * histograms with deterministic snapshot export.
+ *
+ * The registry is the reporting path for "how much / how many"
+ * questions (comm events and bytes per phase, buckets reduced,
+ * parallelFor calls, trainer iterations) while the tracer answers
+ * "when". Producers gate on metricsEnabled() — one relaxed atomic
+ * load — and fold with relaxed atomic adds, so the disabled path is
+ * a branch and the enabled path never takes a lock.
+ *
+ * Determinism contract: registered producers count *semantic* events
+ * (calls, collectives, buckets), never scheduling accidents, so a
+ * snapshot of the same workload is identical at any OPTIMUS_THREADS.
+ * Snapshots export with sorted keys and integer values only.
+ * Registration returns stable references: resetValues() zeroes
+ * every metric but never removes one, so call sites may cache the
+ * reference in a function-local static.
+ */
+
+#ifndef OPTIMUS_OBS_METRICS_HH
+#define OPTIMUS_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/stats.hh"
+
+namespace optimus
+{
+namespace obs
+{
+
+extern std::atomic<bool> g_metricsEnabled;
+
+/** True while metrics collection is on (relaxed; hot-path gate). */
+inline bool
+metricsEnabled()
+{
+    return g_metricsEnabled.load(std::memory_order_relaxed);
+}
+
+/** Turn metrics collection on or off. */
+void enableMetrics(bool on);
+
+/** Monotonically increasing integer metric. */
+class Counter
+{
+  public:
+    void add(int64_t v) { value_.fetch_add(v, std::memory_order_relaxed); }
+    int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** Last-write-wins integer metric (e.g. a configured size). */
+class Gauge
+{
+  public:
+    void set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+    int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** Mutex-guarded Log2Histogram; observe() is off the hottest paths
+ * (one call per comm event, not per element). */
+class MetricHistogram
+{
+  public:
+    void observe(int64_t v)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        histogram_.add(v);
+    }
+
+    Log2Histogram snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return histogram_;
+    }
+
+    void reset()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        histogram_.reset();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    Log2Histogram histogram_;
+};
+
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static MetricsRegistry &instance();
+
+    /** Find-or-create by name; references stay valid forever. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    MetricHistogram &histogram(const std::string &name);
+
+    /** All counter and gauge values by name (sorted by std::map). */
+    std::map<std::string, int64_t> counterSnapshot() const;
+
+    /**
+     * Deterministic JSON export: sorted keys, integer values.
+     * Histograms render as {"count", "min", "max", "p50", "p99",
+     * "buckets": {"<upper-bound>": count, ...}} with zero buckets
+     * omitted.
+     */
+    std::string snapshotJson() const;
+
+    /** Zero every registered metric; never removes registrations. */
+    void resetValues();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<MetricHistogram>>
+        histograms_;
+};
+
+} // namespace obs
+} // namespace optimus
+
+#endif // OPTIMUS_OBS_METRICS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Trace summarizer behind the tools/tracesum CLI: loads a Chrome
+ * trace-event JSON produced by obs::writeTrace and folds the span
+ * stream back into the paper's per-category step breakdown
+ * (compute / dpReduce / embSync / optimizer / overlap-hidden).
+ *
+ * The trainer emits its phase spans from the same nowNs() readings
+ * that feed StepPhaseTimes, and the reduce engine emits bucket spans
+ * from the readings that feed busySeconds, so the summary totals
+ * reconcile with the in-process timers to export rounding error
+ * (<1%; timestamps are written with nanosecond precision).
+ *
+ * The parser targets obs::writeTrace output — one event object per
+ * line — not arbitrary JSON.
+ */
+
+#ifndef OPTIMUS_OBS_TRACESUM_HH
+#define OPTIMUS_OBS_TRACESUM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace optimus
+{
+namespace obs
+{
+
+struct TraceSummary
+{
+    bool valid = false;       // file read + at least one span parsed
+    int64_t spans = 0;        // complete ('X') events parsed
+    int64_t steps = 0;        // distinct trainer step ids seen
+
+    // Seconds summed over all steps, from cat="phase" spans...
+    double forwardBackward = 0.0; // compute (fwd+bwd replica loop)
+    double dpReduce = 0.0;        // exposed reduce wait in the step
+    double embSync = 0.0;
+    double optimizer = 0.0;
+    double total = 0.0;           // "step" spans
+
+    // ...and from cat="reduce" bucket spans:
+    double dpReduceBusy = 0.0;    // summed bucket work
+    double overlapHidden = 0.0;   // sum_i max(0, busy_i - exposed_i)
+
+    double other = 0.0;           // total minus the named phases
+
+    // All spans grouped by category (seconds / count).
+    std::map<std::string, double> categorySeconds;
+    std::map<std::string, int64_t> categorySpans;
+};
+
+/** Summarize trace JSON text (obs::writeTrace format). */
+TraceSummary summarizeTrace(const std::string &json_text);
+
+/** Load a file and summarize it; valid=false if unreadable. */
+TraceSummary summarizeTraceFile(const std::string &path);
+
+/** Per-category table, one row per breakdown line. */
+std::string renderTraceSummary(const TraceSummary &summary);
+
+} // namespace obs
+} // namespace optimus
+
+#endif // OPTIMUS_OBS_TRACESUM_HH

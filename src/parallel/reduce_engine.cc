@@ -1,9 +1,10 @@
 #include "parallel/reduce_engine.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace optimus
@@ -12,13 +13,12 @@ namespace optimus
 namespace
 {
 
-double
-secondsSince(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
+/**
+ * Buckets enqueued but not yet reduced, across every stage's engine
+ * — the "bucket occupancy" counter track. Tracing-only telemetry;
+ * nothing reads it back.
+ */
+std::atomic<int> g_bucketsInFlight{0};
 
 } // namespace
 
@@ -26,6 +26,8 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 struct ReduceEngine::Bucket
 {
     BucketSpec spec;
+    /** Position in buckets_ (trace span id). */
+    int index = 0;
     /** grads[e][d]: worker d's gradient tensor of packed entry e. */
     std::vector<std::vector<Tensor *>> grads;
     /** Shared ownership keeping the gradient tensors alive. */
@@ -169,17 +171,21 @@ ReduceEngine::bind(
     }
 
     specs_.reserve(buckets_.size());
-    for (const auto &bucket : buckets_)
-        specs_.push_back(bucket->spec);
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        buckets_[i]->index = static_cast<int>(i);
+        specs_.push_back(buckets_[i]->spec);
+    }
     bound_ = true;
 }
 
 void
-ReduceEngine::beginIteration(TaskGroup &group, bool overlap)
+ReduceEngine::beginIteration(TaskGroup &group, bool overlap,
+                             int64_t iteration)
 {
     group_ = &group;
     overlap_ = overlap;
     enqueued_ = false;
+    iteration_ = iteration;
     arrivals_.store(0, std::memory_order_relaxed);
     for (auto &bucket : buckets_) {
         bucket->volume = ReduceVolume{};
@@ -213,6 +219,13 @@ ReduceEngine::enqueueAll()
 {
     OPTIMUS_ASSERT(group_ != nullptr && bound_);
     enqueued_ = true;
+    const int count = static_cast<int>(buckets_.size());
+    if (obs::tracingEnabled() && count > 0) {
+        const int total = g_bucketsInFlight.fetch_add(
+                              count, std::memory_order_relaxed) +
+                          count;
+        obs::emitCounter("reduce.inflight", total);
+    }
     for (auto &bucket : buckets_) {
         Bucket *b = bucket.get();
         group_->run([this, b] { reduceBucket(*b); });
@@ -222,12 +235,33 @@ ReduceEngine::enqueueAll()
 void
 ReduceEngine::reduceBucket(Bucket &bucket)
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    // One clock pair feeds both the busy-time accumulator and the
+    // trace span, so tracesum's dpReduceBusy reconciles with
+    // StepPhaseTimes exactly (modulo export rounding).
+    const int64_t t0 = obs::nowNs();
     if (bucket.spec.compressed)
         reduceCompressed(bucket);
     else
         reduceExact(bucket);
-    bucket.busySeconds = secondsSince(t0);
+    const int64_t t1 = obs::nowNs();
+    bucket.busySeconds = obs::secondsBetween(t0, t1);
+    obs::emitSpan("reduce",
+                  bucket.spec.compressed ? "bucketCompressed"
+                                         : "bucketExact",
+                  t0, t1, bucket.index, "iter", iteration_, "elems",
+                  bucket.spec.elems);
+    if (obs::tracingEnabled()) {
+        const int left = g_bucketsInFlight.fetch_sub(
+                             1, std::memory_order_relaxed) -
+                         1;
+        obs::emitCounter("reduce.inflight", left > 0 ? left : 0);
+    }
+    if (obs::metricsEnabled()) {
+        static obs::Counter &reduced =
+            obs::MetricsRegistry::instance().counter(
+                "reduce.buckets.reduced");
+        reduced.add(1);
+    }
 }
 
 void

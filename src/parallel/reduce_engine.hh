@@ -113,9 +113,11 @@ class ReduceEngine
     /**
      * Arm the engine for one iteration. @p group receives the
      * bucket tasks; with @p overlap the D-th notifyReplicaDone()
-     * call enqueues them, otherwise flush() does.
+     * call enqueues them, otherwise flush() does. @p iteration
+     * stamps this iteration's trace spans.
      */
-    void beginIteration(TaskGroup &group, bool overlap);
+    void beginIteration(TaskGroup &group, bool overlap,
+                        int64_t iteration = 0);
 
     /**
      * Replica-done signal, called from inside the replica loop
@@ -169,6 +171,7 @@ class ReduceEngine
     TaskGroup *group_ = nullptr;
     bool overlap_ = false;
     bool enqueued_ = false;
+    int64_t iteration_ = 0;
     std::atomic<int> arrivals_{0};
 };
 

@@ -1,9 +1,11 @@
 #include "parallel/trainer3d.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+#include <cstdlib>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace optimus
@@ -12,12 +14,15 @@ namespace optimus
 namespace
 {
 
-using Clock = std::chrono::steady_clock;
-
-double
-secondsSince(Clock::time_point t0)
+/** Span-trace output path: config wins, then the env knob. */
+std::string
+resolveTracePath(const Trainer3dConfig &config)
 {
-    return std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!config.tracePath.empty())
+        return config.tracePath;
+    if (const char *env = std::getenv("OPTIMUS_TRACE"))
+        return env;
+    return "";
 }
 
 } // namespace
@@ -62,15 +67,22 @@ Trainer3d::Trainer3d(const Trainer3dConfig &config)
                     ? std::make_unique<RecordingTransport>(
                           *baseTransport_)
                     : nullptr),
-      transport_(recorder_
-                     ? static_cast<Transport *>(recorder_.get())
-                     : baseTransport_.get()),
+      tracing_(std::make_unique<TracingTransport>(
+          recorder_ ? static_cast<Transport &>(*recorder_)
+                    : *baseTransport_)),
+      transport_(tracing_.get()),
       embSync_(config.fusedEmbeddingSync, transport_)
 {
     const int d_ways = config.dataParallel;
     const int p_ways = config.pipelineStages;
     OPTIMUS_ASSERT(d_ways >= 1 && p_ways >= 1);
     OPTIMUS_ASSERT(config.microBatches >= 1);
+
+    tracePath_ = resolveTracePath(config);
+    if (!tracePath_.empty() && !obs::tracingEnabled()) {
+        obs::startTracing();
+        ownsTrace_ = true;
+    }
 
     stages_.resize(d_ways);
     channels_.resize(d_ways);
@@ -128,7 +140,14 @@ Trainer3d::Trainer3d(const Trainer3dConfig &config)
     scorer_ = std::make_unique<ReplicaScorer>(*this);
 }
 
-Trainer3d::~Trainer3d() = default;
+Trainer3d::~Trainer3d()
+{
+    if (ownsTrace_) {
+        obs::stopTracing();
+        if (!obs::writeTrace(tracePath_))
+            warn("failed to write trace to '%s'", tracePath_.c_str());
+    }
+}
 
 LmScorer &
 Trainer3d::scorer()
@@ -222,12 +241,23 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
                     worker_params.push_back(stages_[d][p]->params());
                 engines_[p]->bind(worker_params, excluded);
             }
-            engines_[p]->beginIteration(reduceGroup_, overlap);
+            engines_[p]->beginIteration(reduceGroup_, overlap,
+                                        iterations_);
         }
     }
 
+    if (obs::metricsEnabled()) {
+        static obs::Counter &iters =
+            obs::MetricsRegistry::instance().counter(
+                "trainer.iterations");
+        iters.add(1);
+    }
+
     const float inv_m = 1.0f / static_cast<float>(m_count);
-    const auto t_iter = Clock::now();
+    // Every phase boundary below is one obs::nowNs() reading used
+    // for both the StepPhaseTimes accumulator and the trace span,
+    // so tools/tracesum reconciles with the struct exactly.
+    const int64_t t_iter = obs::nowNs();
 
     // The D replicas touch disjoint state (stages, channels, loss
     // heads, optimizers) until the all-reduce below, so they execute
@@ -239,8 +269,12 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     std::vector<double> replica_loss(d_ways, 0.0);
     parallelFor(0, d_ways, 1, [&](int64_t d_lo, int64_t d_hi) {
         for (int64_t d = d_lo; d < d_hi; ++d) {
+            obs::ScopedSpan replica_span("compute", "replica", d,
+                                         "iter", iterations_);
             // Forward all micro-batches in order (message order per
             // channel is micro-batch order, identical to 1F1B).
+            const int64_t t_fwd =
+                obs::tracingEnabled() ? obs::nowNs() : 0;
             for (int m = 0; m < m_count; ++m) {
                 const LmBatch &mb = micro_batches[d * m_count + m];
                 Tensor h = stages_[d][0]->forwardTokens(mb.tokens,
@@ -251,6 +285,12 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
                 }
                 replica_loss[d] += losses_[d].forward(h, mb.targets);
             }
+            if (t_fwd != 0) {
+                obs::emitSpan("compute", "forward", t_fwd,
+                              obs::nowNs(), d, "iter", iterations_);
+            }
+            const int64_t t_bwd =
+                obs::tracingEnabled() ? obs::nowNs() : 0;
             // Backward all micro-batches in order. On the last
             // micro-batch a stage's gradients are final the moment
             // its backward returns, so the engine path scales them
@@ -274,9 +314,17 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
                     engines_[0]->notifyReplicaDone();
                 }
             }
+            if (t_bwd != 0) {
+                obs::emitSpan("compute", "backward", t_bwd,
+                              obs::nowNs(), d, "iter", iterations_);
+            }
         }
     });
-    stats.phases.forwardBackward = secondsSince(t_iter);
+    const int64_t t_fb_end = obs::nowNs();
+    stats.phases.forwardBackward = obs::secondsBetween(t_iter,
+                                                       t_fb_end);
+    obs::emitSpan("phase", "forwardBackward", t_iter, t_fb_end,
+                  iterations_);
     for (int d = 0; d < d_ways; ++d)
         loss_sum += replica_loss[d];
 
@@ -294,7 +342,7 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
 
     // Data-parallel gradient all-reduce. Exposed time only: in
     // overlapped mode most bucket tasks already ran during backward.
-    const auto t_reduce = Clock::now();
+    const int64_t t_reduce = obs::nowNs();
     if (use_engine) {
         for (int p = 0; p < p_ways; ++p)
             engines_[p]->flush();
@@ -314,14 +362,18 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
                                                    excluded);
         }
     }
-    stats.phases.dpReduce = secondsSince(t_reduce);
+    const int64_t t_reduce_end = obs::nowNs();
+    stats.phases.dpReduce = obs::secondsBetween(t_reduce,
+                                                t_reduce_end);
+    obs::emitSpan("phase", "dpReduce", t_reduce, t_reduce_end,
+                  iterations_);
     if (!use_engine)
         stats.phases.dpReduceBusy = stats.phases.dpReduce;
     stats.phases.overlapHidden = std::max(
         0.0, stats.phases.dpReduceBusy - stats.phases.dpReduce);
 
     // Embedding synchronization (baseline or fused).
-    const auto t_emb = Clock::now();
+    const int64_t t_emb = obs::nowNs();
     std::vector<ParamPtr> first_copies, last_copies;
     for (int d = 0; d < d_ways; ++d) {
         first_copies.push_back(stages_[d][0]->embeddingTable());
@@ -329,11 +381,13 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
             stages_[d][p_ways - 1]->embeddingTable());
     }
     stats.embVolume = embSync_.synchronize(first_copies, last_copies);
-    stats.phases.embSync = secondsSince(t_emb);
+    const int64_t t_emb_end = obs::nowNs();
+    stats.phases.embSync = obs::secondsBetween(t_emb, t_emb_end);
+    obs::emitSpan("phase", "embSync", t_emb, t_emb_end, iterations_);
 
     // Optimizer update; replicas update identically because their
     // gradients are now identical.
-    const auto t_opt = Clock::now();
+    const int64_t t_opt = obs::nowNs();
     if (config_.applyUpdates) {
         parallelFor(0, d_ways, 1, [&](int64_t d_lo, int64_t d_hi) {
             for (int64_t d = d_lo; d < d_hi; ++d) {
@@ -344,7 +398,10 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
             }
         });
     }
-    stats.phases.optimizer = secondsSince(t_opt);
+    const int64_t t_opt_end = obs::nowNs();
+    stats.phases.optimizer = obs::secondsBetween(t_opt, t_opt_end);
+    obs::emitSpan("phase", "optimizer", t_opt, t_opt_end,
+                  iterations_);
 
     for (int d = 0; d < d_ways; ++d) {
         for (int s = 1; s < p_ways; ++s) {
@@ -360,9 +417,11 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     stats.interStageBytes -= base_sent;
     stats.interStageBytesExact -= base_exact; // optlint:allow(COM01)
 
-    ++iterations_;
     stats.loss = loss_sum / static_cast<double>(d_ways * m_count);
-    stats.phases.total = secondsSince(t_iter);
+    const int64_t t_end = obs::nowNs();
+    stats.phases.total = obs::secondsBetween(t_iter, t_end);
+    obs::emitSpan("phase", "step", t_iter, t_end, iterations_);
+    ++iterations_;
     return stats;
 }
 

@@ -22,6 +22,7 @@
 #define OPTIMUS_PARALLEL_TRAINER3D_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "data/dataset.hh"
@@ -95,6 +96,17 @@ struct Trainer3dConfig
      * bitwise identical to an untraced one.
      */
     bool traceCommunication = false;
+    /**
+     * When non-empty, record an obs:: span trace of the run and
+     * write it as Chrome trace-event JSON to this path when the
+     * trainer is destroyed (load it in Perfetto, or summarize with
+     * tools/tracesum). Empty falls back to the OPTIMUS_TRACE env
+     * var. Like traceCommunication, pure observation: a traced run
+     * is bitwise identical to an untraced one. One span trace can
+     * be active per process; if another trainer (or the caller) is
+     * already tracing, this config is ignored.
+     */
+    std::string tracePath;
 
     /** Sequences per iteration across all replicas. */
     int64_t globalBatch() const
@@ -208,7 +220,14 @@ class Trainer3d
     /** Transport stack; declared before every component using it. */
     std::unique_ptr<InProcessTransport> baseTransport_;
     std::unique_ptr<RecordingTransport> recorder_;
+    /** Outermost decorator: span/metrics observation (src/obs). */
+    std::unique_ptr<TracingTransport> tracing_;
     Transport *transport_ = nullptr;
+    /** Resolved span-trace output path ("" = tracing not requested). */
+    std::string tracePath_;
+    /** True when this trainer started the process-wide span trace
+     *  (and so stops + writes it in the destructor). */
+    bool ownsTrace_ = false;
     /** stages_[d][p]. */
     std::vector<std::vector<std::unique_ptr<StageModule>>> stages_;
     /** channels_[d][s-1] is the channel s -> s-1, s in [1, P). */

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace optimus
@@ -85,6 +87,7 @@ void
 ThreadPool::workerLoop(int worker_id)
 {
     t_inWorker = true;
+    obs::setThreadTrack(worker_id, "pool worker");
     uint64_t seen_epoch = 0;
     while (true) {
         int64_t num_chunks = 0;
@@ -110,12 +113,18 @@ ThreadPool::workerLoop(int worker_id)
             }
         }
         if (have_job) {
-            runChunks(worker_id, num_chunks);
+            {
+                obs::ScopedSpan span("runtime", "chunks");
+                runChunks(worker_id, num_chunks);
+            }
             std::lock_guard<std::mutex> lock(mutex_);
             if (--workersBusy_ == 0)
                 done_.notify_one();
         } else {
-            task.fn();
+            {
+                obs::ScopedSpan span("runtime", "task");
+                task.fn();
+            }
             finishTask(*task.group);
         }
     }
@@ -136,13 +145,22 @@ ThreadPool::submit(TaskGroup &group, std::function<void()> fn)
         std::lock_guard<std::mutex> glock(group.mutex_);
         ++group.submitted_;
     }
+    if (obs::metricsEnabled()) {
+        static obs::Counter &submits =
+            obs::MetricsRegistry::instance().counter(
+                "runtime.tasks.submitted");
+        submits.add(1);
+    }
     if (threads_ == 1) {
         // Serial pool: no workers exist, run inline right here. The
         // task body still sees inParallelRegion() so its nested
         // parallel regions decompose identically to pooled runs.
         const bool saved = t_inWorker;
         t_inWorker = true;
-        fn();
+        {
+            obs::ScopedSpan span("runtime", "task");
+            fn();
+        }
         t_inWorker = saved;
         return;
     }
@@ -170,7 +188,10 @@ ThreadPool::runOneTask()
     }
     const bool saved = t_inWorker;
     t_inWorker = true;
-    task.fn();
+    {
+        obs::ScopedSpan span("runtime", "task");
+        task.fn();
+    }
     t_inWorker = saved;
     finishTask(*task.group);
     return true;
@@ -207,6 +228,13 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
     if (end <= begin)
         return;
 
+    if (obs::metricsEnabled()) {
+        static obs::Counter &calls =
+            obs::MetricsRegistry::instance().counter(
+                "runtime.parallelFor.calls");
+        calls.add(1);
+    }
+
     // Serial pool, a nested call from a worker, or a range that
     // cannot fill more than one chunk: run inline. The chunk
     // decomposition is irrelevant to plain loops (only reductions
@@ -216,6 +244,10 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
         fn(begin, end);
         return;
     }
+
+    // Only top-level pooled jobs get a span: nested and serial
+    // calls take the inline path above, so traces stay readable.
+    obs::ScopedSpan span("runtime", "parallelFor");
 
     std::lock_guard<std::mutex> run_lock(runMutex_);
     {

@@ -1,5 +1,7 @@
 #include "util/stats.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -124,6 +126,100 @@ double
 RunningStat::stddev() const
 {
     return std::sqrt(variance());
+}
+
+Log2Histogram::Log2Histogram()
+{
+    reset();
+}
+
+void
+Log2Histogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    min_ = std::numeric_limits<int64_t>::max();
+    max_ = std::numeric_limits<int64_t>::min();
+}
+
+int
+Log2Histogram::bucketIndex(int64_t v)
+{
+    if (v <= 0)
+        return 0;
+    const int width =
+        std::bit_width(static_cast<uint64_t>(v)); // floor(log2) + 1
+    return width < kBuckets ? width : kBuckets - 1;
+}
+
+int64_t
+Log2Histogram::bucketUpperBound(int b)
+{
+    if (b <= 0)
+        return 0;
+    if (b >= kBuckets - 1)
+        return std::numeric_limits<int64_t>::max();
+    return (int64_t{1} << b) - 1;
+}
+
+void
+Log2Histogram::add(int64_t v)
+{
+    ++buckets_[bucketIndex(v)];
+    ++count_;
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    for (int b = 0; b < kBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    if (other.count_ > 0) {
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+}
+
+int64_t
+Log2Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const int64_t rank = static_cast<int64_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(count_)));
+    const int64_t target = rank < 1 ? 1 : rank;
+    int64_t cumulative = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        cumulative += buckets_[b];
+        if (cumulative >= target) {
+            const int64_t bound = bucketUpperBound(b);
+            return bound < max() ? bound : max();
+        }
+    }
+    return max();
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const size_t n = values.size();
+    size_t rank = static_cast<size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    return values[rank - 1];
 }
 
 } // namespace optimus

@@ -228,5 +228,95 @@ TEST(Cli, BooleanValueForms)
     EXPECT_FALSE(args.getBool("zero"));
 }
 
+TEST(Log2Histogram, BucketBoundaries)
+{
+    // Bucket 0 holds {0} (and clamped negatives); bucket b >= 1
+    // holds [2^(b-1), 2^b - 1].
+    EXPECT_EQ(Log2Histogram::bucketIndex(0), 0);
+    EXPECT_EQ(Log2Histogram::bucketIndex(-5), 0);
+    EXPECT_EQ(Log2Histogram::bucketIndex(1), 1);
+    EXPECT_EQ(Log2Histogram::bucketIndex(2), 2);
+    EXPECT_EQ(Log2Histogram::bucketIndex(3), 2);
+    EXPECT_EQ(Log2Histogram::bucketIndex(4), 3);
+    EXPECT_EQ(Log2Histogram::bucketIndex(1023), 10);
+    EXPECT_EQ(Log2Histogram::bucketIndex(1024), 11);
+    EXPECT_EQ(Log2Histogram::bucketUpperBound(0), 0);
+    EXPECT_EQ(Log2Histogram::bucketUpperBound(1), 1);
+    EXPECT_EQ(Log2Histogram::bucketUpperBound(11), 2047);
+    // Boundaries agree: every upper bound lands in its own bucket.
+    for (int b = 0; b < 20; ++b) {
+        EXPECT_EQ(
+            Log2Histogram::bucketIndex(
+                Log2Histogram::bucketUpperBound(b)),
+            b);
+    }
+}
+
+TEST(Log2Histogram, CountsMinMaxAndMerge)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+    h.add(0);
+    h.add(3);
+    h.add(100);
+    EXPECT_EQ(h.count(), 3);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 100);
+    EXPECT_EQ(h.bucketCount(Log2Histogram::bucketIndex(0)), 1);
+    EXPECT_EQ(h.bucketCount(Log2Histogram::bucketIndex(3)), 1);
+    EXPECT_EQ(h.bucketCount(Log2Histogram::bucketIndex(100)), 1);
+
+    Log2Histogram other;
+    other.add(3);
+    other.add(5000);
+    h.merge(other);
+    EXPECT_EQ(h.count(), 5);
+    EXPECT_EQ(h.max(), 5000);
+    EXPECT_EQ(h.bucketCount(Log2Histogram::bucketIndex(3)), 2);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Log2Histogram, PercentileWalksBuckets)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.percentile(50.0), 0);
+    // 9 observations of 10 and one of 10000: the p50 sits in 10's
+    // bucket (upper bound 15); the p99/p100 clamp to the observed
+    // max rather than the tail bucket's huge upper bound.
+    for (int i = 0; i < 9; ++i)
+        h.add(10);
+    h.add(10000);
+    EXPECT_EQ(h.percentile(50.0),
+              Log2Histogram::bucketUpperBound(
+                  Log2Histogram::bucketIndex(10)));
+    EXPECT_EQ(h.percentile(100.0), 10000);
+    EXPECT_EQ(h.percentile(99.9), 10000);
+    // A single observation answers every percentile with itself.
+    Log2Histogram one;
+    one.add(7);
+    EXPECT_EQ(one.percentile(0.0), 7);
+    EXPECT_EQ(one.percentile(50.0), 7);
+    EXPECT_EQ(one.percentile(100.0), 7);
+}
+
+TEST(Stats, NearestRankPercentile)
+{
+    EXPECT_EQ(percentile({}, 50.0), 0.0);
+    EXPECT_EQ(percentile({4.0}, 50.0), 4.0);
+    // Nearest-rank on {1..10}: p50 -> 5, p90 -> 9, p100 -> 10.
+    std::vector<double> v;
+    for (int i = 10; i >= 1; --i)
+        v.push_back(static_cast<double>(i));
+    EXPECT_EQ(percentile(v, 50.0), 5.0);
+    EXPECT_EQ(percentile(v, 90.0), 9.0);
+    EXPECT_EQ(percentile(v, 100.0), 10.0);
+    EXPECT_EQ(percentile(v, 0.0), 1.0);
+}
+
 } // namespace
 } // namespace optimus

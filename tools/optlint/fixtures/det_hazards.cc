@@ -34,7 +34,7 @@ wallClockSeed()
 {
     long t = time(nullptr); // optlint:expect(DET03)
     auto now =
-        std::chrono::system_clock::now(); // optlint:expect(DET03)
+        std::chrono::system_clock::now(); // optlint:expect(DET03,OBS01)
     return t + now.time_since_epoch().count();
 }
 

@@ -1,0 +1,57 @@
+/**
+ * OBS01 fixture: raw timing primitives in what poses as production
+ * source (the fixture path contains none of the exempt substrings).
+ * Annotated lines must be flagged; everything else must stay clean.
+ */
+
+#include <chrono> // includes are preprocessor lines: never flagged
+#include <ctime>
+
+struct Stopwatch
+{
+    // An identifier that merely shares the name: neither the
+    // declaration nor access through ./-> is a std::chrono use.
+    int chrono = 0;
+};
+
+double
+rawChronoInterval()
+{
+    const auto t0 =
+        std::chrono::steady_clock::now(); // optlint:expect(OBS01)
+    const auto t1 =
+        std::chrono::steady_clock::now(); // optlint:expect(OBS01)
+    return std::chrono::duration<double>( // optlint:expect(OBS01)
+               t1 - t0)
+        .count();
+}
+
+long
+rawPosixClocks()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts); // optlint:expect(OBS01)
+    timeval tv;
+    gettimeofday(&tv, nullptr); // optlint:expect(OBS01)
+    return ts.tv_nsec + tv.tv_usec;
+}
+
+long
+sanctionedRawClock()
+{
+    timespec ts;
+    // The escape hatch for code that genuinely needs the raw
+    // primitive (e.g. interfacing with a foreign API).
+    clock_gettime(CLOCK_MONOTONIC, &ts); // optlint:allow(OBS01)
+    return ts.tv_nsec;
+}
+
+int
+noFalsePositives(const Stopwatch &sw)
+{
+    // Prefix match ("chronology") and member access are both clean,
+    // as is a function pointer named gettimeofday not being called.
+    const int chronology = sw.chrono;
+    long (*gettimeofday_hook)() = nullptr;
+    return chronology + (gettimeofday_hook == nullptr ? 1 : 0);
+}

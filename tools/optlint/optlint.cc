@@ -325,6 +325,10 @@ const RuleInfo kRules[] = {
               "transport layer — every reported byte must derive "
               "from transport CommEvents (fold via CommVolume); see "
               "DESIGN.md section 4d"},
+    {"OBS01", "direct std::chrono / clock_gettime timing outside "
+              "src/obs and src/util — all timestamps must flow "
+              "through obs::nowNs() so spans, counters, and phase "
+              "timers share one clock (see DESIGN.md section 4e)"},
 };
 
 /** Paths (substring match) exempt from the DET family. */
@@ -357,6 +361,24 @@ pathComExempt(const std::string &path)
     return false;
 }
 
+/**
+ * Paths (substring match) exempt from OBS01: the clock's home
+ * (src/obs), the utility layer beneath it, and the measurement
+ * harnesses (benches/tests/examples time whatever they like).
+ */
+const char *kObsExemptPaths[] = {"obs/", "util/", "bench", "tests",
+                                 "examples"};
+
+bool
+pathObsExempt(const std::string &path)
+{
+    for (const char *p : kObsExemptPaths) {
+        if (path.find(p) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
 void
 addViolation(std::vector<Violation> &out, const LexedFile &f, int line,
              const char *rule, std::string message)
@@ -381,7 +403,7 @@ nextIs(const std::vector<Token> &t, size_t i, const char *text)
     return i + 1 < t.size() && t[i + 1].text == text;
 }
 
-/** DET01/DET02/DET03/DET04/DET05 + HYG01: single-token patterns. */
+/** DET01..DET05 + HYG01 + OBS01: single-token patterns. */
 void
 checkTokenBans(const LexedFile &f, std::vector<Violation> &out)
 {
@@ -397,6 +419,7 @@ checkTokenBans(const LexedFile &f, std::vector<Violation> &out)
         "atof"};
 
     const bool det_exempt = pathDetExempt(f.path);
+    const bool obs_exempt = pathObsExempt(f.path);
     const auto &t = f.tokens;
     for (size_t i = 0; i < t.size(); ++i) {
         if (t[i].kind != TokKind::Ident)
@@ -430,6 +453,21 @@ checkTokenBans(const LexedFile &f, std::vector<Violation> &out)
         if (kBannedFns.count(id) && nextIs(t, i, "(")) {
             addViolation(out, f, t[i].line, "HYG01",
                          "banned function " + id + "()");
+        }
+        if (!obs_exempt) {
+            // std::chrono is always used as a namespace qualifier,
+            // so requiring `::` skips declarations of identifiers
+            // that merely share the name.
+            if (id == "chrono" && nextIs(t, i, "::")) {
+                addViolation(out, f, t[i].line, "OBS01",
+                             "std::chrono (use obs::nowNs())");
+            } else if ((id == "clock_gettime" ||
+                        id == "gettimeofday") &&
+                       nextIs(t, i, "(")) {
+                addViolation(out, f, t[i].line, "OBS01",
+                             "call to " + id + "() (use "
+                             "obs::nowNs())");
+            }
         }
     }
 }

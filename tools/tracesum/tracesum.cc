@@ -1,0 +1,47 @@
+/**
+ * @file
+ * tracesum: summarize an Optimus span trace (the Chrome trace-event
+ * JSON written via Trainer3dConfig::tracePath / OPTIMUS_TRACE) as a
+ * per-category wall-time table. The phase rows reconcile with the
+ * trainer's StepPhaseTimes because both are derived from the same
+ * obs::nowNs() readings.
+ *
+ * Usage: tracesum TRACE.json
+ *        tracesum --trace TRACE.json
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "obs/tracesum.hh"
+#include "util/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace optimus;
+
+    const CliArgs args(argc, argv);
+    std::string path = args.getString("trace");
+    if (path.empty() && !args.positional().empty())
+        path = args.positional().front();
+    if (path.empty() || args.has("help")) {
+        std::fprintf(stderr,
+                     "usage: %s [--trace] TRACE.json\n"
+                     "Summarizes a span trace written via "
+                     "OPTIMUS_TRACE or Trainer3dConfig::tracePath.\n",
+                     args.program().c_str());
+        return path.empty() && !args.has("help") ? 2 : 0;
+    }
+
+    const obs::TraceSummary summary = obs::summarizeTraceFile(path);
+    if (!summary.valid) {
+        std::fprintf(stderr,
+                     "tracesum: no spans found in %s (missing file "
+                     "or not a span trace)\n",
+                     path.c_str());
+        return 1;
+    }
+    std::fputs(obs::renderTraceSummary(summary).c_str(), stdout);
+    return 0;
+}
