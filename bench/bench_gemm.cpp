@@ -1,10 +1,14 @@
 /**
  * @file
  * GEMM kernel microbenchmark tracking the perf trajectory of the
- * execution runtime. Measures GFLOP/s of the naive reference kernel,
- * the blocked kernel forced single-threaded, and the blocked kernel
- * on the full pool, at square sizes 64..1024, and writes
- * BENCH_gemm.json so the numbers are diffable across PRs.
+ * execution runtime. Measures GFLOP/s of the naive reference kernel
+ * and of the blocked kernel at every supported SIMD dispatch tier
+ * (scalar / avx2 / avx512 — forced via simd::setTier, the same
+ * switch OPTIMUS_SIMD drives), single-threaded and on the full
+ * pool, at square sizes 64..1024. Writes BENCH_gemm.json so the
+ * numbers are diffable across PRs; the top-level fields keep their
+ * historical meaning (the auto-dispatched kernel) and a per-tier
+ * breakdown rides alongside.
  *
  * Usage: bench_gemm [--max-size 1024] [--reps 3]
  * Thread count comes from OPTIMUS_THREADS (default: hardware).
@@ -17,6 +21,7 @@
 
 #include "runtime/runtime.hh"
 #include "tensor/matmul.hh"
+#include "tensor/simd.hh"
 #include "tensor/tensor.hh"
 #include "util/cli.hh"
 #include "util/random.hh"
@@ -67,10 +72,26 @@ blockedSerial(float *c, const float *a, const float *b, int64_t m,
     gemm(c, a, b, m, k, n, accumulate);
 }
 
+struct TierNumbers
+{
+    simd::Tier tier;
+    double serial = 0.0, threaded = 0.0;
+};
+
 struct Row
 {
     int64_t size;
-    double naive, serial, threaded;
+    double naive;
+    std::vector<TierNumbers> tiers;
+
+    const TierNumbers &
+    forTier(simd::Tier t) const
+    {
+        for (const TierNumbers &tn : tiers)
+            if (tn.tier == t)
+                return tn;
+        return tiers.front();
+    }
 };
 
 } // namespace
@@ -82,8 +103,16 @@ main(int argc, char **argv)
     const int64_t max_size = args.getInt("max-size", 1024);
     const int reps = static_cast<int>(args.getInt("reps", 3));
 
+    const simd::Tier auto_tier = simd::tier();
+    std::vector<simd::Tier> tiers;
+    for (simd::Tier t : {simd::Tier::Scalar, simd::Tier::Avx2,
+                         simd::Tier::Avx512})
+        if (simd::supported(t))
+            tiers.push_back(t);
+
     std::printf("=== GEMM kernel microbenchmark ===\n");
-    std::printf("pool threads: %d\n\n", runtimeThreads());
+    std::printf("pool threads: %d, dispatch tier: %s\n\n",
+                runtimeThreads(), simd::tierName(auto_tier));
 
     std::vector<Row> rows;
     Rng rng(7);
@@ -94,14 +123,23 @@ main(int argc, char **argv)
         Row row;
         row.size = n;
         row.naive = measure(gemmReference, a, b, c, reps);
-        row.serial = measure(blockedSerial, a, b, c, reps);
-        row.threaded = measure(gemm, a, b, c, reps);
+        std::printf("%5lld: naive %7.2f\n",
+                    static_cast<long long>(n), row.naive);
+        for (simd::Tier t : tiers) {
+            simd::setTier(t);
+            TierNumbers tn;
+            tn.tier = t;
+            tn.serial = measure(blockedSerial, a, b, c, reps);
+            tn.threaded = measure(gemm, a, b, c, reps);
+            row.tiers.push_back(tn);
+            std::printf("       %-6s 1t %7.2f (%.2fx)  %dt %7.2f "
+                        "(%.2fx)\n",
+                        simd::tierName(t), tn.serial,
+                        tn.serial / row.naive, runtimeThreads(),
+                        tn.threaded, tn.threaded / row.naive);
+        }
+        simd::setTier(auto_tier);
         rows.push_back(row);
-        std::printf("%5lld: naive %7.2f  blocked-1t %7.2f (%.2fx)  "
-                    "blocked-%dt %7.2f (%.2fx)\n",
-                    static_cast<long long>(n), row.naive, row.serial,
-                    row.serial / row.naive, runtimeThreads(),
-                    row.threaded, row.threaded / row.naive);
     }
 
     FILE *f = std::fopen("BENCH_gemm.json", "w");
@@ -111,19 +149,32 @@ main(int argc, char **argv)
     }
     std::fprintf(f, "{\n  \"bench\": \"gemm\",\n");
     std::fprintf(f, "  \"threads\": %d,\n", runtimeThreads());
+    std::fprintf(f, "  \"tier\": \"%s\",\n",
+                 simd::tierName(auto_tier));
     std::fprintf(f, "  \"unit\": \"GFLOP/s\",\n  \"sizes\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
+        const TierNumbers &active = r.forTier(auto_tier);
         std::fprintf(f,
                      "    {\"n\": %lld, \"naive\": %.3f, "
                      "\"blocked_1thread\": %.3f, "
                      "\"blocked_pool\": %.3f, "
                      "\"speedup_1thread\": %.3f, "
-                     "\"speedup_pool\": %.3f}%s\n",
+                     "\"speedup_pool\": %.3f,\n     \"tiers\": {",
                      static_cast<long long>(r.size), r.naive,
-                     r.serial, r.threaded, r.serial / r.naive,
-                     r.threaded / r.naive,
-                     i + 1 < rows.size() ? "," : "");
+                     active.serial, active.threaded,
+                     active.serial / r.naive,
+                     active.threaded / r.naive);
+        for (size_t j = 0; j < r.tiers.size(); ++j) {
+            const TierNumbers &tn = r.tiers[j];
+            std::fprintf(f,
+                         "\"%s\": {\"blocked_1thread\": %.3f, "
+                         "\"blocked_pool\": %.3f}%s",
+                         simd::tierName(tn.tier), tn.serial,
+                         tn.threaded,
+                         j + 1 < r.tiers.size() ? ", " : "");
+        }
+        std::fprintf(f, "}}%s\n", i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

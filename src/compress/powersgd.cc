@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "obs/trace.hh"
 #include "runtime/runtime.hh"
 #include "tensor/matmul.hh"
+#include "tensor/simd.hh"
 #include "util/logging.hh"
 
 namespace optimus
@@ -31,53 +34,71 @@ orthonormalizeColumns(Tensor &m)
     const int64_t rows = m.rows();
     const int64_t cols = m.cols();
     float *data = m.data();
+    const simd::Tier tier = simd::tier();
 
-    auto colDot = [&](int64_t ja, int64_t jb) {
+    // Gather each column contiguous (the matrix is row-major, so
+    // columns are strided by `cols`) and scatter back afterwards.
+    // The inner loops become unit stride for the simd:: kernels; the
+    // gather moves values without recomputing anything, so the
+    // Scalar tier still performs exactly the pre-dispatch products
+    // in the pre-dispatch chunk order and stays bit-exact.
+    std::vector<float> colbuf(rows * cols);
+    parallelFor(0, rows, kOrthoGrain,
+                [&](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i)
+                        for (int64_t j = 0; j < cols; ++j)
+                            colbuf[j * rows + i] =
+                                data[i * cols + j];
+                });
+
+    auto colDot = [&](const float *x, const float *y) {
         return parallelReduceSum(
             0, rows, kOrthoGrain, [&](int64_t lo, int64_t hi) {
-                double s = 0.0;
-                for (int64_t i = lo; i < hi; ++i)
-                    s += static_cast<double>(data[i * cols + ja]) *
-                         data[i * cols + jb];
-                return s;
+                return simd::dotDouble(tier, x + lo, y + lo,
+                                       hi - lo);
             });
     };
 
     for (int64_t j = 0; j < cols; ++j) {
-        const double norm_before_sq = colDot(j, j);
+        float *cj = colbuf.data() + j * rows;
+        const double norm_before_sq = colDot(cj, cj);
         // Subtract projections onto previous columns (modified
         // Gram-Schmidt: re-read the updated column each time).
         for (int64_t p = 0; p < j; ++p) {
-            const double proj = colDot(j, p);
+            const float *cp = colbuf.data() + p * rows;
+            const double proj = colDot(cj, cp);
             parallelFor(0, rows, kOrthoGrain,
                         [&](int64_t lo, int64_t hi) {
-                            for (int64_t i = lo; i < hi; ++i)
-                                data[i * cols + j] -=
-                                    static_cast<float>(proj) *
-                                    data[i * cols + p];
+                            simd::subScaled(
+                                tier, cj + lo, cp + lo,
+                                static_cast<float>(proj), hi - lo);
                         });
         }
-        const double norm_sq = colDot(j, j);
+        const double norm_sq = colDot(cj, cj);
         const double norm = std::sqrt(norm_sq);
         // A column that lost (almost) all of its norm to the
         // projections is linearly dependent on earlier columns;
         // renormalizing it would amplify float noise into a random
         // direction, so zero it instead.
         if (norm < 1e-8 || norm_sq < 1e-10 * norm_before_sq) {
-            parallelFor(0, rows, kOrthoGrain,
-                        [&](int64_t lo, int64_t hi) {
-                            for (int64_t i = lo; i < hi; ++i)
-                                data[i * cols + j] = 0.0f;
-                        });
+            std::memset(cj, 0, sizeof(float) * rows);
         } else {
             const float inv = static_cast<float>(1.0 / norm);
             parallelFor(0, rows, kOrthoGrain,
                         [&](int64_t lo, int64_t hi) {
-                            for (int64_t i = lo; i < hi; ++i)
-                                data[i * cols + j] *= inv;
+                            simd::scaleInPlace(tier, cj + lo, inv,
+                                               hi - lo);
                         });
         }
     }
+
+    parallelFor(0, rows, kOrthoGrain,
+                [&](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i)
+                        for (int64_t j = 0; j < cols; ++j)
+                            data[i * cols + j] =
+                                colbuf[j * rows + i];
+                });
 }
 
 namespace

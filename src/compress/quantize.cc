@@ -1,6 +1,9 @@
 #include "compress/quantize.hh"
 
+#include <algorithm>
 #include <cmath>
+
+#include "tensor/simd.hh"
 
 namespace optimus
 {
@@ -19,10 +22,22 @@ TernaryCompressor::compress(const Tensor &input, Tensor &output)
     if (scale > 0.0f) {
         const float *src = input.data();
         float *dst = output.data();
-        for (int64_t i = 0; i < n; ++i) {
-            const float p = std::fabs(src[i]) / scale;
-            if (rng_.uniform() < p)
-                dst[i] = src[i] > 0.0f ? scale : -scale;
+        const simd::Tier tier = simd::tier();
+        // Two passes per block: the acceptance probabilities
+        // |x|/scale are IEEE divisions — bitwise identical in every
+        // tier — and the RNG is still drawn once per element in
+        // index order, so the ternary output is bit-exact across
+        // tiers, not just within one.
+        constexpr int64_t kBlock = 4096;
+        float p[kBlock];
+        for (int64_t base = 0; base < n; base += kBlock) {
+            const int64_t len = std::min(kBlock, n - base);
+            simd::absDiv(tier, p, src + base, scale, len);
+            for (int64_t i = 0; i < len; ++i) {
+                if (rng_.uniform() < p[i])
+                    dst[base + i] =
+                        src[base + i] > 0.0f ? scale : -scale;
+            }
         }
     }
     return payloadBytes(1, n);
@@ -50,23 +65,16 @@ OneBitCompressor::compress(const Tensor &input, Tensor &output)
     double pos_sum = 0.0, neg_sum = 0.0;
     int64_t pos_count = 0, neg_count = 0;
     const float *src = input.data();
-    for (int64_t i = 0; i < n; ++i) {
-        if (src[i] >= 0.0f) {
-            pos_sum += src[i];
-            ++pos_count;
-        } else {
-            neg_sum += src[i];
-            ++neg_count;
-        }
-    }
+    const simd::Tier tier = simd::tier();
+    simd::signedSums(tier, src, n, pos_sum, neg_sum, pos_count,
+                     neg_count);
     const float pos_scale =
         pos_count > 0 ? static_cast<float>(pos_sum / pos_count) : 0.0f;
     const float neg_scale =
         neg_count > 0 ? static_cast<float>(neg_sum / neg_count) : 0.0f;
 
     float *dst = output.data();
-    for (int64_t i = 0; i < n; ++i)
-        dst[i] = src[i] >= 0.0f ? pos_scale : neg_scale;
+    simd::selectBySign(tier, dst, src, pos_scale, neg_scale, n);
     return payloadBytes(1, n);
 }
 

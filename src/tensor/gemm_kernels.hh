@@ -1,0 +1,86 @@
+/**
+ * @file
+ * SIMD GEMM panel kernels behind the blocked driver in matmul.cc.
+ *
+ * The driver owns cache blocking, B packing, and the parallelFor
+ * decomposition; a *panel kernel* computes one row range
+ * [i0, i1) of C (+)= op(A) * Bpack for the current (jc, pc) block.
+ * Each dispatch tier supplies a GemmKernel descriptor: its panel
+ * function plus the register-tile column width the driver must pad
+ * the packed-B rows to. The scalar panel lives in matmul.cc (it is
+ * the pre-dispatch kernel, unchanged); the AVX2 and AVX-512 panels
+ * live in gemm_kernels.cc — the only file besides simd.cc allowed
+ * to use raw intrinsics (lint rule SIM01).
+ *
+ * Determinism: a panel kernel's row grouping, packing, and
+ * accumulator tiling depend only on (i0, i1, ctx shape), and the
+ * driver's chunk grid is a pure function of the problem shape, so
+ * every tier is bitwise deterministic at any OPTIMUS_THREADS.
+ */
+
+#ifndef OPTIMUS_TENSOR_GEMM_KERNELS_HH
+#define OPTIMUS_TENSOR_GEMM_KERNELS_HH
+
+#include <cstdint>
+
+namespace optimus
+{
+
+/**
+ * Depth of one packed k block (the driver's KC). Panel kernels size
+ * their on-stack packed-A scratch as rows * kGemmMaxKc, so the
+ * driver must never hand them a ctx.kc above this.
+ */
+constexpr int64_t kGemmMaxKc = 256;
+
+/** Per-(jc, pc) state shared by every row-panel task. */
+struct GemmBlockCtx
+{
+    float *c;
+    const float *a;
+    int64_t m, k, n;
+    bool transA;
+    int64_t pc, kc, jc, nc;
+    const float *bpack;
+    int64_t ncPad;
+};
+
+/** Computes C rows [i0, i1) (+)= op(A) * Bpack for one block. */
+using GemmPanelFn = void (*)(const GemmBlockCtx &ctx, int64_t i0,
+                             int64_t i1);
+
+/** One dispatch tier's GEMM entry. */
+struct GemmKernel
+{
+    /** Tier name, matches simd::tierName. */
+    const char *name;
+    /** Register-tile column width; the driver pads packed-B rows to
+     * a multiple of this (pad columns are zero and never stored). */
+    int64_t panelWidth;
+    /**
+     * Row grain for the driver's parallelFor — a multiple of the
+     * micro-kernel row count MR, so interior chunks never hit the
+     * short-row tail path. Also the unit of the thread
+     * decomposition, which stays a pure shape function.
+     */
+    int64_t rowGrain;
+    /**
+     * Column block (the driver's NC). The SIMD tiers use wide
+     * blocks so each A row group is packed once per pc block and
+     * the packed B panel is streamed from L2.
+     */
+    int64_t colBlock;
+    /** Panel function; null on builds without this tier's ISA
+     * (never reached — simd::tier() caps at Scalar there). */
+    GemmPanelFn panel;
+};
+
+/** 6x16 ymm FMA panel kernel (AVX2 tier). */
+const GemmKernel &gemmKernelAvx2();
+
+/** 14x32 zmm FMA panel kernel (AVX-512 tier). */
+const GemmKernel &gemmKernelAvx512();
+
+} // namespace optimus
+
+#endif // OPTIMUS_TENSOR_GEMM_KERNELS_HH

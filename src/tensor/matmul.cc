@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "runtime/runtime.hh"
+#include "tensor/gemm_kernels.hh"
+#include "tensor/simd.hh"
 #include "util/logging.hh"
 
 namespace optimus
@@ -23,6 +25,9 @@ namespace
 constexpr int64_t MC = 64;
 constexpr int64_t KC = 256;
 constexpr int64_t NC = 128;
+// The SIMD panel kernels size their packed-A scratch from the
+// shared constant; the driver must block k identically.
+static_assert(KC == kGemmMaxKc, "k blocking out of sync");
 /** Column width of the register accumulator tile. */
 constexpr int64_t JW = 32;
 
@@ -91,18 +96,6 @@ microKernel(float *const *crows, const float *const *arows,
     }
 }
 
-/** Per-(jc, pc) state shared by all row-panel tasks. */
-struct BlockCtx
-{
-    float *c;
-    const float *a;
-    int64_t m, k, n;
-    bool transA;
-    int64_t pc, kc, jc, nc;
-    const float *bpack;
-    int64_t ncPad;
-};
-
 /**
  * Run the micro-kernel on rows [i, i+ROWS) across the full jc block.
  * When A is logically transposed its elements are strided by m in
@@ -111,7 +104,7 @@ struct BlockCtx
  */
 template <int ROWS>
 inline void
-processRowGroup(const BlockCtx &ctx, int64_t i, float *apack)
+processRowGroup(const GemmBlockCtx &ctx, int64_t i, float *apack)
 {
     const float *arows[ROWS];
     float *crows[ROWS];
@@ -141,6 +134,11 @@ processRowGroup(const BlockCtx &ctx, int64_t i, float *apack)
  * {identity, transpose}, never materializing a transposed copy.
  * Physical layouts: A is [m x k] ([k x m] when trans_a), B is
  * [k x n] ([n x k] when trans_b), C is [m x n], all row-major.
+ *
+ * The active simd::Tier is read once per call: it selects the panel
+ * kernel run inside each row task and the width the packed-B rows
+ * are padded to. The scalar panel below is the pre-dispatch kernel,
+ * unchanged, so OPTIMUS_SIMD=scalar is bit-exact with the old tree.
  */
 void
 gemmBlocked(float *c, const float *a, const float *b, int64_t m,
@@ -152,13 +150,24 @@ gemmBlocked(float *c, const float *a, const float *b, int64_t m,
     if (m <= 0 || n <= 0 || k <= 0)
         return;
 
+    const simd::Tier tier = simd::tier();
+    const GemmKernel *mk = nullptr;
+    if (tier == simd::Tier::Avx512)
+        mk = &gemmKernelAvx512();
+    else if (tier == simd::Tier::Avx2)
+        mk = &gemmKernelAvx2();
+    const int64_t jw = mk ? mk->panelWidth : JW;
+    const int64_t mc = mk ? mk->rowGrain : MC;
+    const int64_t ncb = mk ? mk->colBlock : NC;
+
     const int64_t kc_max = std::min(k, KC);
-    const int64_t nc_pad_max = ((std::min(n, NC) + JW - 1) / JW) * JW;
+    const int64_t nc_pad_max =
+        ((std::min(n, ncb) + jw - 1) / jw) * jw;
     std::vector<float> bpack(kc_max * nc_pad_max);
 
-    for (int64_t jc = 0; jc < n; jc += NC) {
-        const int64_t nc = std::min(NC, n - jc);
-        const int64_t nc_pad = ((nc + JW - 1) / JW) * JW;
+    for (int64_t jc = 0; jc < n; jc += ncb) {
+        const int64_t nc = std::min(ncb, n - jc);
+        const int64_t nc_pad = ((nc + jw - 1) / jw) * jw;
         for (int64_t pc = 0; pc < k; pc += KC) {
             const int64_t kc = std::min(KC, k - pc);
 
@@ -182,9 +191,14 @@ gemmBlocked(float *c, const float *a, const float *b, int64_t m,
                 }
             }
 
-            BlockCtx ctx{c,  a,  m,  k,     n,  trans_a,
-                         pc, kc, jc, nc,    bp, nc_pad};
-            parallelFor(0, m, MC, [&ctx](int64_t i0, int64_t i1) {
+            GemmBlockCtx ctx{c,  a,  m,  k,     n,  trans_a,
+                             pc, kc, jc, nc,    bp, nc_pad};
+            parallelFor(0, m, mc,
+                        [&ctx, mk](int64_t i0, int64_t i1) {
+                if (mk != nullptr) {
+                    mk->panel(ctx, i0, i1);
+                    return;
+                }
                 float apack[8 * KC];
                 int64_t i = i0;
                 for (; i + 8 <= i1; i += 8)

@@ -1,0 +1,771 @@
+#include "tensor/simd.hh"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/simd_internal.hh"
+#include "util/logging.hh"
+
+/*
+ * Per-tier vector primitives. Layout of this file:
+ *
+ *   1. tier detection / OPTIMUS_SIMD resolution / setTier
+ *   2. Scalar kernels — verbatim the loops the compression code
+ *      used before dispatch existed (bit-exact baseline)
+ *   3. AVX2 kernels (8-wide, target attribute, no -mavx2 needed)
+ *   4. AVX-512 kernels (16-wide, avx512f subset only)
+ *   5. public dispatch wrappers
+ *
+ * Determinism: every reduction keeps a fixed number of double-lane
+ * accumulators, combines adjacent accumulator pairs lanewise, and
+ * funnels the final register through hsum4d/hsum8d
+ * (simd_internal.hh), then appends the scalar tail in element order.
+ * Nothing here depends on OPTIMUS_THREADS — callers parallelize over
+ * shape-derived chunk grids and invoke these on each chunk.
+ *
+ * This translation unit is compiled with -ffp-contract=off (see
+ * tensor/CMakeLists.txt) so the scalar loops and tails can never be
+ * FMA-contracted; fused operations appear only where an explicit
+ * intrinsic asks for them. That keeps the "lane-exact across tiers"
+ * guarantees of simd.hh true in every build configuration.
+ */
+
+namespace optimus
+{
+namespace simd
+{
+
+// ----------------------------------------------------------------
+// Tier detection and selection
+// ----------------------------------------------------------------
+
+namespace
+{
+
+Tier
+detectCap()
+{
+#if OPTIMUS_SIMD_X86
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("popcnt"))
+        return Tier::Avx512;
+    if (__builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("fma") &&
+        __builtin_cpu_supports("popcnt"))
+        return Tier::Avx2;
+#endif
+    return Tier::Scalar;
+}
+
+/** Active tier; -1 until first resolution. */
+std::atomic<int> g_tier{-1};
+
+Tier
+resolveFromEnv()
+{
+    const Tier best = cap();
+    const char *env = std::getenv("OPTIMUS_SIMD");
+    if (env == nullptr || *env == '\0')
+        return best;
+    Tier want;
+    if (!parseTier(env, want))
+    {
+        warn("OPTIMUS_SIMD=%s is not scalar|avx2|avx512|auto; "
+             "using %s",
+             env, tierName(best));
+        return best;
+    }
+    if (!supported(want))
+    {
+        warn("OPTIMUS_SIMD=%s not supported by this CPU; clamping "
+             "to %s",
+             env, tierName(best));
+        return best;
+    }
+    return want;
+}
+
+} // namespace
+
+Tier
+cap()
+{
+    static const Tier t = detectCap();
+    return t;
+}
+
+bool
+supported(Tier t)
+{
+    return static_cast<int>(t) <= static_cast<int>(cap());
+}
+
+Tier
+tier()
+{
+    int t = g_tier.load(std::memory_order_relaxed);
+    if (t < 0)
+    {
+        const Tier resolved = resolveFromEnv();
+        g_tier.store(static_cast<int>(resolved),
+                     std::memory_order_relaxed);
+        return resolved;
+    }
+    return static_cast<Tier>(t);
+}
+
+void
+setTier(Tier t)
+{
+    if (!supported(t))
+    {
+        warn("setTier(%s) not supported by this CPU; clamping to %s",
+             tierName(t), tierName(cap()));
+        t = cap();
+    }
+    g_tier.store(static_cast<int>(t), std::memory_order_relaxed);
+}
+
+const char *
+tierName(Tier t)
+{
+    switch (t)
+    {
+    case Tier::Avx512:
+        return "avx512";
+    case Tier::Avx2:
+        return "avx2";
+    case Tier::Scalar:
+    default:
+        return "scalar";
+    }
+}
+
+bool
+parseTier(const char *name, Tier &out)
+{
+    if (name == nullptr)
+        return false;
+    if (std::strcmp(name, "scalar") == 0)
+        out = Tier::Scalar;
+    else if (std::strcmp(name, "avx2") == 0)
+        out = Tier::Avx2;
+    else if (std::strcmp(name, "avx512") == 0)
+        out = Tier::Avx512;
+    else if (std::strcmp(name, "auto") == 0)
+        out = cap();
+    else
+        return false;
+    return true;
+}
+
+// ----------------------------------------------------------------
+// Scalar kernels — the pre-dispatch loops, bit for bit
+// ----------------------------------------------------------------
+
+namespace
+{
+
+double
+dotScalar(const float *x, const float *y, int64_t n)
+{
+    double s = 0.0;
+    for (int64_t i = 0; i < n; ++i)
+        s += static_cast<double>(x[i]) * y[i];
+    return s;
+}
+
+void
+subScaledScalar(float *y, const float *x, float a, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        y[i] -= a * x[i];
+}
+
+void
+scaleScalar(float *x, float a, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        x[i] *= a;
+}
+
+void
+absScalar(float *dst, const float *src, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] = std::fabs(src[i]);
+}
+
+void
+absDivScalar(float *dst, const float *src, float scale, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] = std::fabs(src[i]) / scale;
+}
+
+void
+signedSumsScalar(const float *src, int64_t n, double &pos_sum,
+                 double &neg_sum, int64_t &pos_count,
+                 int64_t &neg_count)
+{
+    double ps = 0.0;
+    double ns = 0.0;
+    int64_t pc = 0;
+    int64_t nc = 0;
+    for (int64_t i = 0; i < n; ++i)
+    {
+        if (src[i] >= 0.0f)
+        {
+            ps += static_cast<double>(src[i]);
+            ++pc;
+        }
+        else
+        {
+            ns += static_cast<double>(src[i]);
+            ++nc;
+        }
+    }
+    pos_sum = ps;
+    neg_sum = ns;
+    pos_count = pc;
+    neg_count = nc;
+}
+
+void
+selectBySignScalar(float *dst, const float *src, float pos,
+                   float neg, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] = src[i] >= 0.0f ? pos : neg;
+}
+
+int64_t
+keepAboveScalar(float *dst, const float *src, const float *mag,
+                float thresh, int64_t n)
+{
+    int64_t kept = 0;
+    for (int64_t i = 0; i < n; ++i)
+    {
+        if (mag[i] > thresh)
+        {
+            dst[i] = src[i];
+            ++kept;
+        }
+    }
+    return kept;
+}
+
+#if OPTIMUS_SIMD_X86
+
+// ----------------------------------------------------------------
+// AVX2 kernels (8 floats / 4 doubles per register)
+// ----------------------------------------------------------------
+
+OPTIMUS_TARGET_AVX2 double
+dotAvx2(const float *x, const float *y, int64_t n)
+{
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    __m256d acc2 = _mm256_setzero_pd();
+    __m256d acc3 = _mm256_setzero_pd();
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+    {
+        acc0 = _mm256_fmadd_pd(
+            _mm256_cvtps_pd(_mm_loadu_ps(x + i)),
+            _mm256_cvtps_pd(_mm_loadu_ps(y + i)), acc0);
+        acc1 = _mm256_fmadd_pd(
+            _mm256_cvtps_pd(_mm_loadu_ps(x + i + 4)),
+            _mm256_cvtps_pd(_mm_loadu_ps(y + i + 4)), acc1);
+        acc2 = _mm256_fmadd_pd(
+            _mm256_cvtps_pd(_mm_loadu_ps(x + i + 8)),
+            _mm256_cvtps_pd(_mm_loadu_ps(y + i + 8)), acc2);
+        acc3 = _mm256_fmadd_pd(
+            _mm256_cvtps_pd(_mm_loadu_ps(x + i + 12)),
+            _mm256_cvtps_pd(_mm_loadu_ps(y + i + 12)), acc3);
+    }
+    double s = hsum4d(_mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                                    _mm256_add_pd(acc2, acc3)));
+    for (; i < n; ++i)
+        s += static_cast<double>(x[i]) * y[i];
+    return s;
+}
+
+OPTIMUS_TARGET_AVX2 void
+subScaledAvx2(float *y, const float *x, float a, int64_t n)
+{
+    const __m256 av = _mm256_set1_ps(a);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+    {
+        const __m256 prod =
+            _mm256_mul_ps(av, _mm256_loadu_ps(x + i));
+        _mm256_storeu_ps(
+            y + i, _mm256_sub_ps(_mm256_loadu_ps(y + i), prod));
+    }
+    for (; i < n; ++i)
+        y[i] -= a * x[i];
+}
+
+OPTIMUS_TARGET_AVX2 void
+scaleAvx2(float *x, float a, int64_t n)
+{
+    const __m256 av = _mm256_set1_ps(a);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(x + i,
+                         _mm256_mul_ps(av, _mm256_loadu_ps(x + i)));
+    for (; i < n; ++i)
+        x[i] *= a;
+}
+
+/** Sign-bit clear mask — fabs as a bit operation, like the FPU. */
+OPTIMUS_TARGET_AVX2 inline __m256
+absMask256()
+{
+    return _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+}
+
+OPTIMUS_TARGET_AVX2 void
+absAvx2(float *dst, const float *src, int64_t n)
+{
+    const __m256 mask = absMask256();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(
+            dst + i, _mm256_and_ps(mask, _mm256_loadu_ps(src + i)));
+    for (; i < n; ++i)
+        dst[i] = std::fabs(src[i]);
+}
+
+OPTIMUS_TARGET_AVX2 void
+absDivAvx2(float *dst, const float *src, float scale, int64_t n)
+{
+    const __m256 mask = absMask256();
+    const __m256 sv = _mm256_set1_ps(scale);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+    {
+        const __m256 av =
+            _mm256_and_ps(mask, _mm256_loadu_ps(src + i));
+        _mm256_storeu_ps(dst + i, _mm256_div_ps(av, sv));
+    }
+    for (; i < n; ++i)
+        dst[i] = std::fabs(src[i]) / scale;
+}
+
+OPTIMUS_TARGET_AVX2 void
+signedSumsAvx2(const float *src, int64_t n, double &pos_sum,
+               double &neg_sum, int64_t &pos_count,
+               int64_t &neg_count)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    __m256d pacc0 = _mm256_setzero_pd();
+    __m256d pacc1 = _mm256_setzero_pd();
+    __m256d nacc0 = _mm256_setzero_pd();
+    __m256d nacc1 = _mm256_setzero_pd();
+    int64_t pc = 0;
+    int64_t nc = 0;
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+    {
+        const __m256 v = _mm256_loadu_ps(src + i);
+        const __m256 ge = _mm256_cmp_ps(v, zero, _CMP_GE_OQ);
+        // Masked-out lanes become +0.0, the additive identity for
+        // every value these accumulators can hold.
+        const __m256 pos = _mm256_and_ps(ge, v);
+        const __m256 neg = _mm256_andnot_ps(ge, v);
+        pacc0 = _mm256_add_pd(
+            pacc0, _mm256_cvtps_pd(_mm256_castps256_ps128(pos)));
+        pacc1 = _mm256_add_pd(
+            pacc1, _mm256_cvtps_pd(_mm256_extractf128_ps(pos, 1)));
+        nacc0 = _mm256_add_pd(
+            nacc0, _mm256_cvtps_pd(_mm256_castps256_ps128(neg)));
+        nacc1 = _mm256_add_pd(
+            nacc1, _mm256_cvtps_pd(_mm256_extractf128_ps(neg, 1)));
+        const int bits = _mm256_movemask_ps(ge);
+        const int64_t ones =
+            _mm_popcnt_u32(static_cast<unsigned>(bits));
+        pc += ones;
+        nc += 8 - ones;
+    }
+    double ps = hsum4d(_mm256_add_pd(pacc0, pacc1));
+    double ns = hsum4d(_mm256_add_pd(nacc0, nacc1));
+    for (; i < n; ++i)
+    {
+        if (src[i] >= 0.0f)
+        {
+            ps += static_cast<double>(src[i]);
+            ++pc;
+        }
+        else
+        {
+            ns += static_cast<double>(src[i]);
+            ++nc;
+        }
+    }
+    pos_sum = ps;
+    neg_sum = ns;
+    pos_count = pc;
+    neg_count = nc;
+}
+
+OPTIMUS_TARGET_AVX2 void
+selectBySignAvx2(float *dst, const float *src, float pos, float neg,
+                 int64_t n)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    const __m256 pv = _mm256_set1_ps(pos);
+    const __m256 nv = _mm256_set1_ps(neg);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+    {
+        const __m256 ge = _mm256_cmp_ps(_mm256_loadu_ps(src + i),
+                                        zero, _CMP_GE_OQ);
+        _mm256_storeu_ps(dst + i, _mm256_blendv_ps(nv, pv, ge));
+    }
+    for (; i < n; ++i)
+        dst[i] = src[i] >= 0.0f ? pos : neg;
+}
+
+OPTIMUS_TARGET_AVX2 int64_t
+keepAboveAvx2(float *dst, const float *src, const float *mag,
+              float thresh, int64_t n)
+{
+    const __m256 tv = _mm256_set1_ps(thresh);
+    int64_t kept = 0;
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+    {
+        const __m256 gt = _mm256_cmp_ps(_mm256_loadu_ps(mag + i),
+                                        tv, _CMP_GT_OQ);
+        const int bits = _mm256_movemask_ps(gt);
+        if (bits == 0)
+            continue;
+        _mm256_maskstore_ps(dst + i, _mm256_castps_si256(gt),
+                            _mm256_loadu_ps(src + i));
+        kept += _mm_popcnt_u32(static_cast<unsigned>(bits));
+    }
+    for (; i < n; ++i)
+    {
+        if (mag[i] > thresh)
+        {
+            dst[i] = src[i];
+            ++kept;
+        }
+    }
+    return kept;
+}
+
+// ----------------------------------------------------------------
+// AVX-512 kernels (16 floats / 8 doubles per register)
+// ----------------------------------------------------------------
+
+OPTIMUS_TARGET_AVX512 double
+dotAvx512(const float *x, const float *y, int64_t n)
+{
+    __m512d acc0 = _mm512_setzero_pd();
+    __m512d acc1 = _mm512_setzero_pd();
+    __m512d acc2 = _mm512_setzero_pd();
+    __m512d acc3 = _mm512_setzero_pd();
+    int64_t i = 0;
+    for (; i + 32 <= n; i += 32)
+    {
+        acc0 = _mm512_fmadd_pd(
+            _mm512_cvtps_pd(_mm256_loadu_ps(x + i)),
+            _mm512_cvtps_pd(_mm256_loadu_ps(y + i)), acc0);
+        acc1 = _mm512_fmadd_pd(
+            _mm512_cvtps_pd(_mm256_loadu_ps(x + i + 8)),
+            _mm512_cvtps_pd(_mm256_loadu_ps(y + i + 8)), acc1);
+        acc2 = _mm512_fmadd_pd(
+            _mm512_cvtps_pd(_mm256_loadu_ps(x + i + 16)),
+            _mm512_cvtps_pd(_mm256_loadu_ps(y + i + 16)), acc2);
+        acc3 = _mm512_fmadd_pd(
+            _mm512_cvtps_pd(_mm256_loadu_ps(x + i + 24)),
+            _mm512_cvtps_pd(_mm256_loadu_ps(y + i + 24)), acc3);
+    }
+    double s = hsum8d(_mm512_add_pd(_mm512_add_pd(acc0, acc1),
+                                    _mm512_add_pd(acc2, acc3)));
+    for (; i < n; ++i)
+        s += static_cast<double>(x[i]) * y[i];
+    return s;
+}
+
+OPTIMUS_TARGET_AVX512 void
+subScaledAvx512(float *y, const float *x, float a, int64_t n)
+{
+    const __m512 av = _mm512_set1_ps(a);
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+    {
+        const __m512 prod =
+            _mm512_mul_ps(av, _mm512_loadu_ps(x + i));
+        _mm512_storeu_ps(
+            y + i, _mm512_sub_ps(_mm512_loadu_ps(y + i), prod));
+    }
+    for (; i < n; ++i)
+        y[i] -= a * x[i];
+}
+
+OPTIMUS_TARGET_AVX512 void
+scaleAvx512(float *x, float a, int64_t n)
+{
+    const __m512 av = _mm512_set1_ps(a);
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(x + i,
+                         _mm512_mul_ps(av, _mm512_loadu_ps(x + i)));
+    for (; i < n; ++i)
+        x[i] *= a;
+}
+
+OPTIMUS_TARGET_AVX512 void
+absAvx512(float *dst, const float *src, int64_t n)
+{
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(dst + i,
+                         _mm512_abs_ps(_mm512_loadu_ps(src + i)));
+    for (; i < n; ++i)
+        dst[i] = std::fabs(src[i]);
+}
+
+OPTIMUS_TARGET_AVX512 void
+absDivAvx512(float *dst, const float *src, float scale, int64_t n)
+{
+    const __m512 sv = _mm512_set1_ps(scale);
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+    {
+        const __m512 av = _mm512_abs_ps(_mm512_loadu_ps(src + i));
+        _mm512_storeu_ps(dst + i, _mm512_div_ps(av, sv));
+    }
+    for (; i < n; ++i)
+        dst[i] = std::fabs(src[i]) / scale;
+}
+
+OPTIMUS_TARGET_AVX512 void
+signedSumsAvx512(const float *src, int64_t n, double &pos_sum,
+                 double &neg_sum, int64_t &pos_count,
+                 int64_t &neg_count)
+{
+    const __m512 zero = _mm512_setzero_ps();
+    __m512d pacc0 = _mm512_setzero_pd();
+    __m512d pacc1 = _mm512_setzero_pd();
+    __m512d nacc0 = _mm512_setzero_pd();
+    __m512d nacc1 = _mm512_setzero_pd();
+    int64_t pc = 0;
+    int64_t nc = 0;
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+    {
+        const __m512 v = _mm512_loadu_ps(src + i);
+        const __mmask16 ge =
+            _mm512_cmp_ps_mask(v, zero, _CMP_GE_OQ);
+        const __m512 pos = _mm512_maskz_mov_ps(ge, v);
+        const __m512 neg =
+            _mm512_maskz_mov_ps(static_cast<__mmask16>(~ge), v);
+        pacc0 = _mm512_add_pd(
+            pacc0, _mm512_cvtps_pd(_mm512_castps512_ps256(pos)));
+        pacc1 = _mm512_add_pd(
+            pacc1, _mm512_cvtps_pd(_mm512_castps512_ps256(
+                       _mm512_shuffle_f32x4(pos, pos, 0xee))));
+        nacc0 = _mm512_add_pd(
+            nacc0, _mm512_cvtps_pd(_mm512_castps512_ps256(neg)));
+        nacc1 = _mm512_add_pd(
+            nacc1, _mm512_cvtps_pd(_mm512_castps512_ps256(
+                       _mm512_shuffle_f32x4(neg, neg, 0xee))));
+        const int64_t ones =
+            _mm_popcnt_u32(static_cast<unsigned short>(ge));
+        pc += ones;
+        nc += 16 - ones;
+    }
+    double ps = hsum8d(_mm512_add_pd(pacc0, pacc1));
+    double ns = hsum8d(_mm512_add_pd(nacc0, nacc1));
+    for (; i < n; ++i)
+    {
+        if (src[i] >= 0.0f)
+        {
+            ps += static_cast<double>(src[i]);
+            ++pc;
+        }
+        else
+        {
+            ns += static_cast<double>(src[i]);
+            ++nc;
+        }
+    }
+    pos_sum = ps;
+    neg_sum = ns;
+    pos_count = pc;
+    neg_count = nc;
+}
+
+OPTIMUS_TARGET_AVX512 void
+selectBySignAvx512(float *dst, const float *src, float pos,
+                   float neg, int64_t n)
+{
+    const __m512 zero = _mm512_setzero_ps();
+    const __m512 pv = _mm512_set1_ps(pos);
+    const __m512 nv = _mm512_set1_ps(neg);
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+    {
+        const __mmask16 ge = _mm512_cmp_ps_mask(
+            _mm512_loadu_ps(src + i), zero, _CMP_GE_OQ);
+        _mm512_storeu_ps(dst + i, _mm512_mask_blend_ps(ge, nv, pv));
+    }
+    for (; i < n; ++i)
+        dst[i] = src[i] >= 0.0f ? pos : neg;
+}
+
+OPTIMUS_TARGET_AVX512 int64_t
+keepAboveAvx512(float *dst, const float *src, const float *mag,
+                float thresh, int64_t n)
+{
+    const __m512 tv = _mm512_set1_ps(thresh);
+    int64_t kept = 0;
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+    {
+        const __mmask16 gt = _mm512_cmp_ps_mask(
+            _mm512_loadu_ps(mag + i), tv, _CMP_GT_OQ);
+        if (gt == 0)
+            continue;
+        _mm512_mask_storeu_ps(dst + i, gt,
+                              _mm512_loadu_ps(src + i));
+        kept += _mm_popcnt_u32(gt);
+    }
+    for (; i < n; ++i)
+    {
+        if (mag[i] > thresh)
+        {
+            dst[i] = src[i];
+            ++kept;
+        }
+    }
+    return kept;
+}
+
+#endif // OPTIMUS_SIMD_X86
+
+} // namespace
+
+// ----------------------------------------------------------------
+// Public dispatch wrappers
+// ----------------------------------------------------------------
+
+double
+dotDouble(Tier t, const float *x, const float *y, int64_t n)
+{
+#if OPTIMUS_SIMD_X86
+    if (t == Tier::Avx512)
+        return dotAvx512(x, y, n);
+    if (t == Tier::Avx2)
+        return dotAvx2(x, y, n);
+#endif
+    (void)t;
+    return dotScalar(x, y, n);
+}
+
+void
+subScaled(Tier t, float *y, const float *x, float a, int64_t n)
+{
+#if OPTIMUS_SIMD_X86
+    if (t == Tier::Avx512)
+        return subScaledAvx512(y, x, a, n);
+    if (t == Tier::Avx2)
+        return subScaledAvx2(y, x, a, n);
+#endif
+    (void)t;
+    subScaledScalar(y, x, a, n);
+}
+
+void
+scaleInPlace(Tier t, float *x, float a, int64_t n)
+{
+#if OPTIMUS_SIMD_X86
+    if (t == Tier::Avx512)
+        return scaleAvx512(x, a, n);
+    if (t == Tier::Avx2)
+        return scaleAvx2(x, a, n);
+#endif
+    (void)t;
+    scaleScalar(x, a, n);
+}
+
+void
+absVals(Tier t, float *dst, const float *src, int64_t n)
+{
+#if OPTIMUS_SIMD_X86
+    if (t == Tier::Avx512)
+        return absAvx512(dst, src, n);
+    if (t == Tier::Avx2)
+        return absAvx2(dst, src, n);
+#endif
+    (void)t;
+    absScalar(dst, src, n);
+}
+
+void
+absDiv(Tier t, float *dst, const float *src, float scale, int64_t n)
+{
+#if OPTIMUS_SIMD_X86
+    if (t == Tier::Avx512)
+        return absDivAvx512(dst, src, scale, n);
+    if (t == Tier::Avx2)
+        return absDivAvx2(dst, src, scale, n);
+#endif
+    (void)t;
+    absDivScalar(dst, src, scale, n);
+}
+
+void
+signedSums(Tier t, const float *src, int64_t n, double &pos_sum,
+           double &neg_sum, int64_t &pos_count, int64_t &neg_count)
+{
+#if OPTIMUS_SIMD_X86
+    if (t == Tier::Avx512)
+        return signedSumsAvx512(src, n, pos_sum, neg_sum, pos_count,
+                                neg_count);
+    if (t == Tier::Avx2)
+        return signedSumsAvx2(src, n, pos_sum, neg_sum, pos_count,
+                              neg_count);
+#endif
+    (void)t;
+    signedSumsScalar(src, n, pos_sum, neg_sum, pos_count,
+                     neg_count);
+}
+
+void
+selectBySign(Tier t, float *dst, const float *src, float pos,
+             float neg, int64_t n)
+{
+#if OPTIMUS_SIMD_X86
+    if (t == Tier::Avx512)
+        return selectBySignAvx512(dst, src, pos, neg, n);
+    if (t == Tier::Avx2)
+        return selectBySignAvx2(dst, src, pos, neg, n);
+#endif
+    (void)t;
+    selectBySignScalar(dst, src, pos, neg, n);
+}
+
+int64_t
+keepAbove(Tier t, float *dst, const float *src, const float *mag,
+          float thresh, int64_t n)
+{
+#if OPTIMUS_SIMD_X86
+    if (t == Tier::Avx512)
+        return keepAboveAvx512(dst, src, mag, thresh, n);
+    if (t == Tier::Avx2)
+        return keepAboveAvx2(dst, src, mag, thresh, n);
+#endif
+    (void)t;
+    return keepAboveScalar(dst, src, mag, thresh, n);
+}
+
+} // namespace simd
+} // namespace optimus

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the dense and compression hot paths.
+ *
+ * Every vectorized kernel in the tree (the GEMM micro-kernels in
+ * gemm_kernels.cc and the compression primitives implemented in
+ * simd.cc) is selected through a `simd::Tier`:
+ *
+ *   Scalar — the portable kernels the tree shipped with; always
+ *            available and the bit-exact baseline.
+ *   Avx2   — 8-wide float kernels (AVX2 + FMA + POPCNT).
+ *   Avx512 — 16-wide float kernels (AVX-512F).
+ *
+ * The active tier is resolved once, at first use, from the CPU
+ * (via `__builtin_cpu_supports`) and the `OPTIMUS_SIMD` environment
+ * variable (`scalar|avx2|avx512|auto`); requesting a tier the CPU
+ * lacks warns and clamps to the best supported one, exactly like an
+ * oversized `OPTIMUS_THREADS`. Tests and benches may switch tiers
+ * mid-process with `setTier()` (kernels read the tier per call).
+ *
+ * Determinism contract (see DESIGN.md section 8): every kernel is
+ * bitwise deterministic *per tier* at any `OPTIMUS_THREADS` setting,
+ * because the parallel chunk grids are functions of the problem
+ * shape only and each chunk's lane/accumulator order is fixed by the
+ * kernel. Reductions accumulate into a fixed number of double lanes
+ * and combine them in one documented order (the shared
+ * horizontal-reduction helper in simd.cc), so a tier never depends
+ * on thread count — but two different tiers legitimately round
+ * differently and agree only to tolerance. The Scalar tier
+ * reproduces the pre-dispatch tree bit-for-bit.
+ *
+ * This header is intrinsics-free on purpose: raw `_mm*` usage is
+ * confined to simd.cc and gemm_kernels.cc (lint rule SIM01).
+ */
+
+#ifndef OPTIMUS_TENSOR_SIMD_HH
+#define OPTIMUS_TENSOR_SIMD_HH
+
+#include <cstdint>
+
+namespace optimus
+{
+namespace simd
+{
+
+/** Dispatch tiers, ordered from narrowest to widest. */
+enum class Tier
+{
+    Scalar = 0,
+    Avx2 = 1,
+    Avx512 = 2,
+};
+
+/** Widest tier this CPU supports (cached after first call). */
+Tier cap();
+
+/** True when @p t is available on this CPU. */
+bool supported(Tier t);
+
+/**
+ * The active tier: `OPTIMUS_SIMD` override (clamped to cap(), with
+ * a warning when clamping or unparsable) or cap() when unset/auto.
+ * Resolved once; later `setTier()` calls replace it.
+ */
+Tier tier();
+
+/**
+ * Force the active tier (testing/bench hook — this is how one
+ * process measures every tier). Clamps to cap() with a warning,
+ * like the environment override. Not meant to be called
+ * concurrently with running kernels.
+ */
+void setTier(Tier t);
+
+/** Lower-case tier name ("scalar", "avx2", "avx512"). */
+const char *tierName(Tier t);
+
+/**
+ * Parse a tier name (the `OPTIMUS_SIMD` syntax; "auto" maps to
+ * cap()). @return false when @p name is not a known spelling.
+ */
+bool parseTier(const char *name, Tier &out);
+
+// ---------------------------------------------------------------
+// Tier-dispatched vector primitives (contiguous spans). The Scalar
+// implementations are the exact loops the compression kernels used
+// before dispatch existed; see simd.cc for the per-tier lane
+// orders. All are safe for any n >= 0 and never read past x[n-1].
+// ---------------------------------------------------------------
+
+/**
+ * Double-precision dot product of two float spans. Scalar: one
+ * running double in element order. SIMD tiers: fixed double-lane
+ * accumulators combined by the shared horizontal-reduction helper,
+ * then the scalar tail in element order.
+ */
+double dotDouble(Tier t, const float *x, const float *y, int64_t n);
+
+/** y[i] -= a * x[i] (one multiply, one subtract per lane — every
+ * tier rounds identically to the scalar loop). */
+void subScaled(Tier t, float *y, const float *x, float a, int64_t n);
+
+/** x[i] *= a (lane-exact across tiers). */
+void scaleInPlace(Tier t, float *x, float a, int64_t n);
+
+/** dst[i] = |src[i]| (lane-exact across tiers). */
+void absVals(Tier t, float *dst, const float *src, int64_t n);
+
+/** dst[i] = |src[i]| / scale — IEEE division, so every tier matches
+ * the scalar loop bit-for-bit. @pre scale != 0 */
+void absDiv(Tier t, float *dst, const float *src, float scale,
+            int64_t n);
+
+/**
+ * Signed partition sums for the one-bit quantizer: accumulates
+ * src[i] into @p pos_sum / @p neg_sum (double) and counts each side,
+ * splitting on src[i] >= 0. Per-tier fixed accumulation order.
+ */
+void signedSums(Tier t, const float *src, int64_t n, double &pos_sum,
+                double &neg_sum, int64_t &pos_count,
+                int64_t &neg_count);
+
+/** dst[i] = src[i] >= 0 ? pos : neg (lane-exact across tiers). */
+void selectBySign(Tier t, float *dst, const float *src, float pos,
+                  float neg, int64_t n);
+
+/**
+ * Top-k keep pass: for every i with mag[i] > thresh, store
+ * dst[i] = src[i] (dst elsewhere untouched). @return the number of
+ * kept elements. Strictly-greater on purpose: ties at the threshold
+ * are filled afterwards in index order, making the kept set
+ * independent of any library partition order.
+ */
+int64_t keepAbove(Tier t, float *dst, const float *src,
+                  const float *mag, float thresh, int64_t n);
+
+} // namespace simd
+} // namespace optimus
+
+#endif // OPTIMUS_TENSOR_SIMD_HH

@@ -8,12 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "compress/error_feedback.hh"
 #include "compress/powersgd.hh"
 #include "compress/quantize.hh"
 #include "compress/topk.hh"
+#include "runtime/runtime.hh"
 #include "tensor/matmul.hh"
+#include "tensor/simd.hh"
 #include "util/random.hh"
 
 namespace optimus
@@ -539,6 +543,220 @@ TEST(ErrorFeedbackEdge, LazyBufferShapeChangeDropsStaleError)
     fresh.sub(out);
     EXPECT_EQ(lep.storedError().rows(), 5);
     EXPECT_TRUE(lep.storedError().allClose(fresh, 1e-5f));
+}
+
+// ---------------------------------------------------------------
+// SIMD dispatch tiers: tail sizes and the per-tier determinism
+// contract for the compression hot paths (DESIGN.md section 8).
+// ---------------------------------------------------------------
+
+std::vector<simd::Tier>
+supportedTiers()
+{
+    std::vector<simd::Tier> tiers;
+    for (simd::Tier t : {simd::Tier::Scalar, simd::Tier::Avx2,
+                         simd::Tier::Avx512})
+        if (simd::supported(t))
+            tiers.push_back(t);
+    return tiers;
+}
+
+/** Sizes that divide no vector width: lane-count stragglers (63,
+ * 65), degenerate 1/2, and primes past one block. */
+const int64_t kTailSizes[] = {1, 2, 63, 64, 65, 127, 1031};
+
+/**
+ * The pre-dispatch Gram-Schmidt, verbatim: strided column walks
+ * with chunked double partial sums combined in chunk order. The
+ * Scalar tier of orthonormalizeColumns must reproduce this bitwise
+ * — it gathers columns contiguously but keeps every product, sum
+ * and rounding in the same order.
+ */
+void
+referenceOrthonormalize(Tensor &m)
+{
+    constexpr int64_t kGrain = 2048;
+    const int64_t rows = m.rows();
+    const int64_t cols = m.cols();
+    float *data = m.data();
+
+    auto colDot = [&](int64_t ja, int64_t jb) {
+        return parallelReduceSum(
+            0, rows, kGrain, [&](int64_t lo, int64_t hi) {
+                double s = 0.0;
+                for (int64_t i = lo; i < hi; ++i)
+                    s += static_cast<double>(data[i * cols + ja]) *
+                         data[i * cols + jb];
+                return s;
+            });
+    };
+
+    for (int64_t j = 0; j < cols; ++j) {
+        const double norm_before_sq = colDot(j, j);
+        for (int64_t p = 0; p < j; ++p) {
+            const double proj = colDot(j, p);
+            parallelFor(0, rows, kGrain,
+                        [&](int64_t lo, int64_t hi) {
+                            for (int64_t i = lo; i < hi; ++i)
+                                data[i * cols + j] -=
+                                    static_cast<float>(proj) *
+                                    data[i * cols + p];
+                        });
+        }
+        const double norm_sq = colDot(j, j);
+        const double norm = std::sqrt(norm_sq);
+        if (norm < 1e-8 || norm_sq < 1e-10 * norm_before_sq) {
+            parallelFor(0, rows, kGrain,
+                        [&](int64_t lo, int64_t hi) {
+                            for (int64_t i = lo; i < hi; ++i)
+                                data[i * cols + j] = 0.0f;
+                        });
+        } else {
+            const float inv = static_cast<float>(1.0 / norm);
+            parallelFor(0, rows, kGrain,
+                        [&](int64_t lo, int64_t hi) {
+                            for (int64_t i = lo; i < hi; ++i)
+                                data[i * cols + j] *= inv;
+                        });
+        }
+    }
+}
+
+TEST(SimdTiers, ScalarOrthonormalizeBitExactWithPreDispatchCode)
+{
+    const simd::Tier initial = simd::tier();
+    simd::setTier(simd::Tier::Scalar);
+    Rng rng(30);
+    const std::pair<int64_t, int64_t> shapes[] = {
+        {12, 4}, {2048 + 37, 6}, {63, 3}, {1, 2}};
+    for (const auto &s : shapes) {
+        Tensor a = Tensor::randn({s.first, s.second}, rng);
+        Tensor b = a;
+        orthonormalizeColumns(a);
+        referenceOrthonormalize(b);
+        EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                                 sizeof(float) * a.size()))
+            << s.first << "x" << s.second;
+    }
+    simd::setTier(initial);
+}
+
+TEST(SimdTiers, TernaryBitExactAcrossTiersOnTailSizes)
+{
+    // The ternary quantizer draws its RNG per element in index
+    // order and compares against an IEEE division that is lane-
+    // exact in every tier, so its output is bitwise identical
+    // across tiers — not merely close.
+    const simd::Tier initial = simd::tier();
+    Rng rng(31);
+    for (int64_t n : kTailSizes) {
+        Tensor src = Tensor::randn({n}, rng);
+        Tensor want;
+        simd::setTier(simd::Tier::Scalar);
+        TernaryCompressor scalar_q(7);
+        scalar_q.compress(src, want);
+        for (simd::Tier t : supportedTiers()) {
+            simd::setTier(t);
+            TernaryCompressor q(7);
+            Tensor got;
+            q.compress(src, got);
+            ASSERT_EQ(got.size(), want.size());
+            EXPECT_EQ(0, std::memcmp(got.data(), want.data(),
+                                     sizeof(float) * want.size()))
+                << simd::tierName(t) << " n=" << n;
+        }
+    }
+    simd::setTier(initial);
+}
+
+TEST(SimdTiers, OneBitMatchesScalarOnTailSizes)
+{
+    const simd::Tier initial = simd::tier();
+    Rng rng(32);
+    for (int64_t n : kTailSizes) {
+        Tensor src = Tensor::randn({n}, rng);
+        Tensor want;
+        simd::setTier(simd::Tier::Scalar);
+        OneBitCompressor scalar_q;
+        scalar_q.compress(src, want);
+        for (simd::Tier t : supportedTiers()) {
+            simd::setTier(t);
+            OneBitCompressor q;
+            Tensor got;
+            q.compress(src, got);
+            ASSERT_EQ(got.size(), want.size());
+            // The two scales come from vector-width-dependent sums
+            // (close, not bitwise); the sign pattern is exact.
+            EXPECT_TRUE(got.allClose(want, 1e-5f))
+                << simd::tierName(t) << " n=" << n;
+            for (int64_t i = 0; i < n; ++i)
+                EXPECT_EQ(std::signbit(got.data()[i]),
+                          std::signbit(want.data()[i]))
+                    << simd::tierName(t) << " n=" << n << " i=" << i;
+        }
+    }
+    simd::setTier(initial);
+}
+
+TEST(SimdTiers, TopKMatchesScalarOnTailSizes)
+{
+    // Gaussian draws have distinct magnitudes, so the kept set is
+    // unique and every tier must reproduce the Scalar output
+    // bitwise (kept values are copies of the input, never
+    // recomputed).
+    const simd::Tier initial = simd::tier();
+    Rng rng(33);
+    for (int64_t n : kTailSizes) {
+        Tensor src = Tensor::randn({n}, rng);
+        for (double fraction : {0.01, 0.3, 1.0}) {
+            Tensor want;
+            simd::setTier(simd::Tier::Scalar);
+            TopKCompressor scalar_k(fraction);
+            scalar_k.compress(src, want);
+            for (simd::Tier t : supportedTiers()) {
+                simd::setTier(t);
+                TopKCompressor topk(fraction);
+                Tensor got;
+                topk.compress(src, got);
+                ASSERT_EQ(got.size(), want.size());
+                EXPECT_EQ(0,
+                          std::memcmp(got.data(), want.data(),
+                                      sizeof(float) * want.size()))
+                    << simd::tierName(t) << " n=" << n
+                    << " fraction=" << fraction;
+            }
+        }
+    }
+    simd::setTier(initial);
+}
+
+TEST(SimdTiers, OrthonormalizePerTierDeterministicAndClose)
+{
+    // Per-tier contract on the Gram-Schmidt path: bitwise identical
+    // pooled vs forced-serial within a tier, tolerance-close to
+    // Scalar across tiers.
+    const simd::Tier initial = simd::tier();
+    Rng rng(34);
+    Tensor base = Tensor::randn({2048 + 63, 5}, rng);
+
+    std::vector<Tensor> per_tier;
+    for (simd::Tier t : supportedTiers()) {
+        simd::setTier(t);
+        Tensor pooled = base;
+        orthonormalizeColumns(pooled);
+        Tensor serial_copy = base;
+        {
+            SerialRegion serial;
+            orthonormalizeColumns(serial_copy);
+        }
+        EXPECT_EQ(0, std::memcmp(pooled.data(), serial_copy.data(),
+                                 sizeof(float) * pooled.size()))
+            << simd::tierName(t);
+        per_tier.push_back(pooled);
+    }
+    for (size_t i = 1; i < per_tier.size(); ++i)
+        EXPECT_TRUE(per_tier[i].allClose(per_tier[0], 1e-4f));
+    simd::setTier(initial);
 }
 
 } // namespace

@@ -7,11 +7,13 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "runtime/runtime.hh"
 #include "tensor/matmul.hh"
+#include "tensor/simd.hh"
 #include "tensor/tensor.hh"
 #include "util/random.hh"
 
@@ -64,6 +66,28 @@ tolFor(int64_t k)
     // and register tiles, so allow a few ULP at that magnitude.
     return 1e-5f * static_cast<float>(k < 16 ? 16 : k);
 }
+
+std::vector<simd::Tier>
+supportedTiers()
+{
+    std::vector<simd::Tier> tiers;
+    for (simd::Tier t : {simd::Tier::Scalar, simd::Tier::Avx2,
+                         simd::Tier::Avx512})
+        if (simd::supported(t))
+            tiers.push_back(t);
+    return tiers;
+}
+
+/**
+ * Sizes that divide no vector width: 63/65 straddle every lane
+ * count, 1 forces the single-row/column paths, and the primes make
+ * both the packing tails and the ragged register-tile edges fire in
+ * each tier's kernels.
+ */
+const Shape kTailShapes[] = {
+    {63, 63, 63}, {65, 65, 65}, {1, 5, 63},   {63, 1, 65},
+    {1, 1, 1},    {31, 47, 97}, {13, 29, 101},
+};
 
 } // namespace
 
@@ -172,6 +196,98 @@ TEST(Matmul, DeterministicBytesUnderThreading)
     Tensor c3 = matmul(a, b);
     EXPECT_EQ(0, std::memcmp(c1.data(), c3.data(),
                              sizeof(float) * c1.size()));
+}
+
+TEST(MatmulTiers, TailShapesMatchReferenceEveryTier)
+{
+    ASSERT_TRUE(kForceThreads);
+    const simd::Tier initial = simd::tier();
+    Rng rng(31);
+    for (const Shape &s : kTailShapes) {
+        Tensor a = Tensor::randn({s.m, s.k}, rng);
+        Tensor b = Tensor::randn({s.k, s.n}, rng);
+        Tensor want = oracle(a, b, false, false);
+        for (simd::Tier t : supportedTiers()) {
+            simd::setTier(t);
+            Tensor c = matmul(a, b);
+            EXPECT_TRUE(c.allClose(want, tolFor(s.k)))
+                << simd::tierName(t) << " " << s.m << "x" << s.k
+                << "x" << s.n;
+        }
+    }
+    simd::setTier(initial);
+}
+
+TEST(MatmulTiers, AllVariantsDispatchEveryTier)
+{
+    // One ragged shape through all six entry points per tier: the
+    // dispatch happens inside gemmBlocked, so every variant must
+    // produce oracle-close results no matter the forced tier.
+    const simd::Tier initial = simd::tier();
+    const Shape s{63, 65, 33};
+    Rng rng(32);
+    Tensor a = Tensor::randn({s.m, s.k}, rng);
+    Tensor b = Tensor::randn({s.k, s.n}, rng);
+    Tensor init = Tensor::randn({s.m, s.n}, rng);
+    Tensor expect = oracle(a, b, false, false);
+    Tensor expect_acc = expect;
+    expect_acc.add(init);
+
+    for (simd::Tier t : supportedTiers()) {
+        simd::setTier(t);
+        const char *name = simd::tierName(t);
+        const float tol = tolFor(s.k);
+        EXPECT_TRUE(matmul(a, b).allClose(expect, tol)) << name;
+        EXPECT_TRUE(matmulTN(a.transposed(), b).allClose(expect,
+                                                         tol))
+            << name;
+        EXPECT_TRUE(matmulNT(a, b.transposed()).allClose(expect,
+                                                         tol))
+            << name;
+        Tensor c = init;
+        matmulAcc(c, a, b);
+        EXPECT_TRUE(c.allClose(expect_acc, tol)) << name;
+        Tensor c_tn = init;
+        matmulAccTN(c_tn, a.transposed(), b);
+        EXPECT_TRUE(c_tn.allClose(expect_acc, tol)) << name;
+        Tensor c_nt = init;
+        matmulAccNT(c_nt, a, b.transposed());
+        EXPECT_TRUE(c_nt.allClose(expect_acc, tol)) << name;
+    }
+    simd::setTier(initial);
+}
+
+TEST(MatmulTiers, BitwiseSelfConsistentPerTierAcrossThreading)
+{
+    // Per-tier determinism contract: within one tier the result is
+    // bitwise identical run-to-run and pooled-vs-serial; across
+    // tiers results agree only to tolerance (reductions round in a
+    // different order per vector width).
+    const simd::Tier initial = simd::tier();
+    Rng rng(33);
+    Tensor a = Tensor::randn({130, 131}, rng);
+    Tensor b = Tensor::randn({131, 63}, rng);
+
+    std::vector<Tensor> per_tier;
+    for (simd::Tier t : supportedTiers()) {
+        simd::setTier(t);
+        Tensor c1 = matmul(a, b);
+        Tensor c2 = matmul(a, b);
+        EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(),
+                                 sizeof(float) * c1.size()))
+            << simd::tierName(t) << " rerun";
+        {
+            SerialRegion serial;
+            Tensor c3 = matmul(a, b);
+            EXPECT_EQ(0, std::memcmp(c1.data(), c3.data(),
+                                     sizeof(float) * c1.size()))
+                << simd::tierName(t) << " serial";
+        }
+        per_tier.push_back(c1);
+    }
+    for (size_t i = 1; i < per_tier.size(); ++i)
+        EXPECT_TRUE(per_tier[i].allClose(per_tier[0], tolFor(131)));
+    simd::setTier(initial);
 }
 
 TEST(Matmul, TransposedVariantsShareOneKernel)

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the runtime SIMD dispatch layer (src/tensor/simd.hh):
+ * OPTIMUS_SIMD parsing and tier selection, and the per-tier
+ * determinism contract on a full Trainer3d run — for every tier the
+ * CPU supports, 5 iterations are bitwise reproducible (mirroring
+ * the CommTrace/obs neutrality gates), bitwise invariant to the
+ * thread count, and within documented tolerance of the Scalar
+ * tier. Run at OPTIMUS_THREADS in {1, 4, 8} plus an
+ * OPTIMUS_SIMD=scalar leg via tests/CMakeLists.txt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "data/corpus.hh"
+#include "data/dataset.hh"
+#include "parallel/trainer3d.hh"
+#include "runtime/runtime.hh"
+#include "tensor/simd.hh"
+#include "util/random.hh"
+
+namespace optimus
+{
+namespace
+{
+
+// Force a multi-threaded pool before its lazy construction so the
+// determinism tests actually exercise pooled execution (the ctest
+// re-registrations override this with an explicit value).
+const bool kForceThreads = [] {
+    ::setenv("OPTIMUS_THREADS", "4", 0);
+    return true;
+}();
+
+std::vector<simd::Tier>
+supportedTiers()
+{
+    std::vector<simd::Tier> tiers;
+    for (simd::Tier t : {simd::Tier::Scalar, simd::Tier::Avx2,
+                         simd::Tier::Avx512})
+        if (simd::supported(t))
+            tiers.push_back(t);
+    return tiers;
+}
+
+GptConfig
+tinyModel()
+{
+    GptConfig config;
+    config.vocab = 24;
+    config.hidden = 16;
+    config.layers = 4;
+    config.heads = 2;
+    config.seqLen = 8;
+    config.seed = 77;
+    return config;
+}
+
+LmDataset
+tinyData(int64_t seq_len)
+{
+    CorpusConfig cc;
+    cc.vocab = 24;
+    cc.totalTokens = 6000;
+    cc.seed = 5;
+    SyntheticCorpus corpus(cc);
+    return {corpus.train(), seq_len};
+}
+
+/** Fully-compressed tiny grid on the overlapped engine path — the
+ * configuration that runs every SIMD-dispatched kernel (GEMM,
+ * PowerSGD Gram-Schmidt, the quantizers behind the compressors). */
+Trainer3dConfig
+tinyConfig()
+{
+    Trainer3dConfig config;
+    config.model = tinyModel();
+    config.dataParallel = 2;
+    config.pipelineStages = 2;
+    config.microBatches = 2;
+    config.microBatchSize = 2;
+    config.learningRate = 1e-3f;
+    config.useAdam = true;
+    config.reduceMode = DpReduceMode::Overlapped;
+    config.bucketBytes = 2048;
+    config.cb.enabled = true;
+    config.dp.enabled = true;
+    config.dp.stageFraction = 0.75;
+    config.fusedEmbeddingSync = true;
+    return config;
+}
+
+/** Exact float mismatch count across two trainers' parameters. */
+int64_t
+bitwiseMismatch(Trainer3d &a, Trainer3d &b)
+{
+    int64_t mismatches = 0;
+    for (int d = 0; d < a.config().dataParallel; ++d) {
+        for (int p = 0; p < a.config().pipelineStages; ++p) {
+            const auto pa = a.stage(d, p).params();
+            const auto pb = b.stage(d, p).params();
+            EXPECT_EQ(pa.size(), pb.size());
+            for (size_t j = 0; j < pa.size(); ++j) {
+                const Tensor &ta = pa[j]->value;
+                const Tensor &tb = pb[j]->value;
+                EXPECT_EQ(ta.size(), tb.size());
+                for (int64_t i = 0; i < ta.size(); ++i) {
+                    if (std::memcmp(&ta.data()[i], &tb.data()[i],
+                                    sizeof(float)) != 0)
+                        ++mismatches;
+                }
+            }
+        }
+    }
+    return mismatches;
+}
+
+/** 5 tiny iterations under the active tier; returns the last loss. */
+double
+trainLosses(Trainer3d &trainer, const LmDataset &data, Rng &rng,
+            double *per_iter = nullptr)
+{
+    double loss = 0.0;
+    for (int it = 0; it < 5; ++it) {
+        loss = trainer.trainIteration(data, rng).loss;
+        if (per_iter != nullptr)
+            per_iter[it] = loss;
+    }
+    return loss;
+}
+
+// Runs first: later tests overwrite the active tier via setTier,
+// so the environment-resolution check must come before them.
+TEST(SimdDispatch, EnvOverrideResolvesActiveTier)
+{
+    const char *env = std::getenv("OPTIMUS_SIMD");
+    simd::Tier want;
+    if (env != nullptr && *env != '\0' &&
+        simd::parseTier(env, want) && simd::supported(want)) {
+        EXPECT_EQ(simd::tier(), want) << "OPTIMUS_SIMD=" << env;
+    } else {
+        // Unset, unknown, or unsupported spellings resolve to the
+        // widest supported tier.
+        EXPECT_EQ(simd::tier(), simd::cap());
+    }
+}
+
+TEST(SimdDispatch, ParseTierSpellings)
+{
+    simd::Tier t;
+    EXPECT_TRUE(simd::parseTier("scalar", t));
+    EXPECT_EQ(t, simd::Tier::Scalar);
+    EXPECT_TRUE(simd::parseTier("avx2", t));
+    EXPECT_EQ(t, simd::Tier::Avx2);
+    EXPECT_TRUE(simd::parseTier("avx512", t));
+    EXPECT_EQ(t, simd::Tier::Avx512);
+    EXPECT_TRUE(simd::parseTier("auto", t));
+    EXPECT_EQ(t, simd::cap());
+
+    EXPECT_FALSE(simd::parseTier(nullptr, t));
+    EXPECT_FALSE(simd::parseTier("", t));
+    EXPECT_FALSE(simd::parseTier("AVX2", t));
+    EXPECT_FALSE(simd::parseTier("sse", t));
+}
+
+TEST(SimdDispatch, TierNamesRoundTrip)
+{
+    for (simd::Tier t : {simd::Tier::Scalar, simd::Tier::Avx2,
+                         simd::Tier::Avx512}) {
+        simd::Tier parsed;
+        ASSERT_TRUE(simd::parseTier(simd::tierName(t), parsed));
+        EXPECT_EQ(parsed, t);
+    }
+}
+
+TEST(SimdDispatch, ScalarAlwaysSupportedAndTiersAreOrdered)
+{
+    EXPECT_TRUE(simd::supported(simd::Tier::Scalar));
+    EXPECT_TRUE(simd::supported(simd::cap()));
+    // Tiers are cumulative: a CPU with AVX-512 kernels also runs
+    // the AVX2 ones.
+    if (simd::supported(simd::Tier::Avx512))
+        EXPECT_TRUE(simd::supported(simd::Tier::Avx2));
+}
+
+TEST(SimdDispatch, SetTierSticksForSupportedTiers)
+{
+    const simd::Tier initial = simd::tier();
+    for (simd::Tier t : supportedTiers()) {
+        simd::setTier(t);
+        EXPECT_EQ(simd::tier(), t);
+    }
+    simd::setTier(initial);
+}
+
+TEST(SimdDispatch, TrainerBitwiseIdenticalPerTier)
+{
+    ASSERT_TRUE(kForceThreads);
+    const simd::Tier initial = simd::tier();
+    LmDataset data = tinyData(tinyModel().seqLen);
+    for (simd::Tier t : supportedTiers()) {
+        simd::setTier(t);
+        Trainer3d a(tinyConfig());
+        Trainer3d b(tinyConfig());
+        Rng rng_a(11), rng_b(11);
+        for (int it = 0; it < 5; ++it) {
+            const auto sa = a.trainIteration(data, rng_a);
+            const auto sb = b.trainIteration(data, rng_b);
+            ASSERT_EQ(sa.loss, sb.loss)
+                << simd::tierName(t) << " iteration " << it;
+        }
+        EXPECT_EQ(bitwiseMismatch(a, b), 0) << simd::tierName(t);
+    }
+    simd::setTier(initial);
+}
+
+TEST(SimdDispatch, TrainerThreadGridInvariantPerTier)
+{
+    // Pooled vs forced-serial execution must agree bitwise in every
+    // tier: kernel chunk grids are functions of the problem shape,
+    // never of the worker count. Combined with the ctest legs at
+    // OPTIMUS_THREADS in {1, 4, 8}, this pins full thread
+    // invariance per tier.
+    const simd::Tier initial = simd::tier();
+    LmDataset data = tinyData(tinyModel().seqLen);
+    for (simd::Tier t : supportedTiers()) {
+        simd::setTier(t);
+        Trainer3d pooled(tinyConfig());
+        Rng rng_pooled(11);
+        double pooled_losses[5];
+        trainLosses(pooled, data, rng_pooled, pooled_losses);
+
+        SerialRegion serial;
+        Trainer3d inline_run(tinyConfig());
+        Rng rng_inline(11);
+        double inline_losses[5];
+        trainLosses(inline_run, data, rng_inline, inline_losses);
+
+        for (int it = 0; it < 5; ++it)
+            ASSERT_EQ(pooled_losses[it], inline_losses[it])
+                << simd::tierName(t) << " iteration " << it;
+        EXPECT_EQ(bitwiseMismatch(pooled, inline_run), 0)
+            << simd::tierName(t);
+    }
+    simd::setTier(initial);
+}
+
+TEST(SimdDispatch, TiersAgreeWithScalarToDocumentedTolerance)
+{
+    // Different tiers round reductions differently and agree only
+    // to tolerance (DESIGN.md section 8): after 5 tiny iterations
+    // the losses must match Scalar to 1% relative.
+    const simd::Tier initial = simd::tier();
+    LmDataset data = tinyData(tinyModel().seqLen);
+
+    simd::setTier(simd::Tier::Scalar);
+    Trainer3d scalar_run(tinyConfig());
+    Rng rng_scalar(11);
+    const double scalar_loss =
+        trainLosses(scalar_run, data, rng_scalar);
+
+    for (simd::Tier t : supportedTiers()) {
+        if (t == simd::Tier::Scalar)
+            continue;
+        simd::setTier(t);
+        Trainer3d run(tinyConfig());
+        Rng rng(11);
+        const double loss = trainLosses(run, data, rng);
+        EXPECT_NEAR(loss, scalar_loss,
+                    0.01 * std::fabs(scalar_loss))
+            << simd::tierName(t);
+    }
+    simd::setTier(initial);
+}
+
+} // namespace
+} // namespace optimus

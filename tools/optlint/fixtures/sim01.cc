@@ -1,0 +1,28 @@
+// SIM01 fixture: raw x86 intrinsics outside the sanctioned kernel
+// files (tensor/simd*, tensor/gemm_kernels*). Fixture files live
+// outside those paths, so the exemption does not apply here.
+
+float
+rawVectorCode(const float *x)
+{
+    __m256 acc = _mm256_setzero_ps();   // optlint:expect(SIM01)
+    acc = _mm256_loadu_ps(x);           // optlint:expect(SIM01)
+    __m512d wide = _mm512_setzero_pd(); // optlint:expect(SIM01)
+    __mmask16 lanes = 0xffff;           // optlint:expect(SIM01)
+    _mm_prefetch(x, 0);                 // optlint:expect(SIM01)
+
+    // Identifiers that merely resemble intrinsics are not flagged:
+    // no digit or underscore after the _mm / __m prefix.
+    int _mmap_hint = 0;
+    int __matrix = 0;
+    int mm256 = 0;
+
+    // optlint:allow(SIM01) sanctioned one-off with justification.
+    __m128 narrow;
+
+    (void)acc;
+    (void)wide;
+    (void)lanes;
+    (void)narrow;
+    return static_cast<float>(_mmap_hint + __matrix + mm256);
+}

@@ -329,6 +329,11 @@ const RuleInfo kRules[] = {
               "src/obs and src/util — all timestamps must flow "
               "through obs::nowNs() so spans, counters, and phase "
               "timers share one clock (see DESIGN.md section 4e)"},
+    {"SIM01", "raw SIMD intrinsic (_mm*/__m*/__mmask*) outside the "
+              "sanctioned kernel files — vector code must live in "
+              "src/tensor/simd* or src/tensor/gemm_kernels* behind "
+              "the dispatch API so every call site honors the "
+              "OPTIMUS_SIMD tier (see DESIGN.md section 8)"},
 };
 
 /** Paths (substring match) exempt from the DET family. */
@@ -355,6 +360,26 @@ bool
 pathComExempt(const std::string &path)
 {
     for (const char *p : kComExemptPaths) {
+        if (path.find(p) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Paths (substring match) exempt from SIM01: the dispatch layer's
+ * kernel files — the only translation units allowed to spell raw
+ * intrinsics. Everything else goes through the simd:: wrappers or
+ * the GEMM panel descriptors.
+ */
+const char *kSimExemptPaths[] = {"tensor/simd.",
+                                 "tensor/simd_internal.",
+                                 "tensor/gemm_kernels."};
+
+bool
+pathSimExempt(const std::string &path)
+{
+    for (const char *p : kSimExemptPaths) {
         if (path.find(p) != std::string::npos)
             return true;
     }
@@ -403,7 +428,26 @@ nextIs(const std::vector<Token> &t, size_t i, const char *text)
     return i + 1 < t.size() && t[i + 1].text == text;
 }
 
-/** DET01..DET05 + HYG01 + OBS01: single-token patterns. */
+/**
+ * SIM01 target: an x86 vector intrinsic or vector-register type.
+ * Matches `_mm...` calls (`_mm_`, `_mm256_`, `_mm512_`), `__m128`/
+ * `__m256`/`__m512` (with d/i suffixes) and `__mmask*`.
+ */
+bool
+isSimdIntrinsicIdent(const std::string &id)
+{
+    if (id.size() > 3 && id.compare(0, 3, "_mm") == 0 &&
+        (id[3] == '_' || (id[3] >= '0' && id[3] <= '9')))
+        return true;
+    if (id.size() > 3 && id.compare(0, 3, "__m") == 0 &&
+        (id[3] >= '0' && id[3] <= '9'))
+        return true;
+    if (id.rfind("__mmask", 0) == 0)
+        return true;
+    return false;
+}
+
+/** DET01..DET05 + HYG01 + OBS01 + SIM01: single-token patterns. */
 void
 checkTokenBans(const LexedFile &f, std::vector<Violation> &out)
 {
@@ -420,6 +464,7 @@ checkTokenBans(const LexedFile &f, std::vector<Violation> &out)
 
     const bool det_exempt = pathDetExempt(f.path);
     const bool obs_exempt = pathObsExempt(f.path);
+    const bool sim_exempt = pathSimExempt(f.path);
     const auto &t = f.tokens;
     for (size_t i = 0; i < t.size(); ++i) {
         if (t[i].kind != TokKind::Ident)
@@ -468,6 +513,11 @@ checkTokenBans(const LexedFile &f, std::vector<Violation> &out)
                              "call to " + id + "() (use "
                              "obs::nowNs())");
             }
+        }
+        if (!sim_exempt && isSimdIntrinsicIdent(id)) {
+            addViolation(out, f, t[i].line, "SIM01",
+                         "raw intrinsic " + id +
+                             " (route through tensor/simd.hh)");
         }
     }
 }
