@@ -27,6 +27,7 @@ constexpr int64_t kOrthoGrain = 2048;
 
 } // namespace
 
+// optlint:hot
 void
 orthonormalizeColumns(Tensor &m)
 {
@@ -36,41 +37,36 @@ orthonormalizeColumns(Tensor &m)
     float *data = m.data();
     const simd::Tier tier = simd::tier();
 
-    // Gather each column contiguous (the matrix is row-major, so
-    // columns are strided by `cols`) and scatter back afterwards.
-    // The inner loops become unit stride for the simd:: kernels; the
-    // gather moves values without recomputing anything, so the
-    // Scalar tier still performs exactly the pre-dispatch products
-    // in the pre-dispatch chunk order and stays bit-exact.
-    std::vector<float> colbuf(rows * cols);
-    parallelFor(0, rows, kOrthoGrain,
-                [&](int64_t lo, int64_t hi) {
-                    for (int64_t i = lo; i < hi; ++i)
-                        for (int64_t j = 0; j < cols; ++j)
-                            colbuf[j * rows + i] =
-                                data[i * cols + j];
-                });
-
+    // Gather-free: the matrix is row-major, so column j is the span
+    // data[j], data[j + cols], ... — walked in place through the
+    // strided simd:: kernels. Per tier, each strided kernel is
+    // bit-identical to gathering the column contiguous and running
+    // the contiguous kernel (the strided dot replicates the tier's
+    // exact lane order), so dropping the gather/scatter copies — and
+    // the rows*cols staging buffer — moves no bits at any tier and
+    // keeps the Scalar tier pinned to the pre-dispatch history.
     auto colDot = [&](const float *x, const float *y) {
         return parallelReduceSum(
             0, rows, kOrthoGrain, [&](int64_t lo, int64_t hi) {
-                return simd::dotDouble(tier, x + lo, y + lo,
-                                       hi - lo);
+                return simd::dotDoubleStrided(
+                    tier, x + lo * cols, cols, y + lo * cols, cols,
+                    hi - lo);
             });
     };
 
     for (int64_t j = 0; j < cols; ++j) {
-        float *cj = colbuf.data() + j * rows;
+        float *cj = data + j;
         const double norm_before_sq = colDot(cj, cj);
         // Subtract projections onto previous columns (modified
         // Gram-Schmidt: re-read the updated column each time).
         for (int64_t p = 0; p < j; ++p) {
-            const float *cp = colbuf.data() + p * rows;
+            const float *cp = data + p;
             const double proj = colDot(cj, cp);
             parallelFor(0, rows, kOrthoGrain,
                         [&](int64_t lo, int64_t hi) {
-                            simd::subScaled(
-                                tier, cj + lo, cp + lo,
+                            simd::subScaledStrided(
+                                tier, cj + lo * cols, cols,
+                                cp + lo * cols, cols,
                                 static_cast<float>(proj), hi - lo);
                         });
         }
@@ -81,24 +77,17 @@ orthonormalizeColumns(Tensor &m)
         // renormalizing it would amplify float noise into a random
         // direction, so zero it instead.
         if (norm < 1e-8 || norm_sq < 1e-10 * norm_before_sq) {
-            std::memset(cj, 0, sizeof(float) * rows);
+            for (int64_t i = 0; i < rows; ++i)
+                cj[i * cols] = 0.0f;
         } else {
             const float inv = static_cast<float>(1.0 / norm);
             parallelFor(0, rows, kOrthoGrain,
                         [&](int64_t lo, int64_t hi) {
-                            simd::scaleInPlace(tier, cj + lo, inv,
-                                               hi - lo);
+                            simd::scaleStrided(tier, cj + lo * cols,
+                                               cols, inv, hi - lo);
                         });
         }
     }
-
-    parallelFor(0, rows, kOrthoGrain,
-                [&](int64_t lo, int64_t hi) {
-                    for (int64_t i = lo; i < hi; ++i)
-                        for (int64_t j = 0; j < cols; ++j)
-                            data[i * cols + j] =
-                                colbuf[j * rows + i];
-                });
 }
 
 namespace

@@ -651,6 +651,81 @@ keepAboveAvx512(float *dst, const float *src, const float *mag,
 
 #endif // OPTIMUS_SIMD_X86
 
+// ----------------------------------------------------------------
+// Strided kernels (portable). Each dot replica mirrors one tier's
+// register/lane accumulation structure exactly: kRegs accumulator
+// registers of kLanes double lanes each, filled round-robin over a
+// kRegs*kLanes element block, registers combined lane-wise as
+// (r0+r1)+(r2+r3), lanes combined by the hsum4d/hsum8d pairwise
+// order, scalar tail in element order. Because a float*float
+// product is exact in double, `acc += (double)x * y` is bit-equal
+// to the vector kernels' fmadd — so each replica matches its tier's
+// contiguous kernel bit for bit on the same element sequence.
+// ----------------------------------------------------------------
+
+double
+dotStridedScalar(const float *x, int64_t xs, const float *y,
+                 int64_t ys, int64_t n)
+{
+    double s = 0.0;
+    for (int64_t i = 0; i < n; ++i)
+        s += static_cast<double>(x[i * xs]) * y[i * ys];
+    return s;
+}
+
+/** The AVX2 dot order: 4 registers x 4 double lanes, 16/block. */
+double
+dotStridedAvx2Order(const float *x, int64_t xs, const float *y,
+                    int64_t ys, int64_t n)
+{
+    double acc[4][4] = {};
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+    {
+        for (int r = 0; r < 4; ++r)
+            for (int l = 0; l < 4; ++l)
+            {
+                const int64_t e = i + 4 * r + l;
+                acc[r][l] += static_cast<double>(x[e * xs]) *
+                             y[e * ys];
+            }
+    }
+    double lane[4];
+    for (int l = 0; l < 4; ++l)
+        lane[l] = (acc[0][l] + acc[1][l]) + (acc[2][l] + acc[3][l]);
+    double s = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+    for (; i < n; ++i)
+        s += static_cast<double>(x[i * xs]) * y[i * ys];
+    return s;
+}
+
+/** The AVX-512 dot order: 4 registers x 8 double lanes, 32/block. */
+double
+dotStridedAvx512Order(const float *x, int64_t xs, const float *y,
+                      int64_t ys, int64_t n)
+{
+    double acc[4][8] = {};
+    int64_t i = 0;
+    for (; i + 32 <= n; i += 32)
+    {
+        for (int r = 0; r < 4; ++r)
+            for (int l = 0; l < 8; ++l)
+            {
+                const int64_t e = i + 8 * r + l;
+                acc[r][l] += static_cast<double>(x[e * xs]) *
+                             y[e * ys];
+            }
+    }
+    double lane[8];
+    for (int l = 0; l < 8; ++l)
+        lane[l] = (acc[0][l] + acc[1][l]) + (acc[2][l] + acc[3][l]);
+    double s = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+               ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+    for (; i < n; ++i)
+        s += static_cast<double>(x[i * xs]) * y[i * ys];
+    return s;
+}
+
 } // namespace
 
 // ----------------------------------------------------------------
@@ -765,6 +840,37 @@ keepAbove(Tier t, float *dst, const float *src, const float *mag,
 #endif
     (void)t;
     return keepAboveScalar(dst, src, mag, thresh, n);
+}
+
+double
+dotDoubleStrided(Tier t, const float *x, int64_t xstride,
+                 const float *y, int64_t ystride, int64_t n)
+{
+    if (t == Tier::Avx512)
+        return dotStridedAvx512Order(x, xstride, y, ystride, n);
+    if (t == Tier::Avx2)
+        return dotStridedAvx2Order(x, xstride, y, ystride, n);
+    return dotStridedScalar(x, xstride, y, ystride, n);
+}
+
+void
+subScaledStrided(Tier t, float *y, int64_t ystride, const float *x,
+                 int64_t xstride, float a, int64_t n)
+{
+    // One multiply and one subtract per element — bit-identical to
+    // every contiguous tier on the same values, so no per-tier
+    // bodies are needed.
+    (void)t;
+    for (int64_t i = 0; i < n; ++i)
+        y[i * ystride] -= a * x[i * xstride];
+}
+
+void
+scaleStrided(Tier t, float *x, int64_t stride, float a, int64_t n)
+{
+    (void)t;
+    for (int64_t i = 0; i < n; ++i)
+        x[i * stride] *= a;
 }
 
 } // namespace simd

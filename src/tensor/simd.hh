@@ -134,6 +134,34 @@ void selectBySign(Tier t, float *dst, const float *src, float pos,
 int64_t keepAbove(Tier t, float *dst, const float *src,
                   const float *mag, float thresh, int64_t n);
 
+// ---------------------------------------------------------------
+// Strided variants (gather-free column walks over row-major
+// matrices; element i of a span lives at p[i * stride]). Contract:
+// at every tier, each strided kernel produces bit-for-bit the value
+// the matching contiguous kernel produces on a gathered copy of the
+// same span — the dot replicas reproduce the tier's register/lane
+// accumulation structure in portable code (a float*float product is
+// exact in double, so `acc += (double)x * y` equals the fused
+// multiply-add the vector kernels issue), and the elementwise
+// kernels round once per element exactly like every contiguous
+// tier. This is what lets the PowerSGD Gram-Schmidt drop its
+// gather/scatter copies without moving a single bit (see
+// DESIGN.md section 8).
+// ---------------------------------------------------------------
+
+/** Strided dotDouble: sum over x[i*xstride] * y[i*ystride]. */
+double dotDoubleStrided(Tier t, const float *x, int64_t xstride,
+                        const float *y, int64_t ystride, int64_t n);
+
+/** Strided subScaled: y[i*ystride] -= a * x[i*xstride]. */
+void subScaledStrided(Tier t, float *y, int64_t ystride,
+                      const float *x, int64_t xstride, float a,
+                      int64_t n);
+
+/** Strided scaleInPlace: x[i*stride] *= a. */
+void scaleStrided(Tier t, float *x, int64_t stride, float a,
+                  int64_t n);
+
 } // namespace simd
 } // namespace optimus
 

@@ -569,8 +569,9 @@ const int64_t kTailSizes[] = {1, 2, 63, 64, 65, 127, 1031};
  * The pre-dispatch Gram-Schmidt, verbatim: strided column walks
  * with chunked double partial sums combined in chunk order. The
  * Scalar tier of orthonormalizeColumns must reproduce this bitwise
- * — it gathers columns contiguously but keeps every product, sum
- * and rounding in the same order.
+ * — it now walks the columns in place through the strided simd::
+ * kernels, which at Scalar are these exact loops, element for
+ * element.
  */
 void
 referenceOrthonormalize(Tensor &m)

@@ -198,6 +198,64 @@ TEST(SimdDispatch, SetTierSticksForSupportedTiers)
     simd::setTier(initial);
 }
 
+TEST(SimdDispatch, StridedKernelsBitwiseMatchGatheredContiguous)
+{
+    // The strided variants' contract (tensor/simd.hh): at EVERY
+    // tier, a strided kernel must produce bit-for-bit what the
+    // contiguous kernel produces on a gathered copy of the same
+    // span. This is what makes the gather-free PowerSGD
+    // Gram-Schmidt a pure data-movement optimization.
+    Rng rng(55);
+    const int64_t kSizes[] = {1, 2, 31, 32, 33, 63, 64, 65, 257};
+    const int64_t kStrides[] = {1, 3, 5};
+    for (int64_t n : kSizes) {
+        for (int64_t stride : kStrides) {
+            std::vector<float> xs(static_cast<size_t>(n * stride));
+            std::vector<float> ys(xs.size());
+            for (float &v : xs)
+                v = static_cast<float>(rng.normal());
+            for (float &v : ys)
+                v = static_cast<float>(rng.normal());
+            // Gathered copies of the strided spans.
+            std::vector<float> xg(static_cast<size_t>(n));
+            std::vector<float> yg(static_cast<size_t>(n));
+            for (int64_t i = 0; i < n; ++i) {
+                xg[i] = xs[i * stride];
+                yg[i] = ys[i * stride];
+            }
+            for (simd::Tier t : supportedTiers()) {
+                const double want =
+                    simd::dotDouble(t, xg.data(), yg.data(), n);
+                const double got = simd::dotDoubleStrided(
+                    t, xs.data(), stride, ys.data(), stride, n);
+                EXPECT_EQ(0, std::memcmp(&want, &got, sizeof want))
+                    << simd::tierName(t) << " n=" << n
+                    << " stride=" << stride;
+
+                std::vector<float> yc = yg;
+                std::vector<float> ysc = ys;
+                simd::subScaled(t, yc.data(), xg.data(), 0.37f, n);
+                simd::subScaledStrided(t, ysc.data(), stride,
+                                       xs.data(), stride, 0.37f, n);
+                std::vector<float> xc = xg;
+                std::vector<float> xsc = xs;
+                simd::scaleInPlace(t, xc.data(), 1.61f, n);
+                simd::scaleStrided(t, xsc.data(), stride, 1.61f, n);
+                for (int64_t i = 0; i < n; ++i) {
+                    EXPECT_EQ(0, std::memcmp(&yc[i],
+                                             &ysc[i * stride],
+                                             sizeof(float)))
+                        << simd::tierName(t) << " n=" << n;
+                    EXPECT_EQ(0, std::memcmp(&xc[i],
+                                             &xsc[i * stride],
+                                             sizeof(float)))
+                        << simd::tierName(t) << " n=" << n;
+                }
+            }
+        }
+    }
+}
+
 TEST(SimdDispatch, TrainerBitwiseIdenticalPerTier)
 {
     ASSERT_TRUE(kForceThreads);

@@ -1,0 +1,50 @@
+// Seeded ALLOC01 violations: heap allocation — direct or through a
+// callee — inside functions marked hot via the optlint:hot
+// annotation (the real tree also hot-marks the SIMD/GEMM kernel TUs
+// by path). Scan-only (see det_hazards.cc).
+
+#include <cstdint>
+#include <vector>
+
+void
+appendScratch(std::vector<float> &buf, float v)
+{
+    buf.push_back(v); // allocates; fine here — this helper is cold
+}
+
+// optlint:hot
+float
+hotWithDirectAlloc(const float *x, int64_t n) // optlint:expect(ALLOC01)
+{
+    float *copy = new float[static_cast<size_t>(n)];
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        copy[i] = x[i];
+        acc += copy[i];
+    }
+    delete[] copy;
+    return static_cast<float>(acc);
+}
+
+// optlint:hot
+float
+hotWithTransitiveAlloc(std::vector<float> &scratch, // optlint:expect(ALLOC01)
+                       const float *x, int64_t n)
+{
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        appendScratch(scratch, x[i]);
+        acc += x[i];
+    }
+    return static_cast<float>(acc);
+}
+
+// optlint:hot
+float
+hotAllocationFree(const float *x, const float *y, int64_t n)
+{
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i)
+        acc += static_cast<double>(x[i]) * y[i];
+    return static_cast<float>(acc);
+}

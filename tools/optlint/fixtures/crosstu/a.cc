@@ -1,0 +1,34 @@
+// Cross-TU THR02 case: the parallelFor body below calls
+// remoteBump(), declared here but *defined* in b.cc, which in turn
+// calls chainWrite() defined in c.cc — the shared-state write is
+// two translation units and two call-graph hops away, so only the
+// linked whole-program pass can see it. Scan-only.
+
+#include <cstdint>
+
+namespace optimus
+{
+void parallelFor(int64_t, int64_t, int64_t, void *);
+} // namespace optimus
+
+void remoteBump(int64_t);
+void remoteLockedBump(int64_t);
+
+void
+tallyRemote(const float *x, int64_t n)
+{
+    optimus::parallelFor(0, n, 128, [&](int64_t lo, int64_t hi) {
+        if (x[lo] > 0.0f)
+            remoteBump(hi - lo); // optlint:expect(THR02)
+    });
+}
+
+// The synchronized cross-TU path must stay silent.
+void
+tallyRemoteLocked(const float *x, int64_t n)
+{
+    optimus::parallelFor(0, n, 128, [&](int64_t lo, int64_t hi) {
+        if (x[lo] > 0.0f)
+            remoteLockedBump(hi - lo);
+    });
+}

@@ -1,0 +1,25 @@
+// Middle hop of the cross-TU THR02 chain: remoteBump() itself
+// writes nothing shared — it just forwards to chainWrite() in c.cc.
+// Effect propagation has to carry the write back through this TU.
+// Scan-only.
+
+#include <cstdint>
+#include <mutex>
+
+void chainWrite(int64_t);
+
+extern std::mutex g_chainMu;
+extern int64_t g_lockedTotal;
+
+void
+remoteBump(int64_t n)
+{
+    chainWrite(n);
+}
+
+void
+remoteLockedBump(int64_t n)
+{
+    std::lock_guard<std::mutex> lock(g_chainMu);
+    g_lockedTotal += n; // synchronized: sanctioned shared write
+}

@@ -1,0 +1,16 @@
+// Final hop of the cross-TU THR02 chain: the actual shared-state
+// write that must propagate through b.cc to the parallel body in
+// a.cc. Scan-only.
+
+#include <cstdint>
+#include <mutex>
+
+std::mutex g_chainMu;
+int64_t g_lockedTotal = 0;
+int64_t g_chainTotal = 0;
+
+void
+chainWrite(int64_t n)
+{
+    g_chainTotal += n;
+}

@@ -1,0 +1,62 @@
+// Seeded DET06 violations: floating-point accumulation into a
+// by-reference capture inside parallelReduceSum / TaskGroup submit
+// bodies, where the reduction order depends on the schedule.
+// parallelFor bodies are THR01's territory and stay out of scope
+// here. Scan-only (see det_hazards.cc).
+
+#include <cstdint>
+#include <functional>
+
+namespace optimus
+{
+double parallelReduceSum(int64_t, int64_t, int64_t, void *);
+struct TaskGroup
+{
+    void wait();
+};
+struct ThreadPool
+{
+    void submit(TaskGroup &, std::function<void()>);
+};
+} // namespace optimus
+
+double
+capturedReduce(const float *x, int64_t n)
+{
+    double acc = 0.0;
+    optimus::parallelReduceSum(0, n, 1024, [&](int64_t lo, int64_t hi) {
+        double part = 0.0;
+        for (int64_t i = lo; i < hi; ++i)
+            part += x[i];
+        acc += part; // optlint:expect(DET06)
+        return part;
+    });
+    return acc;
+}
+
+double
+capturedSubmit(optimus::ThreadPool &pool, optimus::TaskGroup &group,
+               const float *x, int64_t n)
+{
+    double sum = 0.0;
+    pool.submit(group, [&] {
+        for (int64_t i = 0; i < n; ++i)
+            sum += x[i]; // optlint:expect(DET06)
+    });
+    group.wait();
+    return sum;
+}
+
+// The sanctioned shape: a chunk-local partial returned through the
+// primitive's own combiner never trips the rule.
+double
+cleanReduce(const float *x, int64_t n)
+{
+    return optimus::parallelReduceSum(
+        0, n, 1024, [&](int64_t lo, int64_t hi) {
+            double s = 0.0;
+            for (int64_t i = lo; i < hi; ++i)
+                s += x[i];
+            return s;
+        });
+}

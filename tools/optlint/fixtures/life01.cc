@@ -1,0 +1,56 @@
+// Seeded LIFE01 violations: by-reference lambda captures escaping
+// the frame that owns them — a TaskGroup submit with no wait()
+// before return, and a by-ref lambda parked in a member callback
+// slot. Scan-only (see det_hazards.cc).
+
+#include <cstdint>
+#include <functional>
+
+namespace optimus
+{
+struct TaskGroup
+{
+    void wait();
+};
+struct ThreadPool
+{
+    void submit(TaskGroup &, std::function<void()>);
+};
+} // namespace optimus
+
+void consume(int64_t);
+
+void
+fireAndForget(optimus::ThreadPool &pool, optimus::TaskGroup &group)
+{
+    int64_t frames = 0;
+    pool.submit(group, [&] { ++frames; }); // optlint:expect(LIFE01)
+}
+
+void
+submitThenWait(optimus::ThreadPool &pool, optimus::TaskGroup &group)
+{
+    int64_t frames = 0;
+    pool.submit(group, [&] { ++frames; });
+    group.wait(); // joins before the frame dies: sanctioned
+    consume(frames);
+}
+
+struct DeferredNotifier
+{
+    std::function<void()> onDone_;
+
+    void arm()
+    {
+        int64_t armed = 1;
+        onDone_ = [&] { consume(armed); }; // optlint:expect(LIFE01)
+    }
+};
+
+void
+localCallbackIsFine()
+{
+    int64_t token = 7;
+    std::function<void()> runNow = [&] { consume(token); };
+    runNow(); // invoked inside the owning frame: sanctioned
+}

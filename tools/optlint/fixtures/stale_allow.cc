@@ -1,0 +1,23 @@
+// Seeded SUP01 violations: optlint:allow comments whose rule no
+// longer fires on any line they cover. The --audit-suppressions
+// mode must flag exactly the stale ones and leave live suppressions
+// alone. Scan-only (see det_hazards.cc).
+
+#include <cstdlib>
+
+int
+liveSuppression()
+{
+    // The allow below suppresses a real DET01, so it is NOT stale.
+    return std::rand(); // optlint:allow(DET01) fixture exercises a live allow
+}
+
+int
+staleInlineSuppression()
+{
+    int clean = 0; // optlint:allow(DET01) nothing fires here — optlint:expect(SUP01)
+    return clean;
+}
+
+// optlint:allow(COM01) stale own-line form — optlint:expect(SUP01)
+int g_plainCounter = 0;

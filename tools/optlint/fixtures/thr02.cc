@@ -1,0 +1,70 @@
+// Seeded THR02 violations: functions reachable from a parallelFor
+// body that transitively write shared (non-chunk-local) state. The
+// single-TU cases live here; the cross-TU chain is under crosstu/.
+// Scan-only (see det_hazards.cc).
+
+#include <cstdint>
+#include <mutex>
+
+namespace optimus
+{
+void parallelFor(int64_t, int64_t, int64_t, void *);
+} // namespace optimus
+
+int64_t g_hits = 0;
+int64_t g_locked = 0;
+std::mutex g_mu;
+
+void
+recordHit(int64_t n)
+{
+    g_hits += n; // a direct global write: the effect to propagate
+}
+
+void
+lockedRecord(int64_t n)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_locked += n; // synchronized: sanctioned, must not propagate
+}
+
+void
+accumulateInto(double &dst, double v)
+{
+    dst += v; // writes by-ref parameter 0
+}
+
+void
+tally(const float *x, int64_t n)
+{
+    optimus::parallelFor(0, n, 256, [&](int64_t lo, int64_t hi) {
+        if (x[lo] > 0.0f)
+            recordHit(hi - lo); // optlint:expect(THR02)
+    });
+}
+
+double
+sharedThroughParam(const float *x, int64_t n)
+{
+    double total = 0.0;
+    optimus::parallelFor(0, n, 256, [&](int64_t lo, int64_t hi) {
+        (void)x;
+        accumulateInto(total, 1.0); // optlint:expect(THR02)
+        (void)hi;
+        (void)lo;
+    });
+    return total;
+}
+
+// The sanctioned shapes must stay silent: a synchronized callee and
+// a writing callee whose by-ref argument is chunk-local.
+double
+cleanCallees(const float *x, int64_t n)
+{
+    optimus::parallelFor(0, n, 256, [&](int64_t lo, int64_t hi) {
+        double local = 0.0;
+        accumulateInto(local, static_cast<double>(x[lo]));
+        lockedRecord(hi - lo);
+    });
+    return 0.0;
+}

@@ -1,0 +1,762 @@
+#include "ir.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace optlint
+{
+
+namespace
+{
+
+/** C++ keywords that can precede `(` without being a call or def. */
+bool
+isKeyword(const std::string &s)
+{
+    static const std::set<std::string> kKeywords = {
+        "if",       "for",      "while",    "switch",   "return",
+        "sizeof",   "catch",    "new",      "delete",   "throw",
+        "case",     "do",       "else",     "goto",     "alignof",
+        "decltype", "typeid",   "noexcept", "alignas",  "operator",
+        "static_assert",        "co_await", "co_return", "co_yield",
+        "defined",  "assert",   "static_cast",
+        "dynamic_cast",         "reinterpret_cast",     "const_cast"};
+    return kKeywords.count(s) != 0;
+}
+
+/**
+ * Call edges never created: the deterministic parallel primitives
+ * (their lambda bodies are analyzed inline as part of the enclosing
+ * function / as parallel sites) and Meyers-singleton accessors.
+ */
+bool
+isIgnoredCallee(const std::string &s)
+{
+    static const std::set<std::string> kIgnored = {
+        "parallelFor", "parallelReduceSum", "submit", "instance"};
+    return kIgnored.count(s) != 0;
+}
+
+/** Functions from the C/C++ runtime known to allocate. */
+bool
+isAllocatingLibCall(const std::string &s)
+{
+    static const std::set<std::string> kAlloc = {
+        "malloc",        "calloc",      "realloc",
+        "strdup",        "aligned_alloc", "posix_memalign",
+        "make_unique",   "make_shared", "to_string"};
+    return kAlloc.count(s) != 0;
+}
+
+/** Member verbs on standard containers that (may) allocate. */
+bool
+isAllocatingMemberVerb(const std::string &s)
+{
+    static const std::set<std::string> kVerbs = {
+        "push_back", "emplace_back", "emplace", "resize",
+        "reserve",   "insert",       "append",  "substr"};
+    return kVerbs.count(s) != 0;
+}
+
+/** Types whose by-value construction owns heap storage. */
+bool
+isOwningContainerType(const std::string &s)
+{
+    static const std::set<std::string> kTypes = {
+        "vector",       "string",        "map",
+        "set",          "multimap",      "multiset",
+        "deque",        "list",          "stringstream",
+        "ostringstream", "istringstream", "Tensor"};
+    return kTypes.count(s) != 0;
+}
+
+/** Tokens whose presence marks a body as lock/atomic synchronized. */
+bool
+isSyncMarker(const std::string &s)
+{
+    static const std::set<std::string> kSync = {
+        "lock_guard",  "unique_lock", "scoped_lock",
+        "shared_lock", "atomic",      "mutex",
+        "fetch_add",   "fetch_sub",   "condition_variable",
+        "call_once",   "compare_exchange_strong",
+        "compare_exchange_weak"};
+    return kSync.count(s) != 0;
+}
+
+bool
+endsWithUnderscore(const std::string &s)
+{
+    return !s.empty() && s.back() == '_';
+}
+
+/**
+ * Parse the parameter list in t[(open, close)): names and by-ref /
+ * pointer flags, in declaration order. Unnamed parameters get "".
+ */
+void
+parseParams(const std::vector<Token> &t, size_t open, size_t close,
+            std::vector<std::string> &names,
+            std::vector<bool> &by_ref)
+{
+    size_t begin = open + 1;
+    if (begin >= close)
+        return;
+    int paren = 0, brace = 0, bracket = 0, angle = 0;
+    auto flush = [&](size_t b, size_t e) {
+        if (b >= e)
+            return;
+        bool ref = false;
+        size_t eq = e;
+        for (size_t k = b; k < e; ++k) {
+            if (t[k].kind != TokKind::Punct)
+                continue;
+            if (t[k].text == "&" || t[k].text == "&&" ||
+                t[k].text == "*")
+                ref = true;
+            else if (t[k].text == "=" && eq == e)
+                eq = k;
+        }
+        // The declarator name is the last identifier before any
+        // default-argument `=`, excluding bare type keywords
+        // (unnamed parameters like `int64_t`).
+        std::string name;
+        for (size_t k = b; k < eq; ++k) {
+            if (t[k].kind == TokKind::Ident)
+                name = t[k].text;
+        }
+        if (isTypeKeyword(name) || name == "const" || name == "void")
+            name.clear();
+        names.push_back(name);
+        by_ref.push_back(ref);
+    };
+    size_t item = begin;
+    for (size_t k = begin; k < close; ++k) {
+        if (t[k].kind != TokKind::Punct)
+            continue;
+        const std::string &p = t[k].text;
+        if (p == "(")
+            ++paren;
+        else if (p == ")")
+            --paren;
+        else if (p == "{")
+            ++brace;
+        else if (p == "}")
+            --brace;
+        else if (p == "[")
+            ++bracket;
+        else if (p == "]")
+            --bracket;
+        else if (p == "<")
+            ++angle;
+        else if (p == ">")
+            angle = angle > 0 ? angle - 1 : 0;
+        else if (p == ">>")
+            angle = angle > 1 ? angle - 2 : 0;
+        else if (p == "," && paren == 0 && brace == 0 &&
+                 bracket == 0 && angle == 0) {
+            flush(item, k);
+            item = k + 1;
+        }
+    }
+    flush(item, close);
+}
+
+/**
+ * Resolve the written identifier for a compound assignment or
+ * increment token at t[k]. Returns "" when the target is indexed,
+ * parenthesized, or otherwise not a plain identifier.
+ * @param deref set when the write goes through `*ident`.
+ * @param member set when the target is a member access (`x.y`).
+ */
+std::string
+writeTarget(const std::vector<Token> &t, size_t k, bool &deref,
+            bool &member)
+{
+    deref = false;
+    member = false;
+    size_t pos = 0;
+    if (isCompoundAssign(t[k])) {
+        if (k == 0 || t[k - 1].kind != TokKind::Ident)
+            return "";
+        pos = k - 1;
+    } else if (t[k].kind == TokKind::Punct &&
+               (t[k].text == "++" || t[k].text == "--")) {
+        if (k > 0 && t[k - 1].kind == TokKind::Ident)
+            pos = k - 1;
+        else if (k + 1 < t.size() && t[k + 1].kind == TokKind::Ident)
+            pos = k + 1;
+        else
+            return "";
+    } else {
+        return "";
+    }
+    member = isMemberAccess(t, pos);
+    deref = pos > 0 && t[pos - 1].kind == TokKind::Punct &&
+            t[pos - 1].text == "*";
+    return t[pos].text;
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    return out;
+}
+
+/**
+ * Scan a function body for direct effects. `locals` must already
+ * hold parameters + block-local declarations.
+ */
+void
+scanDirectEffects(const LexedFile &f, FunctionDef &fn)
+{
+    const auto &t = f.tokens;
+    for (size_t k = fn.bodyBegin + 1; k < fn.bodyEnd; ++k) {
+        const Token &tk = t[k];
+        if (tk.kind == TokKind::Ident) {
+            const std::string &id = tk.text;
+            if (isSyncMarker(id))
+                fn.synchronized = true;
+            // Allocation markers.
+            if (id == "new" && !isMemberAccess(t, k)) {
+                fn.direct.allocates = true;
+                if (fn.direct.allocEvidence.empty())
+                    fn.direct.allocEvidence =
+                        "operator new at " + f.path + ":" +
+                        std::to_string(tk.line);
+            } else if ((isAllocatingLibCall(id) && nextIs(t, k, "(")) ||
+                       (isAllocatingLibCall(id) && nextIs(t, k, "<"))) {
+                fn.direct.allocates = true;
+                if (fn.direct.allocEvidence.empty())
+                    fn.direct.allocEvidence =
+                        id + "() at " + f.path + ":" +
+                        std::to_string(tk.line);
+            } else if (isAllocatingMemberVerb(id) &&
+                       isMemberAccess(t, k) && nextIs(t, k, "(")) {
+                fn.direct.allocates = true;
+                if (fn.direct.allocEvidence.empty())
+                    fn.direct.allocEvidence =
+                        "." + id + "() at " + f.path + ":" +
+                        std::to_string(tk.line);
+            } else if (isOwningContainerType(id) &&
+                       !isMemberAccess(t, k)) {
+                // `vector<float> buf(n)` / `std::string s;` — a
+                // by-value owning-container declaration. References,
+                // pointers, and nested-name uses stay silent.
+                size_t j = k + 1;
+                if (j < fn.bodyEnd && t[j].kind == TokKind::Punct &&
+                    t[j].text == "<") {
+                    const size_t after = skipAngles(t, j, fn.bodyEnd);
+                    j = after == j ? fn.bodyEnd : after;
+                }
+                if (j < fn.bodyEnd && t[j].kind == TokKind::Ident &&
+                    !isTypeKeyword(t[j].text)) {
+                    fn.direct.allocates = true;
+                    if (fn.direct.allocEvidence.empty())
+                        fn.direct.allocEvidence =
+                            id + " storage at " + f.path + ":" +
+                            std::to_string(tk.line);
+                }
+            }
+            // Clock markers.
+            if ((id == "chrono" && nextIs(t, k, "::")) ||
+                ((id == "clock_gettime" || id == "gettimeofday" ||
+                  id == "nowNs" || id == "time") &&
+                 nextIs(t, k, "(")))
+                fn.direct.takesClock = true;
+            continue;
+        }
+        // Write targets.
+        bool deref = false, member = false;
+        const std::string target = writeTarget(t, k, deref, member);
+        if (target.empty())
+            continue;
+        if (toLower(target).find("bytes") != std::string::npos)
+            fn.direct.touchesBytes = true;
+        if (member)
+            continue; // disjoint-per-object pattern, see ir.hh
+        // Parameters first: they are also in `locals`, but a write
+        // through a by-ref parameter is an effect the caller maps.
+        const auto p = std::find(fn.paramNames.begin(),
+                                 fn.paramNames.end(), target);
+        if (p != fn.paramNames.end()) {
+            const size_t idx = static_cast<size_t>(
+                p - fn.paramNames.begin());
+            if (fn.paramByRef[idx] || deref)
+                fn.direct.writesParams.insert(static_cast<int>(idx));
+            continue;
+        }
+        if (fn.locals.count(target))
+            continue;
+        if (endsWithUnderscore(target))
+            continue; // member naming convention
+        if (deref)
+            continue; // pointer into unknown storage
+        if (fn.inClass)
+            continue; // unknown name in an in-class method: a field
+        fn.direct.writesGlobal = true;
+        if (fn.direct.globalEvidence.empty())
+            fn.direct.globalEvidence = "writes '" + target + "' at " +
+                                       f.path + ":" +
+                                       std::to_string(tk.line);
+    }
+    // A body that takes a lock (or goes through atomics) is the
+    // sanctioned synchronized pattern: its shared writes are
+    // deliberate and ordered, so they do not propagate as hazards.
+    if (fn.synchronized) {
+        fn.direct.writesGlobal = false;
+        fn.direct.globalEvidence.clear();
+        fn.direct.writesParams.clear();
+    }
+}
+
+/**
+ * Token ranges of class/struct/union bodies (`class X ... { ... }`),
+ * used to classify function definitions as in-class methods. Enum
+ * bodies match too, which is harmless — no function definitions live
+ * inside them.
+ */
+std::vector<std::pair<size_t, size_t>>
+classBodyRanges(const std::vector<Token> &t)
+{
+    std::vector<std::pair<size_t, size_t>> ranges;
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].kind != TokKind::Ident ||
+            (t[i].text != "class" && t[i].text != "struct" &&
+             t[i].text != "union"))
+            continue;
+        // Walk past the name and any base clause to the body brace;
+        // a `;` or `(` first means forward declaration / elaborated
+        // type in a signature — not a definition.
+        size_t j = i + 1;
+        while (j < t.size() &&
+               !(t[j].kind == TokKind::Punct &&
+                 (t[j].text == "{" || t[j].text == ";" ||
+                  t[j].text == "(" || t[j].text == ")")))
+            ++j;
+        if (j >= t.size() || t[j].text != "{")
+            continue;
+        const size_t close = matchBracket(t, j, "{", "}");
+        if (close < t.size())
+            ranges.emplace_back(j, close);
+        // Do not skip past the body: nested classes get ranges too.
+    }
+    return ranges;
+}
+
+/**
+ * Find function definitions. The pattern is `name (params) [const
+ * noexcept override final] [-> type] [: ctor-inits] {`; bodies are
+ * skipped so statement-level `keyword (...) {` sequences inside a
+ * body are never re-considered.
+ */
+void
+findFunctions(const LexedFile &f, FileIr &out)
+{
+    const auto &t = f.tokens;
+    const std::vector<std::pair<size_t, size_t>> classes =
+        classBodyRanges(t);
+    for (size_t i = 1; i < t.size(); ++i) {
+        if (!(t[i].kind == TokKind::Punct && t[i].text == "("))
+            continue;
+        if (t[i - 1].kind != TokKind::Ident)
+            continue;
+        const std::string &name = t[i - 1].text;
+        if (isKeyword(name) || isTypeKeyword(name))
+            continue;
+        if (i >= 2 && t[i - 2].kind == TokKind::Punct &&
+            (t[i - 2].text == "." || t[i - 2].text == "->"))
+            continue; // member-access call, not a definition
+        const size_t close = matchBracket(t, i, "(", ")");
+        if (close >= t.size())
+            continue;
+        size_t j = close + 1;
+        while (j < t.size() && t[j].kind == TokKind::Ident &&
+               (t[j].text == "const" || t[j].text == "noexcept" ||
+                t[j].text == "override" || t[j].text == "final"))
+            ++j;
+        if (j < t.size() && t[j].kind == TokKind::Punct &&
+            t[j].text == "->") {
+            // Trailing return type: skip to the body or declaration
+            // terminator.
+            ++j;
+            while (j < t.size() &&
+                   !(t[j].kind == TokKind::Punct &&
+                     (t[j].text == "{" || t[j].text == ";" ||
+                      t[j].text == "(")))
+                ++j;
+        }
+        bool is_def = false;
+        if (j < t.size() && t[j].kind == TokKind::Punct &&
+            t[j].text == "{") {
+            is_def = true;
+        } else if (j < t.size() && t[j].kind == TokKind::Punct &&
+                   t[j].text == ":") {
+            // Constructor member-init list: `name(arg), name{arg}`
+            // items separated by commas, then the body brace.
+            ++j;
+            while (j < t.size()) {
+                while (j < t.size() &&
+                       (t[j].kind == TokKind::Ident ||
+                        (t[j].kind == TokKind::Punct &&
+                         t[j].text == "::")))
+                    ++j;
+                if (j >= t.size() || t[j].kind != TokKind::Punct)
+                    break;
+                if (t[j].text == "(")
+                    j = matchBracket(t, j, "(", ")") + 1;
+                else if (t[j].text == "{")
+                    j = matchBracket(t, j, "{", "}") + 1;
+                else
+                    break;
+                if (j < t.size() && t[j].kind == TokKind::Punct &&
+                    t[j].text == ",") {
+                    ++j;
+                    continue;
+                }
+                break;
+            }
+            is_def = j < t.size() && t[j].kind == TokKind::Punct &&
+                     t[j].text == "{";
+        }
+        if (!is_def)
+            continue;
+        const size_t body_end = matchBracket(t, j, "{", "}");
+        if (body_end >= t.size())
+            continue;
+
+        FunctionDef fn;
+        fn.name = name;
+        fn.qualName = name;
+        // Re-assemble a `Foo::bar` qualified name when present.
+        size_t q = i - 1;
+        while (q >= 2 && t[q - 1].kind == TokKind::Punct &&
+               t[q - 1].text == "::" &&
+               t[q - 2].kind == TokKind::Ident) {
+            fn.qualName = t[q - 2].text + "::" + fn.qualName;
+            q -= 2;
+        }
+        fn.line = t[i - 1].line;
+        fn.bodyBegin = j;
+        fn.bodyEnd = body_end;
+        for (const auto &[cb, ce] : classes) {
+            if (j > cb && body_end < ce) {
+                fn.inClass = true;
+                break;
+            }
+        }
+        parseParams(t, i, close, fn.paramNames, fn.paramByRef);
+        fn.locals = collectLocalDecls(t, j + 1, body_end);
+        for (const std::string &p : fn.paramNames) {
+            if (!p.empty())
+                fn.locals.insert(p);
+        }
+        scanDirectEffects(f, fn);
+        fn.calls = scanCalls(t, j + 1, body_end);
+        out.functions.push_back(std::move(fn));
+        i = body_end;
+    }
+}
+
+/**
+ * Find parallel-region lambda sites: `parallelFor(...)`,
+ * `parallelReduceSum(...)`, and `submit(...)` calls whose argument
+ * list contains a lambda.
+ */
+void
+findParallelSites(const LexedFile &f, FileIr &out)
+{
+    const auto &t = f.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Ident || !nextIs(t, i, "("))
+            continue;
+        LambdaSite::Kind kind;
+        if (t[i].text == "parallelFor")
+            kind = LambdaSite::Kind::ParallelFor;
+        else if (t[i].text == "parallelReduceSum")
+            kind = LambdaSite::Kind::ParallelReduce;
+        else if (t[i].text == "submit")
+            kind = LambdaSite::Kind::Submit;
+        else
+            continue;
+        // Find the lambda capture: a '[' in argument position,
+        // strictly inside this call's parentheses (a `submit(...)`
+        // declaration or lambda-free call is not a site).
+        const size_t call_close = matchBracket(t, i + 1, "(", ")");
+        if (call_close >= t.size())
+            continue;
+        size_t cap = i + 2;
+        while (cap < call_close &&
+               !(t[cap].text == "[" && t[cap].kind == TokKind::Punct &&
+                 t[cap - 1].kind == TokKind::Punct &&
+                 (t[cap - 1].text == "(" || t[cap - 1].text == ",")))
+            ++cap;
+        if (cap >= call_close)
+            continue;
+        const size_t cap_end = matchBracket(t, cap, "[", "]");
+        size_t body = cap_end + 1;
+        while (body < call_close && t[body].text != "{")
+            ++body;
+        const size_t body_end = matchBracket(t, body, "{", "}");
+        if (body >= call_close || body_end >= t.size())
+            continue;
+
+        LambdaSite site;
+        site.kind = kind;
+        site.line = t[i].line;
+        site.capBegin = cap;
+        site.bodyBegin = body;
+        site.bodyEnd = body_end;
+        for (size_t k = cap + 1; k < cap_end; ++k) {
+            if (t[k].kind == TokKind::Punct && t[k].text == "&") {
+                if (k + 1 < cap_end &&
+                    t[k + 1].kind == TokKind::Ident)
+                    site.refCaptures.insert(t[k + 1].text);
+                else
+                    site.byRefDefault = true;
+            }
+        }
+        site.locals = collectLocalDecls(t, cap_end + 1, body_end);
+        out.parallelSites.push_back(std::move(site));
+        i = body_end;
+    }
+}
+
+/** Default ALLOC01 hot-path files: the SIMD/GEMM kernel TUs. */
+bool
+pathIsDefaultHot(const std::string &path)
+{
+    static const char *kHotPaths[] = {"tensor/simd.",
+                                      "tensor/simd_internal.",
+                                      "tensor/gemm_kernels."};
+    for (const char *p : kHotPaths) {
+        if (path.find(p) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<CallSite>
+scanCalls(const std::vector<Token> &t, size_t begin, size_t end)
+{
+    std::vector<CallSite> out;
+    for (size_t k = begin; k < end; ++k) {
+        if (t[k].kind != TokKind::Ident || !nextIs(t, k, "("))
+            continue;
+        const std::string &name = t[k].text;
+        if (isKeyword(name) || isTypeKeyword(name) ||
+            isIgnoredCallee(name))
+            continue;
+        // `Type name(...)` is a declaration, not a call.
+        if (k > 0 && t[k - 1].kind == TokKind::Ident &&
+            !isKeyword(t[k - 1].text))
+            continue;
+        const size_t close = matchBracket(t, k + 1, "(", ")");
+        if (close >= t.size() || close > end)
+            continue;
+        CallSite c;
+        c.callee = name;
+        c.isMember = isMemberAccess(t, k);
+        c.line = t[k].line;
+        c.tokIndex = k;
+        // Collect per-argument identifier names (top-level commas).
+        int paren = 0, brace = 0, bracket = 0;
+        size_t item = k + 2;
+        auto flush = [&](size_t b, size_t e) {
+            if (b == k + 2 && e == b) // zero-arg call
+                return;
+            if (e == b + 1 && t[b].kind == TokKind::Ident)
+                c.argIdents.push_back(t[b].text);
+            else if (e == b + 2 && t[b].kind == TokKind::Punct &&
+                     t[b].text == "&" &&
+                     t[b + 1].kind == TokKind::Ident)
+                c.argIdents.push_back(t[b + 1].text);
+            else
+                c.argIdents.push_back("");
+        };
+        for (size_t m = k + 2; m < close; ++m) {
+            if (t[m].kind != TokKind::Punct)
+                continue;
+            const std::string &p = t[m].text;
+            if (p == "(")
+                ++paren;
+            else if (p == ")")
+                --paren;
+            else if (p == "{")
+                ++brace;
+            else if (p == "}")
+                --brace;
+            else if (p == "[")
+                ++bracket;
+            else if (p == "]")
+                --bracket;
+            else if (p == "," && paren == 0 && brace == 0 &&
+                     bracket == 0) {
+                flush(item, m);
+                item = m + 1;
+            }
+        }
+        flush(item, close);
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+FileIr
+buildFileIr(const LexedFile &file)
+{
+    FileIr ir;
+    findFunctions(file, ir);
+    findParallelSites(file, ir);
+    return ir;
+}
+
+Program
+linkProgram(const std::vector<const LexedFile *> &files,
+            std::vector<FileIr> &&irs)
+{
+    Program p;
+    p.files = files;
+    for (size_t fi = 0; fi < irs.size(); ++fi) {
+        const LexedFile &lf = *files[fi];
+        const bool default_hot = pathIsDefaultHot(lf.path);
+        for (FunctionDef &fn : irs[fi].functions) {
+            fn.fileIndex = static_cast<int>(fi);
+            fn.isHot = default_hot || lf.hotLines.count(fn.line) ||
+                       lf.hotLines.count(fn.line - 1) ||
+                       lf.hotLines.count(fn.line - 2);
+            fn.total = fn.direct;
+            p.functions.push_back(std::move(fn));
+        }
+        for (LambdaSite &s : irs[fi].parallelSites) {
+            s.fileIndex = static_cast<int>(fi);
+            p.parallelSites.push_back(std::move(s));
+        }
+    }
+    for (size_t i = 0; i < p.functions.size(); ++i)
+        p.byName.emplace(p.functions[i].name, i);
+
+    // Effect propagation to fixpoint. Each pass folds every resolved
+    // callee's summary into the caller; the iteration count is
+    // bounded by the longest acyclic call chain (cycles converge
+    // because effects only ever turn on).
+    bool changed = true;
+    int guard = 0;
+    while (changed && ++guard < 64) {
+        changed = false;
+        for (FunctionDef &fn : p.functions) {
+            for (const CallSite &c : fn.calls) {
+                auto range = p.byName.equal_range(c.callee);
+                for (auto it = range.first; it != range.second;
+                     ++it) {
+                    const FunctionDef &g = p.functions[it->second];
+                    if (&g == &fn)
+                        continue;
+                    if (g.total.writesGlobal && !fn.synchronized &&
+                        !fn.total.writesGlobal) {
+                        fn.total.writesGlobal = true;
+                        fn.total.globalEvidence =
+                            "via " + g.qualName + ": " +
+                            g.total.globalEvidence;
+                        changed = true;
+                    }
+                    if (g.total.allocates && !fn.total.allocates) {
+                        fn.total.allocates = true;
+                        fn.total.allocEvidence =
+                            "via " + g.qualName + ": " +
+                            g.total.allocEvidence;
+                        changed = true;
+                    }
+                    if (g.total.takesClock &&
+                        !fn.total.takesClock) {
+                        fn.total.takesClock = true;
+                        changed = true;
+                    }
+                    if (g.total.touchesBytes &&
+                        !fn.total.touchesBytes) {
+                        fn.total.touchesBytes = true;
+                        changed = true;
+                    }
+                    // Map written-parameter effects through the
+                    // argument identifiers at this call site.
+                    for (int wp : g.total.writesParams) {
+                        const size_t ai = static_cast<size_t>(wp);
+                        if (ai >= c.argIdents.size())
+                            continue;
+                        const std::string &a = c.argIdents[ai];
+                        if (a.empty() || fn.locals.count(a))
+                            continue;
+                        const auto pit =
+                            std::find(fn.paramNames.begin(),
+                                      fn.paramNames.end(), a);
+                        if (pit != fn.paramNames.end()) {
+                            const size_t idx = static_cast<size_t>(
+                                pit - fn.paramNames.begin());
+                            if (fn.paramByRef[idx] &&
+                                !fn.synchronized &&
+                                fn.total.writesParams
+                                    .insert(static_cast<int>(idx))
+                                    .second)
+                                changed = true;
+                            continue;
+                        }
+                        if (endsWithUnderscore(a) || fn.inClass)
+                            continue;
+                        if (!fn.synchronized &&
+                            !fn.total.writesGlobal) {
+                            fn.total.writesGlobal = true;
+                            fn.total.globalEvidence =
+                                "writes '" + a + "' via " +
+                                g.qualName + "()";
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return p;
+}
+
+void
+dumpProgram(const Program &program)
+{
+    for (const FunctionDef &fn : program.functions) {
+        const LexedFile &f = program.fileOf(fn);
+        std::string params;
+        for (int wp : fn.total.writesParams) {
+            const size_t i = static_cast<size_t>(wp);
+            params += " writes-param:" +
+                      (i < fn.paramNames.size() ? fn.paramNames[i]
+                                                : "?");
+        }
+        std::string evidence;
+        if (!fn.total.globalEvidence.empty())
+            evidence = "  <" + fn.total.globalEvidence + ">";
+        else if (!fn.total.allocEvidence.empty())
+            evidence = "  <" + fn.total.allocEvidence + ">";
+        std::printf(
+            "%s:%d %s%s%s%s%s%s%s%s%s\n", f.path.c_str(), fn.line,
+            fn.qualName.c_str(),
+            fn.isHot ? " [hot]" : "",
+            fn.synchronized ? " [sync]" : "",
+            fn.total.writesGlobal ? " writes-global" : "",
+            params.c_str(),
+            fn.total.allocates ? " allocates" : "",
+            fn.total.takesClock ? " takes-clock" : "",
+            fn.total.touchesBytes ? " touches-bytes" : "",
+            evidence.c_str());
+    }
+    std::printf("-- %zu function(s), %zu parallel site(s)\n",
+                program.functions.size(),
+                program.parallelSites.size());
+}
+
+} // namespace optlint

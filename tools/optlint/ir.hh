@@ -1,0 +1,175 @@
+/**
+ * @file
+ * optlint semantic IR: a lightweight whole-repo model built in two
+ * passes (see DESIGN.md section 7).
+ *
+ * Pass 1 (`buildFileIr`, parallelized by the driver) walks each
+ * lexed TU once and extracts:
+ *   - function definitions (free functions and class methods) with
+ *     parameter lists, block-local declarations, and body token
+ *     ranges;
+ *   - per-function *direct* effect summaries: writes to non-local
+ *     state, writes through by-reference/pointer parameters, heap
+ *     allocation, clock reads, byte-counter mutation, and whether
+ *     the body synchronizes (locks/atomics);
+ *   - call sites with single-identifier argument names preserved so
+ *     parameter-write effects can be mapped through call chains;
+ *   - parallel-region lambda sites (`parallelFor`,
+ *     `parallelReduceSum`, `TaskGroup`/pool `submit`) with capture
+ *     mode and chunk-local declarations.
+ *
+ * Pass 2 (`linkProgram`) resolves call edges across every TU by
+ * unqualified name (overloads and same-named methods merge — the
+ * summaries are conservative unions) and propagates effects over
+ * the call graph to a fixpoint, so a shared-state write three calls
+ * deep is visible at the call site inside a parallel body.
+ *
+ * Known soundness limits, by design (each is documented in
+ * DESIGN.md section 7): instance-member writes (`foo_ += x`,
+ * `obj.field += x`) are treated as the disjoint-per-object pattern
+ * and do not propagate; writes guarded by locks/atomics in the same
+ * body are treated as synchronized; calls through function pointers
+ * and constructors invoked via declarations are not edges.
+ */
+
+#ifndef OPTLINT_IR_HH
+#define OPTLINT_IR_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace optlint
+{
+
+/** Transitive-closure-able facts about one function. */
+struct Effects
+{
+    bool writesGlobal = false;   ///< unsynchronized non-local write
+    bool allocates = false;      ///< heap allocation on some path
+    bool takesClock = false;     ///< reads a raw or sanctioned clock
+    bool touchesBytes = false;   ///< mutates a *bytes* counter
+    /** Indices of by-ref / pointer parameters the function writes
+     * (directly or by forwarding them to a writing callee). */
+    std::set<int> writesParams;
+    /** Human-readable provenance for reports: where the global
+     * write / allocation actually happens, possibly via a chain. */
+    std::string globalEvidence;
+    std::string allocEvidence;
+};
+
+/** One call site inside a function or parallel-region body. */
+struct CallSite
+{
+    std::string callee;   ///< unqualified name
+    bool isMember = false; ///< invoked via `.` or `->`
+    /** Per-argument identifier names: "name" when the argument is a
+     * bare identifier or `&identifier`, "" otherwise. */
+    std::vector<std::string> argIdents;
+    int line = 0;
+    size_t tokIndex = 0;
+};
+
+/** A function definition discovered in pass 1. */
+struct FunctionDef
+{
+    std::string name;     ///< unqualified (last path component)
+    std::string qualName; ///< as written, e.g. `Foo::bar`
+    int fileIndex = -1;   ///< into Program::files
+    int line = 0;         ///< line of the definition header
+    size_t bodyBegin = 0; ///< token index of the opening `{`
+    size_t bodyEnd = 0;   ///< token index of the matching `}`
+    std::vector<std::string> paramNames;
+    std::vector<bool> paramByRef; ///< `&` or `*` in the declarator
+    std::set<std::string> locals; ///< params + block-locals
+    bool synchronized = false;    ///< body locks or uses atomics
+    bool isHot = false;           ///< in the ALLOC01 hot-path set
+    /** Defined inside a class/struct body. Unknown identifiers in
+     * such a method are (almost always) data members, so writes to
+     * them follow the disjoint-per-object rule instead of being
+     * treated as shared-state writes. */
+    bool inClass = false;
+    Effects direct;
+    Effects total; ///< fixpoint over the call graph
+    std::vector<CallSite> calls;
+};
+
+/** A parallel-region lambda site discovered in pass 1. */
+struct LambdaSite
+{
+    enum class Kind
+    {
+        ParallelFor,
+        ParallelReduce,
+        Submit,
+    };
+    Kind kind = Kind::ParallelFor;
+    int fileIndex = -1;
+    int line = 0;          ///< line of the primitive call
+    size_t capBegin = 0;   ///< token index of `[`
+    size_t bodyBegin = 0;  ///< token index of `{`
+    size_t bodyEnd = 0;    ///< token index of matching `}`
+    bool byRefDefault = false;         ///< capture list has bare `&`
+    std::set<std::string> refCaptures; ///< explicit `&name` captures
+    bool capturesByRef() const
+    {
+        return byRefDefault || !refCaptures.empty();
+    }
+    std::set<std::string> locals; ///< lambda params + block-locals
+};
+
+/** Pass-1 output for one TU. */
+struct FileIr
+{
+    std::vector<FunctionDef> functions;
+    std::vector<LambdaSite> parallelSites;
+};
+
+/** The linked whole-repo model. */
+struct Program
+{
+    std::vector<const LexedFile *> files;
+    std::vector<FunctionDef> functions;
+    std::vector<LambdaSite> parallelSites;
+    /** unqualified name -> indices into `functions` */
+    std::multimap<std::string, size_t> byName;
+
+    const LexedFile &fileOf(const FunctionDef &f) const
+    {
+        return *files[static_cast<size_t>(f.fileIndex)];
+    }
+    const LexedFile &fileOf(const LambdaSite &s) const
+    {
+        return *files[static_cast<size_t>(s.fileIndex)];
+    }
+};
+
+/** Pass 1: extract the per-TU IR (thread-safe; no shared state). */
+FileIr buildFileIr(const LexedFile &file);
+
+/**
+ * Pass 2: link the per-TU IRs into one Program, resolve intra-repo
+ * call edges by name, mark the ALLOC01 hot-path set (default hot
+ * files plus `optlint:hot` annotations), and propagate effect
+ * summaries over the call graph to fixpoint.
+ */
+Program linkProgram(const std::vector<const LexedFile *> &files,
+                    std::vector<FileIr> &&irs);
+
+/**
+ * Scan tokens [begin, end) for call sites (used for both function
+ * bodies and parallel-region lambda bodies).
+ */
+std::vector<CallSite> scanCalls(const std::vector<Token> &t,
+                                size_t begin, size_t end);
+
+/** Debug dump of the linked IR (the `--dump-ir` mode). */
+void dumpProgram(const Program &program);
+
+} // namespace optlint
+
+#endif // OPTLINT_IR_HH

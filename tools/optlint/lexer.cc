@@ -1,0 +1,411 @@
+#include "lexer.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace optlint
+{
+
+namespace
+{
+
+/**
+ * Parse `optlint:allow(A,B)` / `optlint:expect(A)` / `optlint:hot`
+ * out of a comment.
+ */
+void
+parseAnnotations(LexedFile &out, const std::string &comment, int line,
+                 bool own_line)
+{
+    static const struct
+    {
+        const char *tag;
+        bool is_allow;
+    } kTags[] = {{"optlint:allow(", true}, {"optlint:expect(", false}};
+
+    for (const auto &tag : kTags) {
+        size_t pos = comment.find(tag.tag);
+        while (pos != std::string::npos) {
+            const size_t open = pos + std::strlen(tag.tag);
+            const size_t close = comment.find(')', open);
+            if (close == std::string::npos)
+                break;
+            std::stringstream list(comment.substr(open, close - open));
+            std::string rule;
+            while (std::getline(list, rule, ',')) {
+                rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                          [](unsigned char c) {
+                                              return std::isspace(c);
+                                          }),
+                           rule.end());
+                if (rule.empty())
+                    continue;
+                auto &dest = tag.is_allow ? out.allow : out.expect;
+                dest[line].insert(rule);
+                // A suppression alone on its line covers the next
+                // line too (the usual place for long justifications).
+                // Expectations stay line-exact so the self-test
+                // cross-check is unambiguous.
+                if (own_line && tag.is_allow)
+                    dest[line + 1].insert(rule);
+                if (tag.is_allow)
+                    out.allowRecords.push_back({line, rule, own_line});
+            }
+            pos = comment.find(tag.tag, close);
+        }
+    }
+
+    // `optlint:hot` extends the ALLOC01 hot-path set to the function
+    // defined on this line (or the next, for own-line comments).
+    size_t hot = comment.find("optlint:hot");
+    if (hot != std::string::npos) {
+        out.hotLines.insert(line);
+        if (own_line)
+            out.hotLines.insert(line + 1);
+    }
+}
+
+} // namespace
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+lexFile(const fs::path &file, const std::string &display,
+        LexedFile &out)
+{
+    std::ifstream in(file, std::ios::binary);
+    if (!in)
+        return false;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string src = buffer.str();
+
+    out.path = display;
+    const std::string ext = file.extension().string();
+    out.isHeader = ext == ".hh" || ext == ".h" || ext == ".hpp";
+
+    const size_t n = src.size();
+    size_t i = 0;
+    int line = 1;
+    bool line_has_code = false;
+
+    // Multi-char punctuators, longest first.
+    static const char *kPunct3[] = {"<<=", ">>=", "...", "->*"};
+    static const char *kPunct2[] = {"+=", "-=", "*=", "/=", "%=",
+                                    "&=", "|=", "^=", "++", "--",
+                                    "::", "->", "<<", ">>", "<=",
+                                    ">=", "==", "!=", "&&", "||"};
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            line_has_code = false;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            const size_t eol = src.find('\n', i);
+            const size_t end = eol == std::string::npos ? n : eol;
+            parseAnnotations(out, src.substr(i, end - i), line,
+                             !line_has_code);
+            i = end;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            const size_t close = src.find("*/", i + 2);
+            const size_t end =
+                close == std::string::npos ? n : close + 2;
+            parseAnnotations(out, src.substr(i, end - i), line,
+                             !line_has_code);
+            line += static_cast<int>(
+                std::count(src.begin() + static_cast<long>(i),
+                           src.begin() + static_cast<long>(end),
+                           '\n'));
+            i = end;
+            continue;
+        }
+        // Preprocessor directive: '#' as first code on the line.
+        if (c == '#' && !line_has_code) {
+            PpLine pp;
+            pp.line = line;
+            size_t j = i;
+            while (j < n) {
+                if (src[j] == '\n') {
+                    if (!pp.text.empty() && pp.text.back() == '\\') {
+                        pp.text.pop_back();
+                        ++line;
+                        ++j;
+                        continue;
+                    }
+                    break;
+                }
+                pp.text.push_back(src[j]);
+                ++j;
+            }
+            out.pp.push_back(std::move(pp));
+            i = j;
+            continue;
+        }
+        line_has_code = true;
+        // String / char literal (escape-aware; raw strings are
+        // handled well enough by the escape rule for this codebase).
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            size_t j = i + 1;
+            while (j < n && src[j] != quote) {
+                if (src[j] == '\\')
+                    ++j;
+                ++j;
+            }
+            out.tokens.push_back({TokKind::String, "", line});
+            i = j < n ? j + 1 : n;
+            continue;
+        }
+        // Identifier / keyword.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t j = i;
+            while (j < n && isIdentChar(src[j]))
+                ++j;
+            out.tokens.push_back(
+                {TokKind::Ident, src.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        // Number (digits plus the usual suffix soup).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t j = i;
+            while (j < n && (isIdentChar(src[j]) || src[j] == '.' ||
+                             ((src[j] == '+' || src[j] == '-') &&
+                              (src[j - 1] == 'e' || src[j - 1] == 'E'))))
+                ++j;
+            out.tokens.push_back({TokKind::Number, "", line});
+            i = j;
+            continue;
+        }
+        // Punctuation, longest match first.
+        auto tryPunct = [&](const char *const *table, size_t count,
+                            size_t len) {
+            for (size_t t = 0; t < count; ++t) {
+                if (i + len <= n &&
+                    src.compare(i, len, table[t]) == 0) {
+                    out.tokens.push_back(
+                        {TokKind::Punct, table[t], line});
+                    i += len;
+                    return true;
+                }
+            }
+            return false;
+        };
+        if (tryPunct(kPunct3, std::size(kPunct3), 3))
+            continue;
+        if (tryPunct(kPunct2, std::size(kPunct2), 2))
+            continue;
+        out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return true;
+}
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".hh" ||
+           ext == ".h" || ext == ".hpp";
+}
+
+void
+collectFiles(const fs::path &root, std::vector<fs::path> &out)
+{
+    if (fs::is_regular_file(root)) {
+        if (isSourceFile(root))
+            out.push_back(root);
+        return;
+    }
+    if (!fs::is_directory(root))
+        return;
+    for (const auto &entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && isSourceFile(entry.path()))
+            out.push_back(entry.path());
+    }
+}
+
+std::string
+displayPath(const fs::path &p, const fs::path &root)
+{
+    std::error_code ec;
+    const fs::path rel = fs::relative(p, root, ec);
+    if (ec || rel.empty() || rel.native()[0] == '.')
+        return p.generic_string();
+    return rel.generic_string();
+}
+
+bool
+isMemberAccess(const std::vector<Token> &t, size_t i)
+{
+    return i > 0 && t[i - 1].kind == TokKind::Punct &&
+           (t[i - 1].text == "." || t[i - 1].text == "->");
+}
+
+bool
+nextIs(const std::vector<Token> &t, size_t i, const char *text)
+{
+    return i + 1 < t.size() && t[i + 1].text == text;
+}
+
+bool
+isTypeKeyword(const std::string &s)
+{
+    static const std::set<std::string> kTypes = {
+        "float",    "double",   "int",      "long",     "short",
+        "unsigned", "signed",   "bool",     "char",     "auto",
+        "size_t",   "ssize_t",  "int8_t",   "int16_t",  "int32_t",
+        "int64_t",  "uint8_t",  "uint16_t", "uint32_t", "uint64_t",
+        "intptr_t", "uintptr_t", "ptrdiff_t"};
+    return kTypes.count(s) != 0;
+}
+
+bool
+looksLikeTypeName(const std::string &s)
+{
+    return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
+}
+
+bool
+isStatementBoundary(const std::vector<Token> &t, size_t i)
+{
+    if (i == 0)
+        return true;
+    const Token &p = t[i - 1];
+    return p.kind == TokKind::Punct &&
+           (p.text == ";" || p.text == "{" || p.text == "}" ||
+            p.text == "(" || p.text == ",");
+}
+
+bool
+isCompoundAssign(const Token &tok)
+{
+    static const std::set<std::string> kOps = {
+        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+    return tok.kind == TokKind::Punct && kOps.count(tok.text) != 0;
+}
+
+size_t
+matchBracket(const std::vector<Token> &t, size_t open,
+             const char *open_text, const char *close_text)
+{
+    int depth = 0;
+    for (size_t i = open; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Punct)
+            continue;
+        if (t[i].text == open_text)
+            ++depth;
+        else if (t[i].text == close_text && --depth == 0)
+            return i;
+    }
+    return t.size();
+}
+
+size_t
+skipAngles(const std::vector<Token> &t, size_t i, size_t end)
+{
+    int depth = 0;
+    size_t j = i;
+    while (j < end) {
+        if (t[j].kind == TokKind::Punct) {
+            if (t[j].text == "<") {
+                ++depth;
+            } else if (t[j].text == ">") {
+                if (--depth == 0)
+                    return j + 1;
+            } else if (t[j].text == ">>") {
+                depth -= 2;
+                if (depth <= 0)
+                    return j + 1;
+            } else if (t[j].text == ";" || t[j].text == "{") {
+                return i; // not a template argument list after all
+            }
+        }
+        ++j;
+    }
+    return i;
+}
+
+std::set<std::string>
+collectLocalDecls(const std::vector<Token> &t, size_t begin, size_t end)
+{
+    std::set<std::string> locals;
+    for (size_t i = begin; i < end; ++i) {
+        if (t[i].kind != TokKind::Ident)
+            continue;
+        const bool type_start =
+            isTypeKeyword(t[i].text) || looksLikeTypeName(t[i].text) ||
+            t[i].text == "const" || t[i].text == "constexpr" ||
+            (t[i].text == "std" && nextIs(t, i, "::"));
+        if (!type_start || !isStatementBoundary(t, i))
+            continue;
+        // Skip over the (possibly multi-keyword, possibly qualified,
+        // possibly templated) type and cv qualifiers: `const unsigned
+        // long long x`, `Tensor &q`, `std::function<void()> fn`.
+        // Note: `static T x` never reaches here with `static` as the
+        // boundary token, so function-local statics are deliberately
+        // NOT collected — they are shared state, not locals.
+        size_t j = i;
+        bool pointer = false;
+        while (j < end) {
+            if (t[j].kind == TokKind::Ident &&
+                (isTypeKeyword(t[j].text) || t[j].text == "const" ||
+                 t[j].text == "constexpr" ||
+                 looksLikeTypeName(t[j].text) || t[j].text == "std" ||
+                 (j > begin && t[j - 1].kind == TokKind::Punct &&
+                  t[j - 1].text == "::"))) {
+                ++j;
+                continue;
+            }
+            if (t[j].kind == TokKind::Punct) {
+                if (t[j].text == "*" || t[j].text == "&" ||
+                    t[j].text == "::") {
+                    pointer = pointer || t[j].text == "*";
+                    ++j;
+                    continue;
+                }
+                if (t[j].text == "<") {
+                    const size_t after = skipAngles(t, j, end);
+                    if (after != j) {
+                        j = after;
+                        continue;
+                    }
+                }
+            }
+            break;
+        }
+        if (j >= end || t[j].kind != TokKind::Ident)
+            continue;
+        // The declarator must be followed by an init/terminator.
+        if (!(nextIs(t, j, "=") || nextIs(t, j, ";") ||
+              nextIs(t, j, ",") || nextIs(t, j, "(") ||
+              nextIs(t, j, "[") || nextIs(t, j, "{") ||
+              nextIs(t, j, ")") || nextIs(t, j, ":")))
+            continue;
+        if (!pointer)
+            locals.insert(t[j].text);
+        i = j;
+    }
+    return locals;
+}
+
+} // namespace optlint

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * optlint lexing layer: tokens, annotations, and the shared
+ * token-pattern helpers every rule builds on.
+ *
+ * The lexer strips comments/strings/preprocessor lines into a flat
+ * token stream with line numbers, and captures the `optlint:allow`,
+ * `optlint:expect`, and `optlint:hot` annotations out of band. It is
+ * deliberately not a conforming C++ lexer — just enough structure
+ * for pattern rules and the lightweight IR in ir.hh.
+ */
+
+#ifndef OPTLINT_LEXER_HH
+#define OPTLINT_LEXER_HH
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace optlint
+{
+
+namespace fs = std::filesystem;
+
+/** Token kinds the rules care about. */
+enum class TokKind
+{
+    Ident,
+    Number,
+    String,
+    Punct,
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line = 0;
+};
+
+/** A preprocessor directive (continuations joined, comments kept). */
+struct PpLine
+{
+    int line = 0;
+    std::string text;
+};
+
+/**
+ * One `optlint:allow(RULE)` annotation as written: the line it sits
+ * on and whether it was alone on its line (in which case it also
+ * covers the next line). Kept separately from the flattened `allow`
+ * map so `--audit-suppressions` can reason about the annotation as
+ * the author wrote it, not the lines it expands to.
+ */
+struct AllowRecord
+{
+    int line = 0;
+    std::string rule;
+    bool ownLine = false;
+};
+
+/**
+ * A lexed translation unit: token stream, preprocessor directives,
+ * and the per-line annotations.
+ */
+struct LexedFile
+{
+    std::string path;    // display path (relative to --root)
+    bool isHeader = false;
+    std::vector<Token> tokens;
+    std::vector<PpLine> pp;
+    std::map<int, std::set<std::string>> allow;
+    std::map<int, std::set<std::string>> expect;
+    std::vector<AllowRecord> allowRecords;
+    /** Lines covered by an `optlint:hot` annotation (the annotation
+     * line itself plus, for own-line comments, the next line). */
+    std::set<int> hotLines;
+};
+
+bool lexFile(const fs::path &file, const std::string &display,
+             LexedFile &out);
+
+bool isSourceFile(const fs::path &p);
+void collectFiles(const fs::path &root, std::vector<fs::path> &out);
+std::string displayPath(const fs::path &p, const fs::path &root);
+
+// ---------------------------------------------------------------
+// Token-pattern helpers shared by the rule engine and the IR
+// builder.
+// ---------------------------------------------------------------
+
+bool isIdentChar(char c);
+bool isMemberAccess(const std::vector<Token> &t, size_t i);
+bool nextIs(const std::vector<Token> &t, size_t i, const char *text);
+bool isTypeKeyword(const std::string &s);
+bool looksLikeTypeName(const std::string &s);
+bool isStatementBoundary(const std::vector<Token> &t, size_t i);
+bool isCompoundAssign(const Token &tok);
+
+/** Index of the matching closer for the opener at t[open]. */
+size_t matchBracket(const std::vector<Token> &t, size_t open,
+                    const char *open_text, const char *close_text);
+
+/**
+ * Skip a balanced template-argument list starting at t[i] == "<".
+ * Returns the index one past the closing ">" (handles ">>" closing
+ * two levels). Returns `i` unchanged when the list never closes
+ * before @p end or a `;`/`{` proves it was a comparison after all.
+ */
+size_t skipAngles(const std::vector<Token> &t, size_t i, size_t end);
+
+/**
+ * Collect identifiers declared in tokens [begin, end): lambda
+ * parameters and block-local variables. Pointer declarators are
+ * excluded on purpose — `float *p` makes p chunk-local but *p is
+ * not, and the write through it is what the caller wants to
+ * inspect. Function-local `static` declarations are excluded too:
+ * a static local is shared across every thread that enters the
+ * function, which is exactly the distinction the effect rules need.
+ */
+std::set<std::string> collectLocalDecls(const std::vector<Token> &t,
+                                        size_t begin, size_t end);
+
+} // namespace optlint
+
+#endif // OPTLINT_LEXER_HH

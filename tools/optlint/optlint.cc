@@ -1,1008 +1,218 @@
 /**
  * @file
- * optlint — the project's in-repo static analyzer for determinism,
- * threading, and hygiene invariants (see DESIGN.md section 7 for the
- * rule catalogue and rationale).
+ * optlint — the project's repo-specific static analyzer, grown from
+ * a single-TU token linter into a two-pass whole-repo semantic
+ * analyzer (DESIGN.md section 7).
  *
- * The checker is a lightweight C++ tokenizer, not a compiler
- * front-end: it strips comments/strings/preprocessor lines, keeps
- * line numbers, and pattern-matches token sequences. That is enough
- * to enforce the project's invariants mechanically while staying
- * dependency-free and fast (whole repo in milliseconds), at the cost
- * of being a heuristic — which is why every rule has a suppression
- * escape hatch:
- *
- *     some_flagged_code();  // optlint:allow(RULE) why it is safe
- *
- * A suppression comment on its own line applies to the next line.
+ * Pass 1 lexes every translation unit and extracts a lightweight IR
+ * (function definitions, effect summaries, call sites, parallel
+ * lambda sites); it is embarrassingly parallel and the driver fans
+ * it out over --jobs threads. Pass 2 links the per-TU IRs, resolves
+ * call edges across TUs, and propagates effect summaries to a
+ * fixpoint; the rule engine then runs with whole-program context.
  *
  * Modes:
- *   optlint [--json] [--root DIR] PATH...   scan, exit 1 on findings
- *   optlint --self-test FIXTURE_DIR         verify the rule engine
- *       flags exactly the `// optlint:expect(RULE)` annotations in
- *       the fixture files (both directions: no misses, no spurious
- *       findings), exit 1 on any mismatch
- *   optlint --list-rules                    print the rule catalogue
+ *   optlint [--json] [--sarif FILE] [--root DIR] [--jobs N] PATH...
+ *   optlint --audit-suppressions [--root DIR] PATH...
+ *   optlint --self-test FIXTURE_DIR
+ *   optlint --dump-ir [--root DIR] PATH...
+ *   optlint --list-rules
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage/io error.
  */
 
 #include <algorithm>
-#include <cctype>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
-#include <string>
-#include <vector>
+#include <cstdlib>
+#include <thread>
+
+#include "ir.hh"
+#include "lexer.hh"
+#include "output.hh"
+#include "rules.hh"
 
 namespace optlint
 {
 
-namespace fs = std::filesystem;
-
-/** One finding: a rule violated at a file:line. */
-struct Violation
-{
-    std::string file;
-    int line = 0;
-    std::string rule;
-    std::string message;
-};
-
-/** Token kinds the rules care about. */
-enum class TokKind
-{
-    Ident,
-    Number,
-    String,
-    Punct,
-};
-
-struct Token
-{
-    TokKind kind;
-    std::string text;
-    int line = 0;
-};
-
-/** A preprocessor directive (continuations joined, comments kept). */
-struct PpLine
-{
-    int line = 0;
-    std::string text;
-};
-
-/**
- * A lexed translation unit: token stream, preprocessor directives,
- * and the per-line `optlint:allow` / `optlint:expect` annotations.
- */
-struct LexedFile
-{
-    std::string path;    // display path (relative to --root)
-    bool isHeader = false;
-    std::vector<Token> tokens;
-    std::vector<PpLine> pp;
-    std::map<int, std::set<std::string>> allow;
-    std::map<int, std::set<std::string>> expect;
-};
-
 namespace
 {
 
-/** Parse `optlint:allow(A,B)` / `optlint:expect(A)` out of a comment. */
-void
-parseAnnotations(LexedFile &out, const std::string &comment,
-                 int line, bool own_line)
+/** Wall-clock timings of the two analysis passes, for the CI log. */
+struct PassTimes
 {
-    static const struct
-    {
-        const char *tag;
-        bool is_allow;
-    } kTags[] = {{"optlint:allow(", true}, {"optlint:expect(", false}};
+    long pass1Ms = 0;
+    long pass2Ms = 0;
+    unsigned jobs = 1;
+};
 
-    for (const auto &tag : kTags) {
-        size_t pos = comment.find(tag.tag);
-        while (pos != std::string::npos) {
-            const size_t open = pos + std::strlen(tag.tag);
-            const size_t close = comment.find(')', open);
-            if (close == std::string::npos)
-                break;
-            std::stringstream list(comment.substr(open, close - open));
-            std::string rule;
-            while (std::getline(list, rule, ',')) {
-                rule.erase(std::remove_if(rule.begin(), rule.end(),
-                                          [](unsigned char c) {
-                                              return std::isspace(c);
-                                          }),
-                           rule.end());
-                if (rule.empty())
-                    continue;
-                auto &dest = tag.is_allow ? out.allow : out.expect;
-                dest[line].insert(rule);
-                // A suppression alone on its line covers the next
-                // line too (the usual place for long justifications).
-                // Expectations stay line-exact so the self-test
-                // cross-check is unambiguous.
-                if (own_line && tag.is_allow)
-                    dest[line + 1].insert(rule);
-            }
-            pos = comment.find(tag.tag, close);
-        }
-    }
-}
-
-bool
-isIdentChar(char c)
+long
+msSince(std::chrono::steady_clock::time_point t0)
 {
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    return static_cast<long>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
 }
 
 /**
- * Tokenize one file. Strings and character literals become single
- * String tokens; comments and preprocessor lines are captured out of
- * band. Good enough for pattern rules; not a conforming lexer.
+ * Pass 1 over @p files: lex + per-TU IR extraction, fanned out over
+ * @p jobs threads (each file is independent; workers claim indices
+ * off an atomic counter and write into preallocated slots).
+ * Returns false if any file cannot be read.
  */
 bool
-lexFile(const fs::path &file, const std::string &display,
-        LexedFile &out)
+runPass1(const std::vector<fs::path> &files, const fs::path &root,
+         unsigned jobs, std::vector<LexedFile> &lexed,
+         std::vector<FileIr> &irs)
 {
-    std::ifstream in(file, std::ios::binary);
-    if (!in)
+    lexed.resize(files.size());
+    irs.resize(files.size());
+    std::atomic<size_t> next{0};
+    std::atomic<bool> ok{true};
+    auto worker = [&] {
+        for (size_t i = next.fetch_add(1); i < files.size();
+             i = next.fetch_add(1)) {
+            if (!lexFile(files[i], displayPath(files[i], root),
+                         lexed[i])) {
+                std::fprintf(stderr, "optlint: cannot read %s\n",
+                             files[i].string().c_str());
+                ok.store(false);
+                continue;
+            }
+            irs[i] = buildFileIr(lexed[i]);
+        }
+    };
+    if (jobs <= 1 || files.size() <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        const unsigned n = std::min<unsigned>(
+            jobs, static_cast<unsigned>(files.size()));
+        pool.reserve(n);
+        for (unsigned i = 0; i < n; ++i)
+            pool.emplace_back(worker);
+        for (std::thread &th : pool)
+            th.join();
+    }
+    return ok.load();
+}
+
+/** Lex + link one program over @p files. */
+bool
+analyze(const std::vector<fs::path> &files, const fs::path &root,
+        unsigned jobs, std::vector<LexedFile> &lexed,
+        Program &program, PassTimes &times)
+{
+    times.jobs = jobs;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<FileIr> irs;
+    if (!runPass1(files, root, jobs, lexed, irs))
         return false;
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string src = buffer.str();
+    times.pass1Ms = msSince(t0);
 
-    out.path = display;
-    const std::string ext = file.extension().string();
-    out.isHeader = ext == ".hh" || ext == ".h" || ext == ".hpp";
-
-    const size_t n = src.size();
-    size_t i = 0;
-    int line = 1;
-    bool line_has_code = false;
-
-    // Multi-char punctuators, longest first.
-    static const char *kPunct3[] = {"<<=", ">>=", "...", "->*"};
-    static const char *kPunct2[] = {"+=", "-=", "*=", "/=", "%=",
-                                    "&=", "|=", "^=", "++", "--",
-                                    "::", "->", "<<", ">>", "<=",
-                                    ">=", "==", "!=", "&&", "||"};
-
-    while (i < n) {
-        const char c = src[i];
-        if (c == '\n') {
-            ++line;
-            line_has_code = false;
-            ++i;
-            continue;
-        }
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            ++i;
-            continue;
-        }
-        // Line comment.
-        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-            const size_t eol = src.find('\n', i);
-            const size_t end = eol == std::string::npos ? n : eol;
-            parseAnnotations(out, src.substr(i, end - i), line,
-                             !line_has_code);
-            i = end;
-            continue;
-        }
-        // Block comment.
-        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-            const size_t close = src.find("*/", i + 2);
-            const size_t end =
-                close == std::string::npos ? n : close + 2;
-            parseAnnotations(out, src.substr(i, end - i), line,
-                             !line_has_code);
-            line += static_cast<int>(
-                std::count(src.begin() + static_cast<long>(i),
-                           src.begin() + static_cast<long>(end),
-                           '\n'));
-            i = end;
-            continue;
-        }
-        // Preprocessor directive: '#' as first code on the line.
-        if (c == '#' && !line_has_code) {
-            PpLine pp;
-            pp.line = line;
-            size_t j = i;
-            while (j < n) {
-                if (src[j] == '\n') {
-                    if (!pp.text.empty() && pp.text.back() == '\\') {
-                        pp.text.pop_back();
-                        ++line;
-                        ++j;
-                        continue;
-                    }
-                    break;
-                }
-                pp.text.push_back(src[j]);
-                ++j;
-            }
-            out.pp.push_back(std::move(pp));
-            i = j;
-            continue;
-        }
-        line_has_code = true;
-        // String / char literal (escape-aware; raw strings are
-        // handled well enough by the escape rule for this codebase).
-        if (c == '"' || c == '\'') {
-            const char quote = c;
-            size_t j = i + 1;
-            while (j < n && src[j] != quote) {
-                if (src[j] == '\\')
-                    ++j;
-                ++j;
-            }
-            out.tokens.push_back({TokKind::String, "", line});
-            i = j < n ? j + 1 : n;
-            continue;
-        }
-        // Identifier / keyword.
-        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-            size_t j = i;
-            while (j < n && isIdentChar(src[j]))
-                ++j;
-            out.tokens.push_back(
-                {TokKind::Ident, src.substr(i, j - i), line});
-            i = j;
-            continue;
-        }
-        // Number (digits plus the usual suffix soup).
-        if (std::isdigit(static_cast<unsigned char>(c))) {
-            size_t j = i;
-            while (j < n && (isIdentChar(src[j]) || src[j] == '.' ||
-                             ((src[j] == '+' || src[j] == '-') &&
-                              (src[j - 1] == 'e' || src[j - 1] == 'E'))))
-                ++j;
-            out.tokens.push_back({TokKind::Number, "", line});
-            i = j;
-            continue;
-        }
-        // Punctuation, longest match first.
-        auto tryPunct = [&](const char *const *table, size_t count,
-                            size_t len) {
-            for (size_t t = 0; t < count; ++t) {
-                if (i + len <= n &&
-                    src.compare(i, len, table[t]) == 0) {
-                    out.tokens.push_back(
-                        {TokKind::Punct, table[t], line});
-                    i += len;
-                    return true;
-                }
-            }
-            return false;
-        };
-        if (tryPunct(kPunct3, std::size(kPunct3), 3))
-            continue;
-        if (tryPunct(kPunct2, std::size(kPunct2), 2))
-            continue;
-        out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
-        ++i;
-    }
+    const auto t1 = std::chrono::steady_clock::now();
+    std::vector<const LexedFile *> ptrs;
+    ptrs.reserve(lexed.size());
+    for (const LexedFile &f : lexed)
+        ptrs.push_back(&f);
+    program = linkProgram(ptrs, std::move(irs));
+    times.pass2Ms = msSince(t1);
     return true;
-}
-
-// ---------------------------------------------------------------------
-// Rule catalogue
-// ---------------------------------------------------------------------
-
-struct RuleInfo
-{
-    const char *id;
-    const char *summary;
-};
-
-const RuleInfo kRules[] = {
-    {"DET01", "call to rand()/srand()/rand_r() — all randomness must "
-              "flow through optimus::Rng (src/util/random)"},
-    {"DET02", "std::random_device — nondeterministic hardware entropy "
-              "breaks reproducible reruns"},
-    {"DET03", "wall-clock seed source (time(), chrono::system_clock) — "
-              "results must not depend on when they run"},
-    {"DET04", "std::unordered_map/unordered_set — iteration order "
-              "varies across standard libraries; use ordered "
-              "containers or justify membership-only use"},
-    {"DET05", "std:: random engine (mt19937 etc.) — the generated "
-              "stream is not stable across standard libraries; use "
-              "optimus::Rng"},
-    {"THR01", "compound assignment to shared (non-chunk-local) state "
-              "inside a parallelFor body — order-dependent "
-              "accumulation; route reductions through "
-              "parallelReduceSum"},
-    {"HYG01", "banned unsafe/locale-dependent libc function "
-              "(strcpy/strcat/sprintf/gets/atoi/atol/atof) — use "
-              "bounded/checked alternatives"},
-    {"HYG02", "header without include guard or #pragma once"},
-    {"HYG03", "float accumulator in a loop — accumulate in double "
-              "(chunk-order-stable precision), cast once at the end"},
-    {"COM01", "direct mutation of a byte counter outside the comm "
-              "transport layer — every reported byte must derive "
-              "from transport CommEvents (fold via CommVolume); see "
-              "DESIGN.md section 4d"},
-    {"OBS01", "direct std::chrono / clock_gettime timing outside "
-              "src/obs and src/util — all timestamps must flow "
-              "through obs::nowNs() so spans, counters, and phase "
-              "timers share one clock (see DESIGN.md section 4e)"},
-    {"SIM01", "raw SIMD intrinsic (_mm*/__m*/__mmask*) outside the "
-              "sanctioned kernel files — vector code must live in "
-              "src/tensor/simd* or src/tensor/gemm_kernels* behind "
-              "the dispatch API so every call site honors the "
-              "OPTIMUS_SIMD tier (see DESIGN.md section 8)"},
-};
-
-/** Paths (substring match) exempt from the DET family. */
-const char *kDetExemptPaths[] = {"util/random."};
-
-/**
- * Paths (substring match) exempt from COM01: the transport layer
- * itself (where byte math is supposed to live) and the trace
- * replayer (which folds recorded events into its categories).
- */
-const char *kComExemptPaths[] = {"comm/", "pipesim/trace_replay."};
-
-bool
-pathDetExempt(const std::string &path)
-{
-    for (const char *p : kDetExemptPaths) {
-        if (path.find(p) != std::string::npos)
-            return true;
-    }
-    return false;
-}
-
-bool
-pathComExempt(const std::string &path)
-{
-    for (const char *p : kComExemptPaths) {
-        if (path.find(p) != std::string::npos)
-            return true;
-    }
-    return false;
-}
-
-/**
- * Paths (substring match) exempt from SIM01: the dispatch layer's
- * kernel files — the only translation units allowed to spell raw
- * intrinsics. Everything else goes through the simd:: wrappers or
- * the GEMM panel descriptors.
- */
-const char *kSimExemptPaths[] = {"tensor/simd.",
-                                 "tensor/simd_internal.",
-                                 "tensor/gemm_kernels."};
-
-bool
-pathSimExempt(const std::string &path)
-{
-    for (const char *p : kSimExemptPaths) {
-        if (path.find(p) != std::string::npos)
-            return true;
-    }
-    return false;
-}
-
-/**
- * Paths (substring match) exempt from OBS01: the clock's home
- * (src/obs), the utility layer beneath it, and the measurement
- * harnesses (benches/tests/examples time whatever they like).
- */
-const char *kObsExemptPaths[] = {"obs/", "util/", "bench", "tests",
-                                 "examples"};
-
-bool
-pathObsExempt(const std::string &path)
-{
-    for (const char *p : kObsExemptPaths) {
-        if (path.find(p) != std::string::npos)
-            return true;
-    }
-    return false;
-}
-
-void
-addViolation(std::vector<Violation> &out, const LexedFile &f, int line,
-             const char *rule, std::string message)
-{
-    // Central suppression check.
-    auto it = f.allow.find(line);
-    if (it != f.allow.end() && it->second.count(rule))
-        return;
-    out.push_back({f.path, line, rule, std::move(message)});
-}
-
-bool
-isMemberAccess(const std::vector<Token> &t, size_t i)
-{
-    return i > 0 && t[i - 1].kind == TokKind::Punct &&
-           (t[i - 1].text == "." || t[i - 1].text == "->");
-}
-
-bool
-nextIs(const std::vector<Token> &t, size_t i, const char *text)
-{
-    return i + 1 < t.size() && t[i + 1].text == text;
-}
-
-/**
- * SIM01 target: an x86 vector intrinsic or vector-register type.
- * Matches `_mm...` calls (`_mm_`, `_mm256_`, `_mm512_`), `__m128`/
- * `__m256`/`__m512` (with d/i suffixes) and `__mmask*`.
- */
-bool
-isSimdIntrinsicIdent(const std::string &id)
-{
-    if (id.size() > 3 && id.compare(0, 3, "_mm") == 0 &&
-        (id[3] == '_' || (id[3] >= '0' && id[3] <= '9')))
-        return true;
-    if (id.size() > 3 && id.compare(0, 3, "__m") == 0 &&
-        (id[3] >= '0' && id[3] <= '9'))
-        return true;
-    if (id.rfind("__mmask", 0) == 0)
-        return true;
-    return false;
-}
-
-/** DET01..DET05 + HYG01 + OBS01 + SIM01: single-token patterns. */
-void
-checkTokenBans(const LexedFile &f, std::vector<Violation> &out)
-{
-    static const std::set<std::string> kLibcRand = {"rand", "srand",
-                                                    "rand_r"};
-    static const std::set<std::string> kEngines = {
-        "mt19937",      "mt19937_64",  "minstd_rand",
-        "minstd_rand0", "ranlux24",    "ranlux48",
-        "knuth_b",      "default_random_engine"};
-    static const std::set<std::string> kBannedFns = {
-        "strcpy", "strcat", "sprintf", "vsprintf",
-        "gets",   "atoi",   "atol",    "atoll",
-        "atof"};
-
-    const bool det_exempt = pathDetExempt(f.path);
-    const bool obs_exempt = pathObsExempt(f.path);
-    const bool sim_exempt = pathSimExempt(f.path);
-    const auto &t = f.tokens;
-    for (size_t i = 0; i < t.size(); ++i) {
-        if (t[i].kind != TokKind::Ident)
-            continue;
-        const std::string &id = t[i].text;
-        if (isMemberAccess(t, i))
-            continue;
-        if (!det_exempt) {
-            if (kLibcRand.count(id) && nextIs(t, i, "(")) {
-                addViolation(out, f, t[i].line, "DET01",
-                             "call to " + id + "()");
-            } else if (id == "random_device") {
-                addViolation(out, f, t[i].line, "DET02",
-                             "std::random_device");
-            } else if (id == "system_clock") {
-                addViolation(out, f, t[i].line, "DET03",
-                             "chrono::system_clock (use steady_clock "
-                             "for intervals; never seed from it)");
-            } else if (id == "time" && nextIs(t, i, "(")) {
-                addViolation(out, f, t[i].line, "DET03",
-                             "call to time()");
-            } else if (id == "unordered_map" ||
-                       id == "unordered_set") {
-                addViolation(out, f, t[i].line, "DET04",
-                             "std::" + id);
-            } else if (kEngines.count(id)) {
-                addViolation(out, f, t[i].line, "DET05",
-                             "std::" + id);
-            }
-        }
-        if (kBannedFns.count(id) && nextIs(t, i, "(")) {
-            addViolation(out, f, t[i].line, "HYG01",
-                         "banned function " + id + "()");
-        }
-        if (!obs_exempt) {
-            // std::chrono is always used as a namespace qualifier,
-            // so requiring `::` skips declarations of identifiers
-            // that merely share the name.
-            if (id == "chrono" && nextIs(t, i, "::")) {
-                addViolation(out, f, t[i].line, "OBS01",
-                             "std::chrono (use obs::nowNs())");
-            } else if ((id == "clock_gettime" ||
-                        id == "gettimeofday") &&
-                       nextIs(t, i, "(")) {
-                addViolation(out, f, t[i].line, "OBS01",
-                             "call to " + id + "() (use "
-                             "obs::nowNs())");
-            }
-        }
-        if (!sim_exempt && isSimdIntrinsicIdent(id)) {
-            addViolation(out, f, t[i].line, "SIM01",
-                         "raw intrinsic " + id +
-                             " (route through tensor/simd.hh)");
-        }
-    }
-}
-
-/** HYG02: headers need `#pragma once` or an #ifndef/#define guard. */
-void
-checkIncludeGuard(const LexedFile &f, std::vector<Violation> &out)
-{
-    if (!f.isHeader)
-        return;
-    std::string prev_ifndef;
-    for (const PpLine &pp : f.pp) {
-        std::stringstream ss(pp.text.substr(1));
-        std::string directive, arg;
-        ss >> directive >> arg;
-        if (directive == "pragma" && arg == "once")
-            return;
-        if (directive == "ifndef") {
-            prev_ifndef = arg;
-        } else if (directive == "define" && !prev_ifndef.empty() &&
-                   arg == prev_ifndef) {
-            return;
-        }
-    }
-    addViolation(out, f, 1, "HYG02",
-                 "header has no include guard or #pragma once");
-}
-
-/** Type keywords that can start a local declaration. */
-bool
-isTypeKeyword(const std::string &s)
-{
-    static const std::set<std::string> kTypes = {
-        "float",    "double",   "int",      "long",     "short",
-        "unsigned", "signed",   "bool",     "char",     "auto",
-        "size_t",   "ssize_t",  "int8_t",   "int16_t",  "int32_t",
-        "int64_t",  "uint8_t",  "uint16_t", "uint32_t", "uint64_t",
-        "intptr_t", "uintptr_t", "ptrdiff_t"};
-    return kTypes.count(s) != 0;
-}
-
-/** Heuristic: an uppercase-initial identifier is a class type. */
-bool
-looksLikeTypeName(const std::string &s)
-{
-    return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
-}
-
-bool
-isStatementBoundary(const std::vector<Token> &t, size_t i)
-{
-    if (i == 0)
-        return true;
-    const Token &p = t[i - 1];
-    return p.kind == TokKind::Punct &&
-           (p.text == ";" || p.text == "{" || p.text == "}" ||
-            p.text == "(" || p.text == ",");
-}
-
-/**
- * Collect identifiers declared in tokens [begin, end): lambda
- * parameters and block-local variables. Pointer declarators are
- * excluded on purpose — `float *p` makes p chunk-local but *p is
- * not, and the write through it is what the caller wants to inspect.
- */
-std::set<std::string>
-collectLocalDecls(const std::vector<Token> &t, size_t begin, size_t end)
-{
-    std::set<std::string> locals;
-    for (size_t i = begin; i < end; ++i) {
-        if (t[i].kind != TokKind::Ident)
-            continue;
-        const bool type_start =
-            isTypeKeyword(t[i].text) || looksLikeTypeName(t[i].text);
-        if (!type_start || !isStatementBoundary(t, i))
-            continue;
-        // Skip over the (possibly multi-keyword) type and cv
-        // qualifiers: `const unsigned long long x`, `Tensor &q`.
-        size_t j = i;
-        bool pointer = false;
-        while (j < end &&
-               ((t[j].kind == TokKind::Ident &&
-                 (isTypeKeyword(t[j].text) || t[j].text == "const" ||
-                  t[j].text == "constexpr" ||
-                  looksLikeTypeName(t[j].text))) ||
-                (t[j].kind == TokKind::Punct &&
-                 (t[j].text == "*" || t[j].text == "&" ||
-                  t[j].text == "::")))) {
-            if (t[j].text == "*")
-                pointer = true;
-            ++j;
-        }
-        if (j >= end || t[j].kind != TokKind::Ident)
-            continue;
-        // The declarator must be followed by an init/terminator.
-        if (!(nextIs(t, j, "=") || nextIs(t, j, ";") ||
-              nextIs(t, j, ",") || nextIs(t, j, "(") ||
-              nextIs(t, j, "[") || nextIs(t, j, "{") ||
-              nextIs(t, j, ")") || nextIs(t, j, ":")))
-            continue;
-        if (!pointer)
-            locals.insert(t[j].text);
-        i = j;
-    }
-    return locals;
-}
-
-/** Index of the matching closer for the opener at t[open]. */
-size_t
-matchBracket(const std::vector<Token> &t, size_t open,
-             const char *open_text, const char *close_text)
-{
-    int depth = 0;
-    for (size_t i = open; i < t.size(); ++i) {
-        if (t[i].kind != TokKind::Punct)
-            continue;
-        if (t[i].text == open_text)
-            ++depth;
-        else if (t[i].text == close_text && --depth == 0)
-            return i;
-    }
-    return t.size();
-}
-
-bool
-isCompoundAssign(const Token &tok)
-{
-    static const std::set<std::string> kOps = {
-        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
-    return tok.kind == TokKind::Punct && kOps.count(tok.text) != 0;
-}
-
-/**
- * THR01: inside a `parallelFor` lambda, compound assignment or
- * increment of an identifier that is neither a lambda parameter nor
- * declared inside the lambda is an order-dependent write to shared
- * state. Indexed stores (`c[i] += ...`) are exempt: disjoint-output
- * indexing is the pool's documented contract and cannot be validated
- * lexically. `parallelReduceSum` bodies are exempt by design — their
- * local partial sums are the sanctioned accumulation pattern.
- */
-void
-checkParallelForWrites(const LexedFile &f, std::vector<Violation> &out)
-{
-    const auto &t = f.tokens;
-    for (size_t i = 0; i < t.size(); ++i) {
-        if (t[i].kind != TokKind::Ident || t[i].text != "parallelFor" ||
-            !nextIs(t, i, "("))
-            continue;
-        // Find the lambda capture: a '[' in argument position.
-        size_t cap = i + 2;
-        while (cap < t.size() &&
-               !(t[cap].text == "[" && t[cap].kind == TokKind::Punct &&
-                 t[cap - 1].kind == TokKind::Punct &&
-                 (t[cap - 1].text == "(" || t[cap - 1].text == ",")))
-            ++cap;
-        if (cap >= t.size())
-            continue;
-        const size_t cap_end = matchBracket(t, cap, "[", "]");
-        size_t body = cap_end + 1;
-        while (body < t.size() && t[body].text != "{")
-            ++body;
-        const size_t body_end = matchBracket(t, body, "{", "}");
-        if (body_end >= t.size())
-            continue;
-
-        // Params + block-locals count as chunk-local.
-        const std::set<std::string> locals =
-            collectLocalDecls(t, cap_end + 1, body_end);
-
-        for (size_t k = body + 1; k < body_end; ++k) {
-            std::string target;
-            if (isCompoundAssign(t[k])) {
-                if (t[k - 1].kind == TokKind::Ident)
-                    target = t[k - 1].text;
-                else
-                    continue; // indexed / parenthesized store
-            } else if (t[k].kind == TokKind::Punct &&
-                       (t[k].text == "++" || t[k].text == "--")) {
-                if (t[k - 1].kind == TokKind::Ident)
-                    target = t[k - 1].text;
-                else if (t[k + 1].kind == TokKind::Ident)
-                    target = t[k + 1].text;
-                else
-                    continue;
-            } else {
-                continue;
-            }
-            if (locals.count(target) || isMemberAccess(t, k - 1))
-                continue;
-            addViolation(out, f, t[k].line, "THR01",
-                         "write to shared '" + target +
-                             "' inside parallelFor body (use "
-                             "parallelReduceSum or chunk-local "
-                             "state)");
-        }
-        i = body_end;
-    }
-}
-
-/**
- * HYG03: a `float` (not double) scalar that receives `+=`/`-=`
- * inside a loop accumulates rounding error linearly and, worse,
- * makes the result depend on summation order. The project-wide rule
- * is: accumulate in double, convert once.
- */
-void
-checkFloatAccumulators(const LexedFile &f, std::vector<Violation> &out)
-{
-    const auto &t = f.tokens;
-    // Pass 1: scalar float/double declarations, in token order. The
-    // accumulator check below resolves a name to its *nearest
-    // preceding* declaration, which approximates lexical scoping
-    // well enough to keep same-named variables in sibling functions
-    // from cross-contaminating.
-    std::map<std::string, std::vector<std::pair<size_t, bool>>> decls;
-    for (size_t i = 0; i + 1 < t.size(); ++i) {
-        if (t[i].kind != TokKind::Ident ||
-            (t[i].text != "float" && t[i].text != "double"))
-            continue;
-        const bool is_float = t[i].text == "float";
-        size_t j = i + 1;
-        bool pointer = false;
-        while (j < t.size() && t[j].kind == TokKind::Punct &&
-               (t[j].text == "*" || t[j].text == "&")) {
-            pointer = pointer || t[j].text == "*";
-            ++j;
-        }
-        if (!pointer && j < t.size() && t[j].kind == TokKind::Ident &&
-            (nextIs(t, j, "=") || nextIs(t, j, ";")))
-            decls[t[j].text].emplace_back(j, is_float);
-    }
-    if (decls.empty())
-        return;
-
-    // Pass 2: loop body ranges (brace-delimited for/while bodies and
-    // single-statement bodies up to ';').
-    std::vector<std::pair<size_t, size_t>> loops;
-    for (size_t i = 0; i < t.size(); ++i) {
-        if (t[i].kind != TokKind::Ident ||
-            (t[i].text != "for" && t[i].text != "while") ||
-            !nextIs(t, i, "("))
-            continue;
-        const size_t close = matchBracket(t, i + 1, "(", ")");
-        if (close >= t.size())
-            continue;
-        size_t body_begin = close + 1;
-        size_t body_end;
-        if (body_begin < t.size() && t[body_begin].text == "{") {
-            body_end = matchBracket(t, body_begin, "{", "}");
-        } else {
-            body_end = body_begin;
-            while (body_end < t.size() && t[body_end].text != ";")
-                ++body_end;
-        }
-        loops.emplace_back(body_begin, body_end);
-    }
-
-    // Pass 3: += / -= on a float-declared var inside any loop range.
-    for (size_t k = 0; k < t.size(); ++k) {
-        if (!(t[k].kind == TokKind::Punct &&
-              (t[k].text == "+=" || t[k].text == "-=")))
-            continue;
-        if (k == 0 || t[k - 1].kind != TokKind::Ident)
-            continue;
-        const auto d = decls.find(t[k - 1].text);
-        if (d == decls.end())
-            continue;
-        // Nearest declaration before this use decides the type.
-        bool declared_float = false;
-        bool found = false;
-        for (const auto &[idx, is_float] : d->second) {
-            if (idx < k) {
-                declared_float = is_float;
-                found = true;
-            }
-        }
-        if (!found || !declared_float)
-            continue;
-        if (isMemberAccess(t, k - 1))
-            continue;
-        const bool in_loop =
-            std::any_of(loops.begin(), loops.end(),
-                        [k](const std::pair<size_t, size_t> &r) {
-                            return k > r.first && k < r.second;
-                        });
-        if (in_loop) {
-            addViolation(out, f, t[k].line, "HYG03",
-                         "float accumulator '" + t[k - 1].text +
-                             "' in loop (accumulate in double)");
-        }
-    }
-}
-
-/**
- * COM01: compound assignment or increment of an identifier whose
- * name contains "bytes" is hand-maintained byte bookkeeping, which
- * the comm transport layer made obsolete: components fold the
- * CommEvents the transport returns (CommVolume::add) so every
- * reported byte is provably derived from the event stream. Unlike
- * THR01, member-access targets *are* flagged — `stats.fooBytes += x`
- * is exactly the pattern the rule exists to catch. The transport
- * layer and the trace replayer are exempt by path; the few
- * sanctioned view-fold sites carry `optlint:allow(COM01)` with a
- * justification.
- */
-void
-checkByteCounterWrites(const LexedFile &f, std::vector<Violation> &out)
-{
-    if (pathComExempt(f.path))
-        return;
-    const auto &t = f.tokens;
-    for (size_t k = 0; k < t.size(); ++k) {
-        std::string target;
-        if (isCompoundAssign(t[k])) {
-            if (k > 0 && t[k - 1].kind == TokKind::Ident)
-                target = t[k - 1].text;
-        } else if (t[k].kind == TokKind::Punct &&
-                   (t[k].text == "++" || t[k].text == "--")) {
-            if (k > 0 && t[k - 1].kind == TokKind::Ident)
-                target = t[k - 1].text;
-            else if (k + 1 < t.size() &&
-                     t[k + 1].kind == TokKind::Ident)
-                target = t[k + 1].text;
-        }
-        if (target.empty())
-            continue;
-        std::string lower = target;
-        std::transform(lower.begin(), lower.end(), lower.begin(),
-                       [](unsigned char c) {
-                           return static_cast<char>(std::tolower(c));
-                       });
-        if (lower.find("bytes") == std::string::npos)
-            continue;
-        addViolation(out, f, t[k].line, "COM01",
-                     "byte counter '" + target +
-                         "' mutated outside the comm transport "
-                         "layer (fold transport CommEvents via "
-                         "CommVolume instead)");
-    }
-}
-
-// ---------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------
-
-bool
-isSourceFile(const fs::path &p)
-{
-    const std::string ext = p.extension().string();
-    return ext == ".cc" || ext == ".cpp" || ext == ".hh" ||
-           ext == ".h" || ext == ".hpp";
-}
-
-void
-collectFiles(const fs::path &root, std::vector<fs::path> &out)
-{
-    if (fs::is_regular_file(root)) {
-        if (isSourceFile(root))
-            out.push_back(root);
-        return;
-    }
-    if (!fs::is_directory(root))
-        return;
-    for (const auto &entry : fs::recursive_directory_iterator(root)) {
-        if (entry.is_regular_file() && isSourceFile(entry.path()))
-            out.push_back(entry.path());
-    }
-}
-
-std::string
-displayPath(const fs::path &p, const fs::path &root)
-{
-    std::error_code ec;
-    const fs::path rel = fs::relative(p, root, ec);
-    if (ec || rel.empty() || rel.native()[0] == '.')
-        return p.generic_string();
-    return rel.generic_string();
-}
-
-void
-runRules(const LexedFile &f, std::vector<Violation> &out)
-{
-    checkTokenBans(f, out);
-    checkIncludeGuard(f, out);
-    checkParallelForWrites(f, out);
-    checkFloatAccumulators(f, out);
-    checkByteCounterWrites(f, out);
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
-}
-
-void
-printHuman(const std::vector<Violation> &violations)
-{
-    for (const Violation &v : violations) {
-        std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(),
-                     v.line, v.rule.c_str(), v.message.c_str());
-    }
-    std::fprintf(stderr, "optlint: %zu violation(s)\n",
-                 violations.size());
-}
-
-void
-printJson(const std::vector<Violation> &violations)
-{
-    std::printf("{\n  \"violations\": [");
-    for (size_t i = 0; i < violations.size(); ++i) {
-        const Violation &v = violations[i];
-        std::printf("%s\n    {\"file\": \"%s\", \"line\": %d, "
-                    "\"rule\": \"%s\", \"message\": \"%s\"}",
-                    i ? "," : "", jsonEscape(v.file).c_str(), v.line,
-                    v.rule.c_str(), jsonEscape(v.message).c_str());
-    }
-    std::printf("\n  ],\n  \"count\": %zu\n}\n", violations.size());
 }
 
 /**
  * Self-test: every `optlint:expect(RULE)` annotation in the fixture
- * set must be flagged, and nothing else may be. This is the rule
- * engine's own regression suite (wired into ctest).
+ * set must be flagged, and nothing else may be. Each top-level
+ * fixture file is analyzed as its own program; each top-level
+ * fixture *directory* is analyzed as one multi-TU program, which is
+ * how the cross-TU call-graph cases (fixtures/crosstu) exercise
+ * pass 2. Expected findings are compared against the filtered rule
+ * findings plus the --audit-suppressions findings, so SUP01
+ * fixtures validate the audit path too.
  */
 int
 runSelfTest(const fs::path &fixture_dir)
 {
-    std::vector<fs::path> files;
-    collectFiles(fixture_dir, files);
-    if (files.empty()) {
+    if (!fs::is_directory(fixture_dir)) {
         std::fprintf(stderr, "optlint: no fixtures under %s\n",
                      fixture_dir.string().c_str());
         return 2;
     }
-    std::sort(files.begin(), files.end());
+    // One "unit" = one program: a single file or a whole subdir.
+    std::vector<std::vector<fs::path>> units;
+    std::vector<fs::path> entries;
+    for (const auto &entry : fs::directory_iterator(fixture_dir))
+        entries.push_back(entry.path());
+    std::sort(entries.begin(), entries.end());
+    for (const fs::path &p : entries) {
+        if (fs::is_regular_file(p) && isSourceFile(p)) {
+            units.push_back({p});
+        } else if (fs::is_directory(p)) {
+            std::vector<fs::path> group;
+            collectFiles(p, group);
+            std::sort(group.begin(), group.end());
+            if (!group.empty())
+                units.push_back(std::move(group));
+        }
+    }
+    if (units.empty()) {
+        std::fprintf(stderr, "optlint: no fixtures under %s\n",
+                     fixture_dir.string().c_str());
+        return 2;
+    }
 
     int mismatches = 0;
-    size_t expected_total = 0;
-    for (const fs::path &file : files) {
-        LexedFile lexed;
-        if (!lexFile(file, displayPath(file, fixture_dir), lexed)) {
-            std::fprintf(stderr, "optlint: cannot read %s\n",
-                         file.string().c_str());
+    size_t expected_total = 0, file_total = 0;
+    for (const std::vector<fs::path> &unit : units) {
+        std::vector<LexedFile> lexed;
+        Program program;
+        PassTimes times;
+        if (!analyze(unit, fixture_dir, 1, lexed, program, times))
             return 2;
-        }
-        std::vector<Violation> found;
-        runRules(lexed, found);
+        file_total += unit.size();
 
-        std::set<std::pair<int, std::string>> got, want;
-        for (const Violation &v : found)
-            got.insert({v.line, v.rule});
-        for (const auto &[line, rules] : lexed.expect) {
-            for (const std::string &r : rules)
-                want.insert({line, r});
-        }
-        expected_total += want.size();
-        for (const auto &w : want) {
-            if (!got.count(w)) {
-                std::fprintf(stderr, "MISSED   %s:%d %s\n",
-                             lexed.path.c_str(), w.first,
-                             w.second.c_str());
-                ++mismatches;
+        const std::vector<Violation> raw = runAllRules(program);
+        std::vector<Violation> found = filterSuppressed(raw, program);
+        const std::vector<Violation> stale =
+            auditSuppressions(raw, program);
+        found.insert(found.end(), stale.begin(), stale.end());
+
+        // Compare per file so mismatch reports name the fixture.
+        for (const LexedFile &f : lexed) {
+            std::set<std::pair<int, std::string>> got, want;
+            for (const Violation &v : found) {
+                if (v.file == f.path)
+                    got.insert({v.line, v.rule});
             }
-        }
-        for (const auto &g : got) {
-            if (!want.count(g)) {
-                std::fprintf(stderr, "SPURIOUS %s:%d %s\n",
-                             lexed.path.c_str(), g.first,
-                             g.second.c_str());
-                ++mismatches;
+            for (const auto &[line, rules] : f.expect) {
+                for (const std::string &r : rules)
+                    want.insert({line, r});
+            }
+            expected_total += want.size();
+            for (const auto &w : want) {
+                if (!got.count(w)) {
+                    std::fprintf(stderr, "MISSED   %s:%d %s\n",
+                                 f.path.c_str(), w.first,
+                                 w.second.c_str());
+                    ++mismatches;
+                }
+            }
+            for (const auto &g : got) {
+                if (!want.count(g)) {
+                    std::fprintf(stderr, "SPURIOUS %s:%d %s\n",
+                                 f.path.c_str(), g.first,
+                                 g.second.c_str());
+                    ++mismatches;
+                }
             }
         }
     }
     std::fprintf(stderr,
                  "optlint self-test: %zu expected findings across %zu "
                  "fixture files, %d mismatch(es)\n",
-                 expected_total, files.size(), mismatches);
+                 expected_total, file_total, mismatches);
     return mismatches == 0 ? 0 : 1;
 }
 
@@ -1016,25 +226,43 @@ main(int argc, char **argv)
     using namespace optlint;
 
     bool json = false;
+    bool audit = false;
+    bool dump_ir = false;
+    std::string sarif_path;
     fs::path root = fs::current_path();
+    unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json") {
             json = true;
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            sarif_path = argv[++i];
         } else if (arg == "--root" && i + 1 < argc) {
             root = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<unsigned>(
+                std::max(1, std::atoi(argv[++i])));
+        } else if (arg == "--audit-suppressions") {
+            audit = true;
+        } else if (arg == "--dump-ir") {
+            dump_ir = true;
         } else if (arg == "--self-test" && i + 1 < argc) {
             return runSelfTest(argv[++i]);
         } else if (arg == "--list-rules") {
-            for (const RuleInfo &r : kRules)
-                std::printf("%s  %s\n", r.id, r.summary);
+            for (size_t r = 0; r < kRuleCount; ++r)
+                std::printf("%s  %s\n", kRules[r].id,
+                            kRules[r].summary);
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: optlint [--json] [--root DIR] PATH...\n"
+                "usage: optlint [--json] [--sarif FILE] [--root DIR] "
+                "[--jobs N] PATH...\n"
+                "       optlint --audit-suppressions [--root DIR] "
+                "PATH...\n"
                 "       optlint --self-test FIXTURE_DIR\n"
+                "       optlint --dump-ir [--root DIR] PATH...\n"
                 "       optlint --list-rules\n");
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -1065,23 +293,40 @@ main(int argc, char **argv)
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    std::vector<Violation> violations;
-    for (const fs::path &file : files) {
-        LexedFile lexed;
-        if (!lexFile(file, displayPath(file, root), lexed)) {
-            std::fprintf(stderr, "optlint: cannot read %s\n",
-                         file.string().c_str());
-            return 2;
-        }
-        runRules(lexed, violations);
+    std::vector<LexedFile> lexed;
+    Program program;
+    PassTimes times;
+    if (!analyze(files, root, jobs, lexed, program, times))
+        return 2;
+
+    if (dump_ir) {
+        dumpProgram(program);
+        return 0;
     }
 
+    const std::vector<Violation> raw = runAllRules(program);
+    const std::vector<Violation> findings =
+        audit ? auditSuppressions(raw, program)
+              : filterSuppressed(raw, program);
+
+    std::fprintf(stderr,
+                 "optlint: %zu file(s), pass1 %ld ms (%u thread%s), "
+                 "pass2 %ld ms\n",
+                 files.size(), times.pass1Ms, times.jobs,
+                 times.jobs == 1 ? "" : "s", times.pass2Ms);
+
+    if (!sarif_path.empty() && !writeSarif(findings, sarif_path)) {
+        std::fprintf(stderr, "optlint: cannot write SARIF to %s\n",
+                     sarif_path.c_str());
+        return 2;
+    }
     if (json)
-        printJson(violations);
-    else if (!violations.empty())
-        printHuman(violations);
+        printJson(findings);
+    else if (!findings.empty())
+        printHuman(findings);
     else
-        std::fprintf(stderr, "optlint: %zu file(s) clean\n",
-                     files.size());
-    return violations.empty() ? 0 : 1;
+        std::fprintf(stderr, "optlint: %zu file(s) clean%s\n",
+                     files.size(),
+                     audit ? " (no stale suppressions)" : "");
+    return findings.empty() ? 0 : 1;
 }

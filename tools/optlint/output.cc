@@ -1,0 +1,129 @@
+#include "output.hh"
+
+#include <cstdio>
+#include <fstream>
+
+namespace optlint
+{
+
+namespace
+{
+
+/** Escape for embedding in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+printHuman(const std::vector<Violation> &violations)
+{
+    for (const Violation &v : violations) {
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(),
+                     v.line, v.rule.c_str(), v.message.c_str());
+    }
+    std::fprintf(stderr, "optlint: %zu violation(s)\n",
+                 violations.size());
+}
+
+void
+printJson(const std::vector<Violation> &violations)
+{
+    std::printf("{\n  \"violations\": [");
+    for (size_t i = 0; i < violations.size(); ++i) {
+        const Violation &v = violations[i];
+        std::printf("%s\n    {\"file\": \"%s\", \"line\": %d, "
+                    "\"rule\": \"%s\", \"message\": \"%s\"}",
+                    i ? "," : "", jsonEscape(v.file).c_str(), v.line,
+                    v.rule.c_str(), jsonEscape(v.message).c_str());
+    }
+    std::printf("\n  ],\n  \"count\": %zu\n}\n", violations.size());
+}
+
+bool
+writeSarif(const std::vector<Violation> &violations,
+           const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+
+    out << "{\n"
+           "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+           "  \"version\": \"2.1.0\",\n"
+           "  \"runs\": [\n"
+           "    {\n"
+           "      \"tool\": {\n"
+           "        \"driver\": {\n"
+           "          \"name\": \"optlint\",\n"
+           "          \"informationUri\": "
+           "\"https://example.invalid/optlint\",\n"
+           "          \"rules\": [";
+    for (size_t i = 0; i < kRuleCount; ++i) {
+        const RuleInfo &r = kRules[i];
+        out << (i ? "," : "") << "\n            {\"id\": \""
+            << r.id << "\", \"shortDescription\": {\"text\": \""
+            << jsonEscape(r.summary) << "\"}}";
+    }
+    out << "\n          ]\n"
+           "        }\n"
+           "      },\n"
+           "      \"results\": [";
+    for (size_t i = 0; i < violations.size(); ++i) {
+        const Violation &v = violations[i];
+        out << (i ? "," : "") << "\n        {\n"
+            << "          \"ruleId\": \"" << jsonEscape(v.rule)
+            << "\",\n"
+            << "          \"level\": \"error\",\n"
+            << "          \"message\": {\"text\": \""
+            << jsonEscape(v.message) << "\"},\n"
+            << "          \"locations\": [\n"
+            << "            {\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << jsonEscape(v.file)
+            << "\"}, \"region\": {\"startLine\": " << v.line
+            << "}}}\n"
+            << "          ]\n"
+            << "        }";
+    }
+    out << "\n      ]\n"
+           "    }\n"
+           "  ]\n"
+           "}\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace optlint

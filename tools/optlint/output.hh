@@ -1,0 +1,35 @@
+/**
+ * @file
+ * optlint report writers: the human/stderr and JSON formats carried
+ * over from the single-TU analyzer, plus SARIF 2.1.0 for GitHub
+ * code scanning upload.
+ */
+
+#ifndef OPTLINT_OUTPUT_HH
+#define OPTLINT_OUTPUT_HH
+
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace optlint
+{
+
+/** `file:line: [RULE] message` lines + a count, on stderr. */
+void printHuman(const std::vector<Violation> &violations);
+
+/** The stable `{"violations": [...], "count": N}` JSON on stdout. */
+void printJson(const std::vector<Violation> &violations);
+
+/**
+ * Write a SARIF 2.1.0 log to @p path: one run, tool.driver.rules
+ * from the kRules catalogue, one result per violation. Returns
+ * false when the file cannot be written.
+ */
+bool writeSarif(const std::vector<Violation> &violations,
+                const std::string &path);
+
+} // namespace optlint
+
+#endif // OPTLINT_OUTPUT_HH

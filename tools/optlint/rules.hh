@@ -1,0 +1,64 @@
+/**
+ * @file
+ * optlint rule engine: the token-pattern rules carried over from
+ * the single-TU analyzer plus the semantic rules that consume the
+ * whole-repo IR (THR02 / LIFE01 / ALLOC01 / DET06), suppression
+ * filtering, and the `--audit-suppressions` stale-allow check.
+ */
+
+#ifndef OPTLINT_RULES_HH
+#define OPTLINT_RULES_HH
+
+#include <string>
+#include <vector>
+
+#include "ir.hh"
+#include "lexer.hh"
+
+namespace optlint
+{
+
+/** One finding: a rule violated at a file:line. */
+struct Violation
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+struct RuleInfo
+{
+    const char *id;
+    const char *summary;
+};
+
+/** The rule catalogue (shared by --list-rules and SARIF output). */
+extern const RuleInfo kRules[];
+extern const size_t kRuleCount;
+
+/**
+ * Run every rule — token rules per file, semantic rules over the
+ * linked program — and return the RAW findings, i.e. before any
+ * `optlint:allow` filtering. Sorted by (file, line, rule) and
+ * deduplicated.
+ */
+std::vector<Violation> runAllRules(const Program &program);
+
+/** Drop findings covered by an `optlint:allow` on their line. */
+std::vector<Violation>
+filterSuppressed(const std::vector<Violation> &raw,
+                 const Program &program);
+
+/**
+ * SUP01: `optlint:allow` annotations whose rule no longer fires on
+ * any line they cover. @p raw must be unfiltered findings so a live
+ * suppression can be recognized as live.
+ */
+std::vector<Violation>
+auditSuppressions(const std::vector<Violation> &raw,
+                  const Program &program);
+
+} // namespace optlint
+
+#endif // OPTLINT_RULES_HH
