@@ -11,6 +11,11 @@
 
 #include "bench_util.hh"
 
+#include "compress/powersgd.hh"
+#include "runtime/runtime.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
 using namespace optimus;
 using namespace optimus::bench;
 
@@ -62,5 +67,96 @@ main()
     trend.print();
     std::printf("\npaper: >= 19.2%% total speedup in every "
                 "configuration\n");
+
+    // Measured leg: the ablation ladder above is the analytic A100
+    // model only. Run the real CB kernel (PowerSGD compress, paper
+    // rank 16) on the pipeline-boundary activation each config
+    // actually ships — [microbatch*seq x hidden/TP] — at every
+    // SIMD dispatch tier, so BENCH_fig14.json captures SIMD at
+    // model scale (per-config boundary shapes), not just the
+    // kernel-scale sweeps in BENCH_compress.json.
+    std::printf("\nmeasured CB kernel at each config's boundary "
+                "shape (GB/s, best of 3):\n");
+    const std::vector<simd::Tier> tiers = supportedTiers();
+    const int64_t micro_batch = 8;
+    const int64_t rows = micro_batch * model.seqLen;
+    struct TierRow
+    {
+        std::string config;
+        int64_t rows;
+        int64_t cols;
+        std::vector<std::pair<simd::Tier, double>> rates;
+    };
+    std::vector<TierRow> tierRows;
+    const simd::Tier auto_tier = simd::tier();
+    std::vector<std::string> header{"Config", "Boundary shape"};
+    for (simd::Tier t : tiers)
+        header.push_back(simd::tierName(t));
+    TablePrinter measured(header);
+    Rng rng(21);
+    for (const auto &[tp, pp] :
+         {std::pair{8, 4}, {4, 8}, {2, 16}}) {
+        const int64_t cols = model.hidden / tp;
+        Tensor boundary = Tensor::randn({rows, cols}, rng);
+        PowerSgdCompressor comp(16, 7);
+        Tensor out;
+        TierRow row;
+        char label[32];
+        std::snprintf(label, sizeof(label), "TP%d/PP%d", tp, pp);
+        row.config = label;
+        row.rows = rows;
+        row.cols = cols;
+        std::vector<std::string> cells{label};
+        char shape[32];
+        std::snprintf(shape, sizeof(shape), "%lld x %lld",
+                      static_cast<long long>(rows),
+                      static_cast<long long>(cols));
+        cells.emplace_back(shape);
+        for (simd::Tier t : tiers) {
+            simd::setTier(t);
+            const double secs = bestSeconds(3, [&] {
+                comp.reset();
+                comp.compress(boundary, out);
+            });
+            const double gbps =
+                static_cast<double>(rows) * cols * 4 / secs / 1e9;
+            row.rates.emplace_back(t, gbps);
+            cells.push_back(TablePrinter::fmt(gbps, 2));
+        }
+        simd::setTier(auto_tier);
+        measured.addRow(cells);
+        tierRows.push_back(row);
+    }
+    measured.print();
+
+    FILE *f = std::fopen("BENCH_fig14.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_fig14.json\n");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig14\",\n");
+    std::fprintf(f, "  \"threads\": %d,\n", runtimeThreads());
+    std::fprintf(f, "  \"unit\": \"GB/s\",\n");
+    std::fprintf(f, "  \"kernel\": \"powersgd(r=16) compress\",\n");
+    std::fprintf(f, "  \"configs\": [\n");
+    for (size_t i = 0; i < tierRows.size(); ++i) {
+        const TierRow &r = tierRows[i];
+        std::fprintf(f,
+                     "    {\"config\": \"%s\", \"rows\": %lld, "
+                     "\"cols\": %lld, \"tiers\": {",
+                     r.config.c_str(),
+                     static_cast<long long>(r.rows),
+                     static_cast<long long>(r.cols));
+        for (size_t j = 0; j < r.rates.size(); ++j)
+            std::fprintf(f, "\"%s\": %.2f%s",
+                         simd::tierName(r.rates[j].first),
+                         r.rates[j].second,
+                         j + 1 < r.rates.size() ? ", " : "");
+        std::fprintf(f, "}}%s\n",
+                     i + 1 < tierRows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nper-tier results written to BENCH_fig14.json\n");
     return 0;
 }

@@ -15,8 +15,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
 #include "compress/powersgd.hh"
 #include "pipesim/throughput_model.hh"
+#include "runtime/runtime.hh"
 #include "tensor/matmul.hh"
 #include "tensor/tensor.hh"
 #include "util/random.hh"
@@ -116,8 +118,98 @@ main(int argc, char **argv)
         "decompress 8320 GB/s;\ninterconnect 25 GB/s (red line) -- "
         "both sides must stay above it.\ntrends: throughput rises "
         "with size, compression falls with rank\n(orthogonalization "
-        "~80%% of cost).\n\nCPU kernel microbenchmarks "
-        "(google-benchmark):\n");
+        "~80%% of cost).\n");
+
+    // Per-tier legs at the paper's model-scale boundary shapes: the
+    // google-benchmark sweep below runs whatever tier the dispatch
+    // resolves, so BENCH_fig15.json additionally records our real
+    // compress/decompress kernels at every SIMD tier (forced via
+    // simd::setTier) on the fig 15 anchor shapes — SIMD at model
+    // scale, complementing BENCH_compress.json's kernel scale.
+    std::printf("\nmeasured CPU kernels per SIMD tier at the anchor "
+                "shapes (GB/s, best of 3):\n");
+    const std::vector<simd::Tier> tiers = bench::supportedTiers();
+    const simd::Tier auto_tier = simd::tier();
+    const int rank16 = 16;
+    struct TierRow
+    {
+        std::string kernel;
+        std::string shape;
+        std::vector<std::pair<simd::Tier, double>> rates;
+    };
+    std::vector<TierRow> tierRows;
+    std::vector<std::string> header{"Kernel", "Shape"};
+    for (simd::Tier t : tiers)
+        header.push_back(simd::tierName(t));
+    TablePrinter measured(header);
+    Rng rng(1);
+    for (const auto &shape : shapes) {
+        const int64_t m = static_cast<int64_t>(shape.m);
+        const int64_t n = static_cast<int64_t>(shape.n);
+        Tensor input = Tensor::randn({m, n}, rng);
+        Tensor p_hat = Tensor::randn({m, rank16}, rng);
+        Tensor q_hat = Tensor::randn({n, rank16}, rng);
+        PowerSgdCompressor comp(rank16, 7);
+        Tensor out;
+        const double bytes = static_cast<double>(m) * n * 4;
+        char label[48];
+        std::snprintf(label, sizeof(label), "%lld x %lld r16",
+                      static_cast<long long>(m),
+                      static_cast<long long>(n));
+        const auto addRow = [&](const char *kernel,
+                                const std::function<void()> &fn) {
+            TierRow row;
+            row.kernel = kernel;
+            row.shape = label;
+            std::vector<std::string> cells{kernel, label};
+            for (simd::Tier t : tiers) {
+                simd::setTier(t);
+                const double gbps =
+                    bytes / bench::bestSeconds(3, fn) / 1e9;
+                row.rates.emplace_back(t, gbps);
+                cells.push_back(TablePrinter::fmt(gbps, 2));
+            }
+            simd::setTier(auto_tier);
+            measured.addRow(cells);
+            tierRows.push_back(row);
+        };
+        addRow("compress", [&] {
+            comp.reset();
+            comp.compress(input, out);
+        });
+        addRow("decompress", [&] {
+            Tensor dec = matmulNT(p_hat, q_hat);
+            benchmark::DoNotOptimize(dec.data());
+        });
+    }
+    measured.print();
+
+    FILE *f = std::fopen("BENCH_fig15.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_fig15.json\n");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig15\",\n");
+    std::fprintf(f, "  \"threads\": %d,\n", runtimeThreads());
+    std::fprintf(f, "  \"unit\": \"GB/s\",\n  \"kernels\": [\n");
+    for (size_t i = 0; i < tierRows.size(); ++i) {
+        const TierRow &r = tierRows[i];
+        std::fprintf(f,
+                     "    {\"kernel\": \"%s\", \"shape\": \"%s\", "
+                     "\"tiers\": {",
+                     r.kernel.c_str(), r.shape.c_str());
+        for (size_t j = 0; j < r.rates.size(); ++j)
+            std::fprintf(f, "\"%s\": %.2f%s",
+                         simd::tierName(r.rates[j].first),
+                         r.rates[j].second,
+                         j + 1 < r.rates.size() ? ", " : "");
+        std::fprintf(f, "}}%s\n",
+                     i + 1 < tierRows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nper-tier results written to BENCH_fig15.json\n"
+                "\nCPU kernel microbenchmarks (google-benchmark):\n");
 
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -10,10 +10,14 @@
 #ifndef OPTIMUS_BENCH_BENCH_UTIL_HH
 #define OPTIMUS_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/optimus.hh"
+#include "tensor/simd.hh"
 #include "util/cli.hh"
 #include "util/table_printer.hh"
 
@@ -61,6 +65,52 @@ withPaper(double measured, const char *paper_value, int precision = 2)
     std::snprintf(buf, sizeof(buf), "%.*f (paper %s)", precision,
                   measured, paper_value);
     return buf;
+}
+
+/** Monotonic wall-clock seconds (for best-of-reps timing). */
+inline double
+wallSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Best-of-@p reps wall seconds for one call of @p fn, after one
+ * unmeasured warm-up call (arena sizing, scratch ratchets, warm
+ * compressor state). Best-of, not mean: the shared box's scheduling
+ * noise is strictly additive.
+ */
+inline double
+bestSeconds(int reps, const std::function<void()> &fn)
+{
+    fn();
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const double t0 = wallSeconds();
+        fn();
+        const double dt = wallSeconds() - t0;
+        if (dt < best)
+            best = dt;
+    }
+    return best;
+}
+
+/**
+ * Dispatch tiers this host supports, scalar first — the per-tier
+ * sweep order every BENCH_*.json uses (forced via simd::setTier,
+ * exactly like OPTIMUS_SIMD would resolve them).
+ */
+inline std::vector<simd::Tier>
+supportedTiers()
+{
+    std::vector<simd::Tier> tiers;
+    for (simd::Tier t : {simd::Tier::Scalar, simd::Tier::Avx2,
+                         simd::Tier::Avx512})
+        if (simd::supported(t))
+            tiers.push_back(t);
+    return tiers;
 }
 
 } // namespace optimus::bench

@@ -186,6 +186,8 @@ CommGroup::finalize()
     }
 }
 
+// optlint:coldfn — layout build; hot callers (ensureGroup, the
+// engines' bind) cache the result and rebuild only on rewiring.
 CommGroup
 CommGroup::fromTensors(const std::vector<Tensor *> &tensors)
 {
@@ -387,6 +389,7 @@ CommEvent
 RecordingTransport::record(const CommEvent &event)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    // optlint:coldalloc — event recording is instrumentation-only.
     trace_.append(event);
     return event;
 }
@@ -445,6 +448,8 @@ struct PhaseMetrics
     obs::Counter *wireBytes;
 };
 
+// optlint:coldfn — the handle table is a function-local static
+// built exactly once; steady-state calls are an array index.
 PhaseMetrics &
 phaseMetrics(CommPhase phase)
 {

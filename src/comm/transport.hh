@@ -161,6 +161,8 @@ struct CommGroup
 class CommTrace
 {
   public:
+    // optlint:coldalloc — trace recording is instrumentation; the
+    // steady-state trainer runs on the non-recording transport.
     void append(const CommEvent &event) { events_.push_back(event); }
 
     const std::vector<CommEvent> &events() const { return events_; }

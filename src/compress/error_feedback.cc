@@ -12,6 +12,7 @@ ErrorFeedbackCompressor::ErrorFeedbackCompressor(
     OPTIMUS_ASSERT(inner_ != nullptr);
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 int64_t
 ErrorFeedbackCompressor::compress(const Tensor &input, Tensor &output)
 {

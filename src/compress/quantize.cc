@@ -13,6 +13,7 @@ TernaryCompressor::TernaryCompressor(uint64_t seed)
 {
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 int64_t
 TernaryCompressor::compress(const Tensor &input, Tensor &output)
 {
@@ -56,6 +57,7 @@ TernaryCompressor::reset()
     rng_.seed(seed_);
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 int64_t
 OneBitCompressor::compress(const Tensor &input, Tensor &output)
 {

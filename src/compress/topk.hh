@@ -9,6 +9,9 @@
 #ifndef OPTIMUS_COMPRESS_TOPK_HH
 #define OPTIMUS_COMPRESS_TOPK_HH
 
+#include <cstdint>
+#include <vector>
+
 #include "compress/compressor.hh"
 
 namespace optimus
@@ -32,6 +35,11 @@ class TopKCompressor : public Compressor
 
   private:
     double fraction_;
+    /** Selection scratch; capacities ratchet during warmup so the
+     * steady-state step never allocates here. */
+    std::vector<int64_t> order_;
+    std::vector<float> mag_;
+    std::vector<float> sel_;
 };
 
 } // namespace optimus

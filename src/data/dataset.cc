@@ -24,10 +24,20 @@ LmDataset::fillWindow(LmBatch &out, int64_t row, int64_t start) const
 LmBatch
 LmDataset::sampleBatch(int64_t batch, Rng &rng) const
 {
-    OPTIMUS_ASSERT(batch >= 1);
     LmBatch out;
+    sampleBatchInto(out, batch, rng);
+    return out;
+}
+
+// optlint:hot — steady-state step path (zero-allocation contract).
+void
+LmDataset::sampleBatchInto(LmBatch &out, int64_t batch,
+                           Rng &rng) const
+{
+    OPTIMUS_ASSERT(batch >= 1);
     out.batch = batch;
     out.seq = seqLen_;
+    // optlint:coldalloc — warmup capacity ratchet.
     out.tokens.resize(batch * seqLen_);
     out.targets.resize(batch * seqLen_);
     const int64_t max_start =
@@ -37,7 +47,6 @@ LmDataset::sampleBatch(int64_t batch, Rng &rng) const
             static_cast<int64_t>(rng.uniformInt(max_start + 1));
         fillWindow(out, b, start);
     }
-    return out;
 }
 
 std::vector<LmBatch>

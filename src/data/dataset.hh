@@ -38,6 +38,13 @@ class LmDataset
     LmBatch sampleBatch(int64_t batch, Rng &rng) const;
 
     /**
+     * sampleBatch() into caller-owned storage: @p out's token grids
+     * are resized in place, so a reused LmBatch samples with zero
+     * steady-state allocations. Same RNG draws as sampleBatch().
+     */
+    void sampleBatchInto(LmBatch &out, int64_t batch, Rng &rng) const;
+
+    /**
      * Deterministic non-overlapping evaluation batches covering the
      * stream (last partial window dropped).
      */

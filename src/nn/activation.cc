@@ -47,7 +47,7 @@ Gelu::forward(const Tensor &x)
         for (int64_t i = lo; i < hi; ++i)
             yd[i] = value(xd[i]);
     });
-    stash_.push_back(x);
+    stash_.pushSlot() = x;
     return y;
 }
 
@@ -55,8 +55,7 @@ Tensor
 Gelu::backward(const Tensor &dy)
 {
     OPTIMUS_ASSERT(!stash_.empty());
-    Tensor x = std::move(stash_.front());
-    stash_.pop_front();
+    const Tensor &x = stash_.front();
     OPTIMUS_ASSERT(x.size() == dy.size());
 
     Tensor dx(dy.shape());
@@ -68,6 +67,7 @@ Gelu::backward(const Tensor &dy)
         for (int64_t i = lo; i < hi; ++i)
             dxd[i] = dyd[i] * derivative(xd[i]);
     });
+    stash_.popFront();
     return dx;
 }
 
@@ -82,7 +82,7 @@ Relu::forward(const Tensor &x)
         for (int64_t i = lo; i < hi; ++i)
             yd[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
     });
-    stash_.push_back(x);
+    stash_.pushSlot() = x;
     return y;
 }
 
@@ -90,8 +90,7 @@ Tensor
 Relu::backward(const Tensor &dy)
 {
     OPTIMUS_ASSERT(!stash_.empty());
-    Tensor x = std::move(stash_.front());
-    stash_.pop_front();
+    const Tensor &x = stash_.front();
 
     Tensor dx(dy.shape());
     const float *xd = x.data();
@@ -102,6 +101,7 @@ Relu::backward(const Tensor &dy)
         for (int64_t i = lo; i < hi; ++i)
             dxd[i] = xd[i] > 0.0f ? dyd[i] : 0.0f;
     });
+    stash_.popFront();
     return dx;
 }
 

@@ -7,9 +7,8 @@
 #ifndef OPTIMUS_NN_ACTIVATION_HH
 #define OPTIMUS_NN_ACTIVATION_HH
 
-#include <deque>
-
 #include "nn/layer.hh"
+#include "util/reuse_ring.hh"
 
 namespace optimus
 {
@@ -32,7 +31,7 @@ class Gelu : public Layer
     static float derivative(float x);
 
   private:
-    std::deque<Tensor> stash_;
+    ReuseRing<Tensor> stash_;
 };
 
 /** ReLU (parameter-free), used in unit tests and the MLP toy model. */
@@ -49,7 +48,7 @@ class Relu : public Layer
     size_t stashDepth() const override { return stash_.size(); }
 
   private:
-    std::deque<Tensor> stash_;
+    ReuseRing<Tensor> stash_;
 };
 
 } // namespace optimus

@@ -64,9 +64,12 @@ MultiHeadAttention::forward(const Tensor &x)
     const int64_t dh = headDim();
     const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
 
-    Stash st;
+    // Assign into the ring slot: the qkv tensor and every probs
+    // slot recycle their blocks through the workspace in place.
+    Stash &st = stash_.pushSlot();
     st.batch = batch;
     st.qkv = qkv_->forward(x); // [N x 3h]
+    // optlint:coldalloc — warmup capacity ratchet.
     st.probs.resize(batch * heads_);
 
     // Each (batch, head) pair reads its own q/k/v slices and writes
@@ -116,7 +119,6 @@ MultiHeadAttention::forward(const Tensor &x)
             st.probs[t] = std::move(scores);
         }
     });
-    stash_.push_back(std::move(st));
     return proj_->forward(ctx);
 }
 
@@ -124,8 +126,7 @@ Tensor
 MultiHeadAttention::backward(const Tensor &dy)
 {
     OPTIMUS_ASSERT(!stash_.empty());
-    Stash st = std::move(stash_.front());
-    stash_.pop_front();
+    const Stash &st = stash_.front();
 
     const int64_t batch = st.batch;
     const int64_t n = batch * seqLen_;
@@ -183,7 +184,9 @@ MultiHeadAttention::backward(const Tensor &dy)
             accumulateBlock(dqkv, dv, row0, 2 * hidden_ + hd * dh);
         }
     });
-    return qkv_->backward(dqkv);
+    Tensor dx = qkv_->backward(dqkv);
+    stash_.popFront();
+    return dx;
 }
 
 std::vector<ParamPtr>

@@ -8,11 +8,11 @@
 #ifndef OPTIMUS_NN_ATTENTION_HH
 #define OPTIMUS_NN_ATTENTION_HH
 
-#include <deque>
 #include <memory>
 
 #include "nn/layer.hh"
 #include "nn/linear.hh"
+#include "util/reuse_ring.hh"
 
 namespace optimus
 {
@@ -71,7 +71,7 @@ class MultiHeadAttention : public Layer
     int64_t seqLen_;
     std::unique_ptr<Linear> qkv_;
     std::unique_ptr<Linear> proj_;
-    std::deque<Stash> stash_;
+    ReuseRing<Stash> stash_;
 };
 
 } // namespace optimus

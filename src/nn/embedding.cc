@@ -43,7 +43,11 @@ EmbeddingLayer::forward(const std::vector<int32_t> &tokens,
                 yrow[j] = trow[j] + prow[j];
         }
     }
-    stash_.push_back({tokens, batch, seq});
+    // Assign into the ring slot (token vector capacity reused).
+    Stash &st = stash_.pushSlot();
+    st.tokens = tokens;
+    st.batch = batch;
+    st.seq = seq;
     return y;
 }
 
@@ -51,8 +55,7 @@ void
 EmbeddingLayer::backward(const Tensor &dy)
 {
     OPTIMUS_ASSERT(!stash_.empty());
-    Stash st = std::move(stash_.front());
-    stash_.pop_front();
+    const Stash &st = stash_.front();
 
     const int64_t h = hidden();
     OPTIMUS_ASSERT(dy.rank() == 2 && dy.cols() == h);
@@ -74,6 +77,7 @@ EmbeddingLayer::backward(const Tensor &dy)
             }
         }
     }
+    stash_.popFront();
 }
 
 std::vector<ParamPtr>
@@ -93,7 +97,7 @@ OutputHead::forward(const Tensor &h)
 {
     OPTIMUS_ASSERT(h.rank() == 2 && h.cols() == token_->value.cols());
     Tensor logits = matmulNT(h, token_->value); // [N x vocab]
-    stash_.push_back(h);
+    stash_.pushSlot() = h;
     return logits;
 }
 
@@ -101,12 +105,13 @@ Tensor
 OutputHead::backward(const Tensor &dlogits)
 {
     OPTIMUS_ASSERT(!stash_.empty());
-    Tensor h = std::move(stash_.front());
-    stash_.pop_front();
+    const Tensor &h = stash_.front();
 
     // dE += dlogits^T * H;  dH = dlogits * E.
     matmulAccTN(token_->grad, dlogits, h);
-    return matmul(dlogits, token_->value);
+    Tensor dh = matmul(dlogits, token_->value);
+    stash_.popFront();
+    return dh;
 }
 
 std::vector<ParamPtr>

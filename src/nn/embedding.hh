@@ -16,10 +16,10 @@
 #define OPTIMUS_NN_EMBEDDING_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "nn/layer.hh"
 #include "util/random.hh"
+#include "util/reuse_ring.hh"
 
 namespace optimus
 {
@@ -78,7 +78,7 @@ class EmbeddingLayer
 
     ParamPtr token_;
     ParamPtr position_;
-    std::deque<Stash> stash_;
+    ReuseRing<Stash> stash_;
 };
 
 /**
@@ -105,7 +105,7 @@ class OutputHead : public Layer
 
   private:
     ParamPtr token_;
-    std::deque<Tensor> stash_;
+    ReuseRing<Tensor> stash_;
 };
 
 } // namespace optimus

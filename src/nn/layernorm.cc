@@ -26,8 +26,14 @@ LayerNorm::forward(const Tensor &x)
     const int64_t f = x.cols();
     OPTIMUS_ASSERT(f == gamma_->value.size());
 
-    Stash st;
-    st.normalized = Tensor({rows, f});
+    // Assign into the ring slot: steady state reuses the previous
+    // stash's tensor block and vector capacity in place.
+    Stash &st = stash_.pushSlot();
+    if (st.normalized.rank() != 2 || st.normalized.rows() != rows ||
+        st.normalized.cols() != f) {
+        st.normalized = Tensor({rows, f});
+    }
+    // optlint:coldalloc — warmup capacity ratchet.
     st.invStd.resize(rows);
 
     Tensor y({rows, f});
@@ -62,7 +68,6 @@ LayerNorm::forward(const Tensor &x)
             }
         }
     });
-    stash_.push_back(std::move(st));
     return y;
 }
 
@@ -70,8 +75,7 @@ Tensor
 LayerNorm::backward(const Tensor &dy)
 {
     OPTIMUS_ASSERT(!stash_.empty());
-    Stash st = std::move(stash_.front());
-    stash_.pop_front();
+    const Stash &st = stash_.front();
 
     const int64_t rows = dy.rows();
     const int64_t f = dy.cols();
@@ -125,6 +129,7 @@ LayerNorm::backward(const Tensor &dy)
             dbd[j] += dyr[j];
         }
     }
+    stash_.popFront();
     return dx;
 }
 

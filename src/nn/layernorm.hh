@@ -8,9 +8,8 @@
 #ifndef OPTIMUS_NN_LAYERNORM_HH
 #define OPTIMUS_NN_LAYERNORM_HH
 
-#include <deque>
-
 #include "nn/layer.hh"
+#include "util/reuse_ring.hh"
 
 namespace optimus
 {
@@ -44,7 +43,7 @@ class LayerNorm : public Layer
     ParamPtr gamma_;
     ParamPtr beta_;
     float eps_;
-    std::deque<Stash> stash_;
+    ReuseRing<Stash> stash_;
 };
 
 } // namespace optimus

@@ -24,6 +24,7 @@ Linear::Linear(ParamPtr weight, ParamPtr bias)
     OPTIMUS_ASSERT(bias_->value.size() == weight_->value.cols());
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 Tensor
 Linear::forward(const Tensor &x)
 {
@@ -37,16 +38,16 @@ Linear::forward(const Tensor &x)
         for (int64_t j = 0; j < out; ++j)
             yd[i * out + j] += b[j];
     }
-    stash_.push_back(x);
+    stash_.pushSlot() = x;
     return y;
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 Tensor
 Linear::backward(const Tensor &dy)
 {
     OPTIMUS_ASSERT(!stash_.empty());
-    Tensor x = std::move(stash_.front());
-    stash_.pop_front();
+    const Tensor &x = stash_.front();
     OPTIMUS_ASSERT(dy.rank() == 2 && dy.cols() == outFeatures());
     OPTIMUS_ASSERT(dy.rows() == x.rows());
 
@@ -60,7 +61,9 @@ Linear::backward(const Tensor &dy)
         for (int64_t j = 0; j < out; ++j)
             dbd[j] += dyd[i * out + j];
     }
-    return matmulNT(dy, weight_->value);
+    Tensor dx = matmulNT(dy, weight_->value);
+    stash_.popFront();
+    return dx;
 }
 
 std::vector<ParamPtr>

@@ -6,10 +6,9 @@
 #ifndef OPTIMUS_NN_LINEAR_HH
 #define OPTIMUS_NN_LINEAR_HH
 
-#include <deque>
-
 #include "nn/layer.hh"
 #include "util/random.hh"
+#include "util/reuse_ring.hh"
 
 namespace optimus
 {
@@ -47,7 +46,7 @@ class Linear : public Layer
   private:
     ParamPtr weight_;
     ParamPtr bias_;
-    std::deque<Tensor> stash_;
+    ReuseRing<Tensor> stash_;
 };
 
 } // namespace optimus

@@ -21,7 +21,8 @@ softmaxAndNll(const Tensor &logits, const std::vector<int32_t> &targets,
     const int64_t v = logits.cols();
     OPTIMUS_ASSERT(static_cast<int64_t>(targets.size()) == n);
 
-    probs = Tensor({n, v});
+    if (probs.rank() != 2 || probs.rows() != n || probs.cols() != v)
+        probs = Tensor({n, v});
     const float *ld = logits.data();
     float *pd = probs.data();
     // Rows softmax independently; per-row NLL terms are combined in
@@ -57,24 +58,27 @@ softmaxAndNll(const Tensor &logits, const std::vector<int32_t> &targets,
 
 } // namespace
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 double
 SoftmaxCrossEntropy::forward(const Tensor &logits,
                              const std::vector<int32_t> &targets)
 {
-    Stash st;
+    // Assign into the ring slot so the probs block and the targets
+    // capacity are reused in place each micro-batch.
+    Stash &st = stash_.pushSlot();
     const double nll = softmaxAndNll(logits, targets, st.probs);
     st.targets = targets;
-    stash_.push_back(std::move(st));
     return nll;
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 Tensor
 SoftmaxCrossEntropy::backward()
 {
     OPTIMUS_ASSERT(!stash_.empty());
-    Stash st = std::move(stash_.front());
-    stash_.pop_front();
-
+    // Move the probs tensor out (its block recycles through the
+    // workspace when the gradient dies); targets stay in the slot.
+    Stash &st = stash_.front();
     Tensor dlogits = std::move(st.probs);
     const int64_t n = dlogits.rows();
     const int64_t v = dlogits.cols();
@@ -87,6 +91,7 @@ SoftmaxCrossEntropy::backward()
                 dd[i * v + j] *= inv_n;
         }
     });
+    stash_.popFront();
     return dlogits;
 }
 

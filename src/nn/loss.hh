@@ -7,10 +7,10 @@
 #define OPTIMUS_NN_LOSS_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "tensor/tensor.hh"
+#include "util/reuse_ring.hh"
 
 namespace optimus
 {
@@ -60,7 +60,7 @@ class SoftmaxCrossEntropy
         std::vector<int32_t> targets;
     };
 
-    std::deque<Stash> stash_;
+    ReuseRing<Stash> stash_;
 };
 
 } // namespace optimus

@@ -58,6 +58,8 @@ threadBuffer()
     return *t_buffer;
 }
 
+// optlint:coldfn — tracing buffer write; every caller is gated on
+// tracingEnabled(), which steady-state runs leave off.
 void
 append(const TraceEvent &event)
 {

@@ -35,6 +35,7 @@ BackwardChannel::observeForward(const Tensor &activation,
     prevForward_ = activation;
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 Tensor
 BackwardChannel::send(const Tensor &grad, int micro_batch,
                       int micro_batches)
@@ -105,6 +106,8 @@ BackwardChannel::send(const Tensor &grad, int micro_batch,
                                           forwardDiff_.data(),
                                           err.size());
         }
+        // optlint:coldalloc — instrument_-gated diagnostics; off in
+        // steady-state training runs (and in the alloc_gate).
         stats_.push_back(rec);
     }
     return delivered;

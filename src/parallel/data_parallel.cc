@@ -9,6 +9,53 @@
 namespace optimus
 {
 
+namespace
+{
+
+/**
+ * Whether cached single-segment group @p group still describes the
+ * per-rank tensors @p tensors (same ranks, same storage). False
+ * forces a rebuild — which only happens when a caller rewires the
+ * parameter lists, never in the trainer's steady state.
+ */
+bool
+groupMatches(const CommGroup &group,
+             const std::vector<Tensor *> &tensors)
+{
+    if (group.segPtrs.size() != 1 ||
+        group.ranks != static_cast<int>(tensors.size()))
+        return false;
+    if (group.segLens[0] != tensors[0]->size())
+        return false;
+    for (size_t d = 0; d < tensors.size(); ++d) {
+        if (group.segPtrs[0][d] != tensors[d]->data())
+            return false;
+    }
+    return true;
+}
+
+/** groupMatches() for a 2-rank pair, without building a list. */
+bool
+pairMatches(const CommGroup &group, const Tensor *a, const Tensor *b)
+{
+    return group.segPtrs.size() == 1 && group.ranks == 2 &&
+           group.segLens[0] == a->size() &&
+           group.segPtrs[0][0] == a->data() &&
+           group.segPtrs[0][1] == b->data();
+}
+
+/** Rebuild @p group from @p tensors unless it already matches. */
+void
+ensureGroup(CommGroup &group, const std::vector<Tensor *> &tensors)
+{
+    if (groupMatches(group, tensors))
+        return;
+    // optlint:coldalloc — group layouts build once per wiring.
+    group = CommGroup::fromTensors(tensors);
+}
+
+} // namespace
+
 // The combine kernel lives in comm/transport.cc now
 // (InProcessTransport); these wrappers keep the historical
 // library/test entry points working on the default transport.
@@ -58,6 +105,7 @@ DataParallelReducer::compressible(const Param &param)
            param.value.cols() >= 2;
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 ReduceVolume
 DataParallelReducer::reduce(
     const std::vector<std::vector<ParamPtr>> &worker_params,
@@ -72,22 +120,24 @@ DataParallelReducer::reduce(
     // old O(params x excluded) linear scan). The sort order is
     // address order — run-dependent — but only membership is ever
     // queried, so no iteration order leaks into results.
-    std::vector<const Param *> excluded_sorted(excluded);
-    std::sort(excluded_sorted.begin(), excluded_sorted.end());
-    auto is_excluded = [&excluded_sorted](const Param *p) {
-        return std::binary_search(excluded_sorted.begin(),
-                                  excluded_sorted.end(), p);
+    // optlint:coldalloc — member scratch, capacity ratchets.
+    excludedSorted_.assign(excluded.begin(), excluded.end());
+    std::sort(excludedSorted_.begin(), excludedSorted_.end());
+    auto is_excluded = [this](const Param *p) {
+        return std::binary_search(excludedSorted_.begin(),
+                                  excludedSorted_.end(), p);
     };
 
     CommVolume comm;
     for (size_t j = 0; j < param_count; ++j) {
         if (is_excluded(worker_params[0][j].get()))
             continue;
-        std::vector<Tensor *> grads;
-        grads.reserve(workers_);
+        std::vector<Tensor *> &grads = gradScratch_;
+        grads.clear();
         for (int d = 0; d < workers_; ++d) {
             OPTIMUS_ASSERT(worker_params[d][j]->size() ==
                            worker_params[0][j]->size());
+            // optlint:coldalloc — member scratch ratchet.
             grads.push_back(&worker_params[d][j]->grad);
         }
 
@@ -95,27 +145,36 @@ DataParallelReducer::reduce(
             compressStage_ && config_.enabled &&
             compressible(*worker_params[0][j]);
         if (!compress) {
-            comm.add(transport_->allReduceTensors(
-                CommPhase::DpReduce, grads, ReduceOp::Mean));
+            // The cached group makes this allReduceTensors() minus
+            // the per-call group build — bitwise identical (the
+            // convenience wrapper is exactly allReduce(fromTensors)).
+            CommGroup &group = groups_[j];
+            ensureGroup(group, grads);
+            comm.add(transport_->allReduce(CommPhase::DpReduce,
+                                           group, ReduceOp::Mean));
             continue;
         }
 
-        // Lazily build per-parameter compressed-reduce state.
+        // Lazily build per-parameter compressed-reduce state
+        // (first-touch only; never re-entered in the steady state).
         auto it = dps_.find(j);
         if (it == dps_.end()) {
             CompressorSpec spec = config_.spec;
+            // optlint:coldalloc — first-touch state build.
             it = dps_.emplace(
                         j, std::make_unique<DistributedPowerSgd>(
                                workers_, spec.rank,
                                seed_ + 0x1000 * (j + 1)))
                      .first;
             if (config_.errorFeedback) {
+                // optlint:coldalloc — first-touch state build.
                 std::vector<Tensor> res;
                 res.reserve(workers_);
                 for (int d = 0; d < workers_; ++d)
-                    res.emplace_back(
+                    res.emplace_back( // optlint:coldalloc
                         worker_params[0][j]->value.shape());
-                residuals_.emplace(j, std::move(res));
+                residuals_.emplace(j, // optlint:coldalloc
+                                   std::move(res));
             }
         }
 
@@ -123,8 +182,10 @@ DataParallelReducer::reduce(
         // per-parameter scratch: the copy assignment reuses each fed
         // tensor's storage, so the steady state allocates nothing.
         std::vector<Tensor> &fed = fedScratch_[j];
+        // optlint:coldalloc — persistent scratch ratchet.
         fed.resize(workers_);
-        std::vector<const Tensor *> inputs(workers_);
+        inputScratch_.resize(workers_);
+        std::vector<const Tensor *> &inputs = inputScratch_;
         for (int d = 0; d < workers_; ++d) {
             fed[d] = *grads[d];
             if (config_.errorFeedback)
@@ -173,6 +234,7 @@ DataParallelReducer::reset()
     residuals_.clear();
     fedScratch_.clear();
     meanScratch_.clear();
+    groups_.clear();
 }
 
 int64_t
@@ -188,6 +250,7 @@ DataParallelReducer::stateBytes() const
     return total;
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 EmbSyncVolume
 EmbeddingSynchronizer::synchronize(
     const std::vector<ParamPtr> &first_copies,
@@ -201,15 +264,24 @@ EmbeddingSynchronizer::synchronize(
     volume.tableBytes = static_cast<int64_t>(sizeof(float)) *
                         first_copies[0]->size();
 
+    // Gradient-pointer lists live in member scratch and the
+    // collective layouts are cached (rebuilt only if the tables'
+    // storage moves), so the steady-state synchronize() allocates
+    // nothing on any of the three variants below.
+    firstGrads_.clear();
+    lastGrads_.clear();
+    for (const auto &p : first_copies)
+        firstGrads_.push_back(&p->grad); // optlint:coldalloc
+    for (const auto &p : last_copies)
+        lastGrads_.push_back(&p->grad); // optlint:coldalloc
+
     // Pipeline depth 1: both lists alias the same Params; the tied
     // gradient already contains both contributions, so only the
     // D-way average is needed.
     if (first_copies[0].get() == last_copies[0].get()) {
-        std::vector<Tensor *> grads;
-        for (const auto &p : first_copies)
-            grads.push_back(&p->grad);
-        const CommEvent ev = transport_->allReduceTensors(
-            CommPhase::EmbSync, grads, ReduceOp::Mean);
+        ensureGroup(tiedGroup_, firstGrads_);
+        const CommEvent ev = transport_->allReduce(
+            CommPhase::EmbSync, tiedGroup_, ReduceOp::Mean);
         volume.trafficBytes = commEventTraffic(ev);
         return volume;
     }
@@ -221,14 +293,15 @@ EmbeddingSynchronizer::synchronize(
         // over the two tied tables of their D-way-averaged
         // gradients. A real collective folds the 1/D scale into the
         // reduction for free; here it is an explicit second pass.
-        std::vector<Tensor *> grads;
-        for (const auto &p : first_copies)
-            grads.push_back(&p->grad);
-        for (const auto &p : last_copies)
-            grads.push_back(&p->grad);
-        const CommEvent ev = transport_->allReduceTensors(
-            CommPhase::EmbSync, grads, ReduceOp::Sum);
-        for (Tensor *g : grads)
+        fusedGrads_.clear();
+        for (Tensor *g : firstGrads_)
+            fusedGrads_.push_back(g); // optlint:coldalloc
+        for (Tensor *g : lastGrads_)
+            fusedGrads_.push_back(g); // optlint:coldalloc
+        ensureGroup(fusedGroup_, fusedGrads_);
+        const CommEvent ev = transport_->allReduce(
+            CommPhase::EmbSync, fusedGroup_, ReduceOp::Sum);
+        for (Tensor *g : fusedGrads_)
             g->scale(1.0f / static_cast<float>(workers));
         // One 2D-rank ring: Eq 16 exactly.
         volume.trafficBytes = commEventTraffic(ev);
@@ -242,23 +315,23 @@ EmbeddingSynchronizer::synchronize(
     // the two stage groups average concurrently (ranks = D,
     // groups = 2) and the D pairs sum concurrently (ranks = 2,
     // groups = D).
-    std::vector<Tensor *> first_grads, last_grads;
-    for (const auto &p : first_copies)
-        first_grads.push_back(&p->grad);
-    for (const auto &p : last_copies)
-        last_grads.push_back(&p->grad);
-    std::vector<CommGroup> stage_groups;
-    stage_groups.push_back(CommGroup::fromTensors(first_grads));
-    stage_groups.push_back(CommGroup::fromTensors(last_grads));
+    // optlint:coldalloc — cached layouts, built once per wiring.
+    stageGroups_.resize(2);
+    ensureGroup(stageGroups_[0], firstGrads_);
+    ensureGroup(stageGroups_[1], lastGrads_);
     const CommEvent avg_ev = transport_->allReduceGrouped(
-        CommPhase::EmbSync, stage_groups, ReduceOp::Mean);
-    std::vector<CommGroup> pair_groups;
+        CommPhase::EmbSync, stageGroups_, ReduceOp::Mean);
+    // optlint:coldalloc — cached layouts, built once per wiring.
+    pairGroups_.resize(workers);
     for (int d = 0; d < workers; ++d) {
-        pair_groups.push_back(CommGroup::fromTensors(
-            {first_grads[d], last_grads[d]}));
+        if (!pairMatches(pairGroups_[d], firstGrads_[d],
+                         lastGrads_[d])) {
+            pairGroups_[d] = CommGroup::fromTensors(
+                {firstGrads_[d], lastGrads_[d]});
+        }
     }
     const CommEvent sum_ev = transport_->allReduceGrouped(
-        CommPhase::EmbSync, pair_groups, ReduceOp::Sum);
+        CommPhase::EmbSync, pairGroups_, ReduceOp::Sum);
     // Cost: the DP all-reduce over D ranks (counted once; it is the
     // portion of DP traffic belonging to the embedding) plus the
     // 2-rank sync, matching Eq 15. Per-rank traffic of a grouped

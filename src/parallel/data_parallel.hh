@@ -133,6 +133,17 @@ class DataParallelReducer
     std::map<size_t, std::vector<Tensor>> fedScratch_;
     /** Persistent mean-reconstruction scratch per param. */
     std::map<size_t, Tensor> meanScratch_;
+    /**
+     * Cached single-parameter collective groups for the exact path,
+     * rebuilt if a parameter's gradient storage ever moves; in the
+     * steady state (stable Param lists) the per-call group build —
+     * the sequential path's only remaining allocation — disappears.
+     */
+    std::map<size_t, CommGroup> groups_;
+    /** Per-call scratch (capacities ratchet during warmup). */
+    std::vector<const Param *> excludedSorted_;
+    std::vector<Tensor *> gradScratch_;
+    std::vector<const Tensor *> inputScratch_;
 };
 
 /** Volumes from one embedding synchronization. */
@@ -187,6 +198,16 @@ class EmbeddingSynchronizer
   private:
     bool fused_;
     Transport *transport_;
+    /**
+     * Cached collective layouts + gradient-pointer scratch, rebuilt
+     * only if the tables' gradient storage moves (it never does in
+     * the steady state, so synchronize() allocates nothing).
+     */
+    std::vector<Tensor *> firstGrads_, lastGrads_, fusedGrads_;
+    CommGroup tiedGroup_;
+    CommGroup fusedGroup_;
+    std::vector<CommGroup> stageGroups_;
+    std::vector<CommGroup> pairGroups_;
 };
 
 } // namespace optimus

@@ -41,6 +41,8 @@ struct ReduceEngine::Bucket
     std::vector<Tensor> residual;
     /** Persistent mean reconstruction. */
     Tensor mean;
+    /** Pointer view over fed, rebuilt in place every reduce. */
+    std::vector<const Tensor *> inputs;
 
     /**
      * The bucket's collective group (exact buckets only): one
@@ -65,6 +67,8 @@ ReduceEngine::ReduceEngine(const ReduceEngineConfig &config)
 
 ReduceEngine::~ReduceEngine() = default;
 
+// optlint:coldfn — once-per-wiring setup (bound_-guarded); bucket
+// layouts and persistent tensors are built here, never per step.
 void
 ReduceEngine::bind(
     const std::vector<std::vector<ParamPtr>> &worker_params,
@@ -128,6 +132,7 @@ ReduceEngine::bind(
                     bucket->residual.emplace_back(shape);
             }
             bucket->mean = Tensor(shape);
+            bucket->inputs.resize(config_.workers);
             buckets_.push_back(std::move(bucket));
             continue;
         }
@@ -187,6 +192,10 @@ ReduceEngine::beginIteration(TaskGroup &group, bool overlap,
     enqueued_ = false;
     iteration_ = iteration;
     arrivals_.store(0, std::memory_order_relaxed);
+    // Rewinds when no bucket tensor is outstanding; with warm
+    // compressor state it degrades to free-list recycling, which is
+    // still heap-free.
+    arena_.reset();
     for (auto &bucket : buckets_) {
         bucket->volume = ReduceVolume{};
         bucket->busySeconds = 0.0;
@@ -232,6 +241,7 @@ ReduceEngine::enqueueAll()
     }
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 void
 ReduceEngine::reduceBucket(Bucket &bucket)
 {
@@ -239,6 +249,10 @@ ReduceEngine::reduceBucket(Bucket &bucket)
     // trace span, so tracesum's dpReduceBusy reconciles with
     // StepPhaseTimes exactly (modulo export rounding).
     const int64_t t0 = obs::nowNs();
+    // Temporaries under this task recycle in the engine's arena
+    // regardless of which worker runs it (or of the submitting
+    // replica's scope, which the runtime would otherwise propagate).
+    WorkspaceScope ws(&arena_);
     if (bucket.spec.compressed)
         reduceCompressed(bucket);
     else
@@ -264,6 +278,7 @@ ReduceEngine::reduceBucket(Bucket &bucket)
     }
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 void
 ReduceEngine::reduceExact(Bucket &bucket)
 {
@@ -277,11 +292,12 @@ ReduceEngine::reduceExact(Bucket &bucket)
     bucket.volume.actualBytes = ev.wireBytes;
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 void
 ReduceEngine::reduceCompressed(Bucket &bucket)
 {
     const int workers = config_.workers;
-    std::vector<const Tensor *> inputs(workers);
+    std::vector<const Tensor *> &inputs = bucket.inputs;
     for (int d = 0; d < workers; ++d) {
         // Persistent scratch: the copy assignment reuses the fed
         // tensor's storage, so the steady state allocates nothing.

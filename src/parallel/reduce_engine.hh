@@ -50,6 +50,7 @@
 
 #include "parallel/data_parallel.hh"
 #include "runtime/runtime.hh"
+#include "tensor/arena.hh"
 
 namespace optimus
 {
@@ -162,6 +163,13 @@ class ReduceEngine
 
     ReduceEngineConfig config_;
     Transport *transport_ = nullptr;
+    /**
+     * The engine's workspace: bucket tasks run under its scope, so
+     * compressed-reduce temporaries (PowerSGD P/Q products) recycle
+     * here no matter which pool worker picks the task up. Declared
+     * before the buckets so their persistent tensors die first.
+     */
+    Workspace arena_{"reduce"};
     bool bound_ = false;
     std::vector<std::unique_ptr<Bucket>> buckets_;
     /** Cached layout view (mirrors buckets_[i]->spec). */

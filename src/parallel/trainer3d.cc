@@ -61,7 +61,7 @@ class Trainer3d::ReplicaScorer : public LmScorer
 };
 
 Trainer3d::Trainer3d(const Trainer3dConfig &config)
-    : config_(config),
+    : config_(config), reduceMode_(config.reduceMode),
       baseTransport_(std::make_unique<InProcessTransport>()),
       recorder_(config.traceCommunication
                     ? std::make_unique<RecordingTransport>(
@@ -77,6 +77,20 @@ Trainer3d::Trainer3d(const Trainer3dConfig &config)
     const int p_ways = config.pipelineStages;
     OPTIMUS_ASSERT(d_ways >= 1 && p_ways >= 1);
     OPTIMUS_ASSERT(config.microBatches >= 1);
+
+    // Overlapped scheduling exists to hide bucket reduction behind
+    // the *other* replicas' backward; at D == 1 there is nothing to
+    // hide behind and the task-queue round trip is measured overhead
+    // (0.978x at d=1 p=2 m=4), so run the same — bitwise identical —
+    // reduction sequentially.
+    if (reduceMode_ == DpReduceMode::Overlapped && d_ways == 1)
+        reduceMode_ = DpReduceMode::Sequential;
+
+    stepArena_ = std::make_unique<Workspace>("step");
+    replicaArenas_.reserve(d_ways);
+    for (int d = 0; d < d_ways; ++d)
+        replicaArenas_.push_back(
+            std::make_unique<Workspace>("replica"));
 
     tracePath_ = resolveTracePath(config);
     if (!tracePath_.empty() && !obs::tracingEnabled()) {
@@ -137,6 +151,17 @@ Trainer3d::Trainer3d(const Trainer3dConfig &config)
         engines_.push_back(std::make_unique<ReduceEngine>(ec));
     }
 
+    // Aligned per-stage parameter lists, built once: the engine
+    // bind, the sequential reducer, and the optimizers all view the
+    // same stable Param objects, so rebuilding these per iteration
+    // was pure allocation churn.
+    workerParams_.resize(p_ways);
+    for (int p = 0; p < p_ways; ++p) {
+        workerParams_[p].reserve(d_ways);
+        for (int d = 0; d < d_ways; ++d)
+            workerParams_[p].push_back(stages_[d][p]->params());
+    }
+
     scorer_ = std::make_unique<ReplicaScorer>(*this);
 }
 
@@ -184,6 +209,7 @@ Trainer3d::reduceEngine(int p) const
     return *engines_[p];
 }
 
+// optlint:hot — steady-state step path (zero-allocation contract).
 IterationStats
 Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
 {
@@ -192,10 +218,18 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     const int m_count = config_.microBatches;
     const int64_t mb_rows = config_.microBatchSize;
 
-    const bool use_engine =
-        config_.reduceMode != DpReduceMode::Sequential;
-    const bool overlap =
-        config_.reduceMode == DpReduceMode::Overlapped;
+    const bool use_engine = reduceMode_ != DpReduceMode::Sequential;
+    const bool overlap = reduceMode_ == DpReduceMode::Overlapped;
+
+    // Serial portions of the step (sampling, sequential reduce,
+    // embedding sync, optimizer) draw tensor storage from the step
+    // arena; the replica loop below installs per-replica scopes.
+    // Workspaces rewind when nothing is outstanding and recycle
+    // through their free lists otherwise — either way no heap call.
+    stepArena_->reset();
+    for (auto &arena : replicaArenas_)
+        arena->reset();
+    WorkspaceScope step_scope(stepArena_.get());
 
     IterationStats stats;
     double loss_sum = 0.0;
@@ -215,32 +249,29 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     }
 
     // Sample the global mini-batch: D * M micro-batches, assigned
-    // round-robin-free (contiguous shards) to replicas.
-    std::vector<LmBatch> micro_batches;
-    micro_batches.reserve(d_ways * m_count);
+    // round-robin-free (contiguous shards) to replicas. The batches
+    // persist across iterations and are refilled in place.
+    // optlint:coldalloc — warmup capacity ratchet.
+    microBatches_.resize(d_ways * m_count);
     for (int i = 0; i < d_ways * m_count; ++i)
-        micro_batches.push_back(data.sampleBatch(mb_rows, rng));
+        data.sampleBatchInto(microBatches_[i], mb_rows, rng);
 
     // Tied embedding tables are excluded from the DP all-reduce (the
     // synchronizer owns them); the list is needed up front so the
     // engines can bind their bucket layouts before backward starts.
-    std::vector<const Param *> excluded;
+    excluded_.clear();
     for (int d = 0; d < d_ways; ++d) {
+        // optlint:coldalloc — member scratch, capacity ratchets.
         if (auto table = stages_[d][0]->embeddingTable())
-            excluded.push_back(table.get());
+            excluded_.push_back(table.get());
         if (auto table = stages_[d][p_ways - 1]->embeddingTable())
-            excluded.push_back(table.get());
+            excluded_.push_back(table.get()); // optlint:coldalloc
     }
 
     if (use_engine) {
         for (int p = 0; p < p_ways; ++p) {
-            if (!engines_[p]->bound()) {
-                std::vector<std::vector<ParamPtr>> worker_params;
-                worker_params.reserve(d_ways);
-                for (int d = 0; d < d_ways; ++d)
-                    worker_params.push_back(stages_[d][p]->params());
-                engines_[p]->bind(worker_params, excluded);
-            }
+            if (!engines_[p]->bound())
+                engines_[p]->bind(workerParams_[p], excluded_);
             engines_[p]->beginIteration(reduceGroup_, overlap,
                                         iterations_);
         }
@@ -266,17 +297,21 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     // replica order, keeping the reported loss independent of
     // OPTIMUS_THREADS. Nested parallel regions inside the stages
     // (GEMM, layer kernels) run inline on the issuing worker.
-    std::vector<double> replica_loss(d_ways, 0.0);
+    replicaLoss_.assign(d_ways, 0.0);
+    std::vector<double> &replica_loss = replicaLoss_;
     parallelFor(0, d_ways, 1, [&](int64_t d_lo, int64_t d_hi) {
         for (int64_t d = d_lo; d < d_hi; ++d) {
             obs::ScopedSpan replica_span("compute", "replica", d,
                                          "iter", iterations_);
+            // Replica-private recycling pool for activations,
+            // stashes, and channel buffers.
+            WorkspaceScope replica_scope(replicaArenas_[d].get());
             // Forward all micro-batches in order (message order per
             // channel is micro-batch order, identical to 1F1B).
             const int64_t t_fwd =
                 obs::tracingEnabled() ? obs::nowNs() : 0;
             for (int m = 0; m < m_count; ++m) {
-                const LmBatch &mb = micro_batches[d * m_count + m];
+                const LmBatch &mb = microBatches_[d * m_count + m];
                 Tensor h = stages_[d][0]->forwardTokens(mb.tokens,
                                                         mb.batch);
                 for (int p = 1; p < p_ways; ++p) {
@@ -354,12 +389,8 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
         }
     } else {
         for (int p = 0; p < p_ways; ++p) {
-            std::vector<std::vector<ParamPtr>> worker_params;
-            worker_params.reserve(d_ways);
-            for (int d = 0; d < d_ways; ++d)
-                worker_params.push_back(stages_[d][p]->params());
-            stats.dpVolume += reducers_[p]->reduce(worker_params,
-                                                   excluded);
+            stats.dpVolume += reducers_[p]->reduce(workerParams_[p],
+                                                   excluded_);
         }
     }
     const int64_t t_reduce_end = obs::nowNs();
@@ -374,13 +405,15 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
 
     // Embedding synchronization (baseline or fused).
     const int64_t t_emb = obs::nowNs();
-    std::vector<ParamPtr> first_copies, last_copies;
+    firstCopies_.clear();
+    lastCopies_.clear();
     for (int d = 0; d < d_ways; ++d) {
-        first_copies.push_back(stages_[d][0]->embeddingTable());
-        last_copies.push_back(
+        // optlint:coldalloc — member scratch, capacity ratchets.
+        firstCopies_.push_back(stages_[d][0]->embeddingTable());
+        lastCopies_.push_back(
             stages_[d][p_ways - 1]->embeddingTable());
     }
-    stats.embVolume = embSync_.synchronize(first_copies, last_copies);
+    stats.embVolume = embSync_.synchronize(firstCopies_, lastCopies_);
     const int64_t t_emb_end = obs::nowNs();
     stats.phases.embSync = obs::secondsBetween(t_emb, t_emb_end);
     obs::emitSpan("phase", "embSync", t_emb, t_emb_end, iterations_);
@@ -421,6 +454,9 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     const int64_t t_end = obs::nowNs();
     stats.phases.total = obs::secondsBetween(t_iter, t_end);
     obs::emitSpan("phase", "step", t_iter, t_end, iterations_);
+    // Fold the allocation tallies into obs::metrics and the
+    // mem.heapAllocs counter track once per step.
+    mem::publishMetrics();
     ++iterations_;
     return stats;
 }

@@ -34,6 +34,7 @@
 #include "parallel/reduce_engine.hh"
 #include "parallel/stage_module.hh"
 #include "runtime/runtime.hh"
+#include "tensor/arena.hh"
 
 namespace optimus
 {
@@ -205,6 +206,16 @@ class Trainer3d
     int64_t iterations() const { return iterations_; }
 
     /**
+     * The reduce mode actually executed. Overlapped degenerates to
+     * Sequential when D == 1: with a single replica there is no
+     * concurrent backward to hide bucket tasks behind, so the task
+     * queue is pure overhead (BENCH_step.json measured overlapped at
+     * 0.978x sequential at d=1). All modes are bitwise identical, so
+     * the rewrite is exact.
+     */
+    DpReduceMode effectiveReduceMode() const { return reduceMode_; }
+
+    /**
      * The recorded communication trace, or nullptr unless
      * Trainer3dConfig::traceCommunication is on.
      */
@@ -217,6 +228,18 @@ class Trainer3d
     class ReplicaScorer;
 
     Trainer3dConfig config_;
+    /** Resolved reduce mode (see effectiveReduceMode()). */
+    DpReduceMode reduceMode_ = DpReduceMode::Overlapped;
+    /**
+     * Workspace arenas: one per data-parallel replica (the replica
+     * loop installs replica d's scope, so activations, gradients and
+     * channel buffers recycle without cross-replica contention) plus
+     * one for the serial portions of the step (sampling, sequential
+     * reduce, embedding sync). Declared before every tensor-holding
+     * member so arenas are destroyed last.
+     */
+    std::vector<std::unique_ptr<Workspace>> replicaArenas_;
+    std::unique_ptr<Workspace> stepArena_;
     /** Transport stack; declared before every component using it. */
     std::unique_ptr<InProcessTransport> baseTransport_;
     std::unique_ptr<RecordingTransport> recorder_;
@@ -246,6 +269,20 @@ class Trainer3d
     EmbeddingSynchronizer embSync_;
     std::unique_ptr<ReplicaScorer> scorer_;
     int64_t iterations_ = 0;
+
+    /**
+     * Persistent per-step scratch: sampled micro-batches, exclusion
+     * lists, per-replica losses, the embedding-table views, and the
+     * per-stage aligned parameter lists (stable after construction).
+     * All of it reuses its capacity, so the steady-state step
+     * allocates nothing here.
+     */
+    std::vector<LmBatch> microBatches_;
+    std::vector<const Param *> excluded_;
+    std::vector<double> replicaLoss_;
+    std::vector<ParamPtr> firstCopies_, lastCopies_;
+    /** workerParams_[p][d]: stage p's parameter list of replica d. */
+    std::vector<std::vector<std::vector<ParamPtr>>> workerParams_;
 };
 
 } // namespace optimus

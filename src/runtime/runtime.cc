@@ -15,6 +15,9 @@ namespace
 /** Marks threads that are currently executing a pool task. */
 thread_local bool t_inWorker = false;
 
+/** The thread's workspace scope (see exchangeCurrentWorkspaceSlot). */
+thread_local Workspace *t_workspace = nullptr;
+
 int
 configuredThreads()
 {
@@ -46,6 +49,13 @@ ThreadPool::instance()
 
 ThreadPool::ThreadPool() : threads_(configuredThreads())
 {
+    // Pre-size the task ring: how deep the queue gets is a race
+    // between submitters and draining workers, so ring growth is
+    // NOT warmup-reproducible — a loaded machine can pile tasks
+    // deeper in a steady-state step than any warmup step saw. 256
+    // slots (~16 KiB) covers every workload in the tree; the
+    // pushTask ratchet stays as a backstop for pathological depth.
+    tasks_.resize(256);
     workers_.reserve(threads_ - 1);
     for (int w = 1; w < threads_; ++w)
         workers_.emplace_back([this, w] { workerLoop(w); });
@@ -66,6 +76,49 @@ bool
 ThreadPool::inParallelRegion()
 {
     return t_inWorker;
+}
+
+Workspace *
+exchangeCurrentWorkspaceSlot(Workspace *ws)
+{
+    Workspace *prev = t_workspace;
+    t_workspace = ws;
+    return prev;
+}
+
+Workspace *
+currentWorkspaceSlot()
+{
+    return t_workspace;
+}
+
+void
+ThreadPool::pushTask(PendingTask &&task)
+{
+    if (taskCount_ == tasks_.size()) {
+        // Warmup growth: unwrap the ring into a larger vector.
+        // optlint:coldalloc — capacity ratchets, steady state reuses
+        // the slots in place.
+        std::vector<PendingTask> grown;
+        grown.resize(tasks_.empty() ? 16 : tasks_.size() * 2);
+        for (size_t i = 0; i < taskCount_; ++i)
+            grown[i] =
+                std::move(tasks_[(taskHead_ + i) % tasks_.size()]);
+        tasks_ = std::move(grown);
+        taskHead_ = 0;
+    }
+    tasks_[(taskHead_ + taskCount_) % tasks_.size()] =
+        std::move(task);
+    ++taskCount_;
+}
+
+ThreadPool::PendingTask
+ThreadPool::popTask()
+{
+    PendingTask task = std::move(tasks_[taskHead_]);
+    taskHead_ = (taskHead_ + 1) % tasks_.size();
+    --taskCount_;
+    return task;
 }
 
 void
@@ -92,12 +145,13 @@ ThreadPool::workerLoop(int worker_id)
     while (true) {
         int64_t num_chunks = 0;
         bool have_job = false;
+        Workspace *job_ws = nullptr;
         PendingTask task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [&] {
                 return shutdown_ || jobEpoch_ != seen_epoch ||
-                       !tasks_.empty();
+                       taskCount_ > 0;
             });
             if (shutdown_)
                 return;
@@ -106,25 +160,31 @@ ThreadPool::workerLoop(int worker_id)
                 // caller blocks until every worker checked in.
                 seen_epoch = jobEpoch_;
                 num_chunks = jobChunks_;
+                job_ws = jobWs_;
                 have_job = true;
             } else {
-                task = std::move(tasks_.front());
-                tasks_.pop_front();
+                task = popTask();
             }
         }
         if (have_job) {
+            // Mirror the job caller's workspace scope so tensors
+            // built inside chunk bodies land in the caller's arena.
+            Workspace *saved = exchangeCurrentWorkspaceSlot(job_ws);
             {
                 obs::ScopedSpan span("runtime", "chunks");
                 runChunks(worker_id, num_chunks);
             }
+            exchangeCurrentWorkspaceSlot(saved);
             std::lock_guard<std::mutex> lock(mutex_);
             if (--workersBusy_ == 0)
                 done_.notify_one();
         } else {
+            Workspace *saved = exchangeCurrentWorkspaceSlot(task.ws);
             {
                 obs::ScopedSpan span("runtime", "task");
                 task.fn();
             }
+            exchangeCurrentWorkspaceSlot(saved);
             finishTask(*task.group);
         }
     }
@@ -170,7 +230,7 @@ ThreadPool::submit(TaskGroup &group, std::function<void()> fn)
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        tasks_.push_back(PendingTask{std::move(fn), &group});
+        pushTask(PendingTask{std::move(fn), &group, t_workspace});
     }
     wake_.notify_one();
 }
@@ -181,17 +241,18 @@ ThreadPool::runOneTask()
     PendingTask task;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (tasks_.empty())
+        if (taskCount_ == 0)
             return false;
-        task = std::move(tasks_.front());
-        tasks_.pop_front();
+        task = popTask();
     }
     const bool saved = t_inWorker;
     t_inWorker = true;
+    Workspace *saved_ws = exchangeCurrentWorkspaceSlot(task.ws);
     {
         obs::ScopedSpan span("runtime", "task");
         task.fn();
     }
+    exchangeCurrentWorkspaceSlot(saved_ws);
     t_inWorker = saved;
     finishTask(*task.group);
     return true;
@@ -253,6 +314,7 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         jobFn_ = &fn;
+        jobWs_ = t_workspace;
         jobBegin_ = begin;
         jobEnd_ = end;
         jobGrain_ = grain;
@@ -280,7 +342,32 @@ ThreadPool::parallelReduceSum(int64_t begin, int64_t end, int64_t grain,
         return 0.0;
 
     const int64_t num_chunks = chunkCount(begin, end, grain);
-    std::vector<double> partial(num_chunks, 0.0);
+    // Partials live on the stack for every realistic chunk count; a
+    // huge reduction falls back to a thread-local buffer whose
+    // capacity ratchets during warmup. Either way the steady-state
+    // step makes no heap call here.
+    constexpr int64_t kStackPartials = 512;
+    double stack_partial[kStackPartials];
+    thread_local std::vector<double> t_partials;
+    thread_local bool t_partialsBusy = false;
+    double *partial = stack_partial;
+    std::vector<double> nested_partial;
+    bool own_tls = false;
+    if (num_chunks > kStackPartials) {
+        if (!t_partialsBusy) {
+            // optlint:coldalloc — warmup capacity ratchet.
+            if (static_cast<int64_t>(t_partials.size()) < num_chunks)
+                t_partials.resize(num_chunks);
+            partial = t_partials.data();
+            t_partialsBusy = true;
+            own_tls = true;
+        } else {
+            // A nested huge reduction on the same thread must not
+            // resize the buffer the outer one is using.
+            nested_partial.resize(num_chunks);
+            partial = nested_partial.data();
+        }
+    }
     // Same chunking whether this runs inline or on the pool, so the
     // final left-to-right combine is thread-count-invariant.
     parallelFor(0, num_chunks, 1, [&](int64_t c0, int64_t c1) {
@@ -291,8 +378,10 @@ ThreadPool::parallelReduceSum(int64_t begin, int64_t end, int64_t grain,
         }
     });
     double total = 0.0;
-    for (double p : partial)
-        total += p;
+    for (int64_t c = 0; c < num_chunks; ++c)
+        total += partial[c];
+    if (own_tls)
+        t_partialsBusy = false;
     return total;
 }
 

@@ -33,22 +33,71 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace optimus
 {
 
-/** Body of one parallel-for chunk: fn(lo, hi) over [lo, hi). */
-using RangeFn = std::function<void(int64_t, int64_t)>;
+/**
+ * Non-owning reference to a chunk body fn(lo, hi) over [lo, hi).
+ * Every parallel region blocks its caller until the last chunk
+ * completed, so referencing the caller's lambda is safe — and,
+ * unlike std::function, building one never heap-allocates no matter
+ * how much the body captures, which is what keeps parallelFor off
+ * the step path's allocation budget.
+ */
+class RangeFn
+{
+  public:
+    template <typename F,
+              typename = typename std::enable_if<!std::is_same<
+                  typename std::decay<F>::type, RangeFn>::value>::type>
+    RangeFn(const F &f)
+        : obj_(&f), call_([](const void *o, int64_t lo, int64_t hi) {
+              (*static_cast<const F *>(o))(lo, hi);
+          })
+    {}
 
-/** Reduction body: returns the partial sum over [lo, hi). */
-using RangeSumFn = std::function<double(int64_t, int64_t)>;
+    void operator()(int64_t lo, int64_t hi) const
+    {
+        call_(obj_, lo, hi);
+    }
+
+  private:
+    const void *obj_;
+    void (*call_)(const void *, int64_t, int64_t);
+};
+
+/** Non-owning reduction body: returns the partial over [lo, hi). */
+class RangeSumFn
+{
+  public:
+    template <typename F,
+              typename = typename std::enable_if<!std::is_same<
+                  typename std::decay<F>::type,
+                  RangeSumFn>::value>::type>
+    RangeSumFn(const F &f)
+        : obj_(&f), call_([](const void *o, int64_t lo, int64_t hi) {
+              return (*static_cast<const F *>(o))(lo, hi);
+          })
+    {}
+
+    double operator()(int64_t lo, int64_t hi) const
+    {
+        return call_(obj_, lo, hi);
+    }
+
+  private:
+    const void *obj_;
+    double (*call_)(const void *, int64_t, int64_t);
+};
 
 class TaskGroup;
+class Workspace;
 
 /**
  * Fixed-size worker pool (singleton). Construction spawns
@@ -114,12 +163,21 @@ class ThreadPool
     void runChunks(int worker_id, int64_t num_chunks);
     static void finishTask(TaskGroup &group);
 
-    /** One queued task and the group awaiting its completion. */
+    /**
+     * One queued task, the group awaiting its completion, and the
+     * submitter's workspace scope (re-installed on whichever thread
+     * runs the task, so tensors it builds land in the right arena).
+     */
     struct PendingTask
     {
         std::function<void()> fn;
         TaskGroup *group = nullptr;
+        Workspace *ws = nullptr;
     };
+
+    /** Queue ops (mutex_ must be held). */
+    void pushTask(PendingTask &&task);
+    PendingTask popTask();
 
     int threads_ = 1;
     std::vector<std::thread> workers_;
@@ -131,8 +189,17 @@ class ThreadPool
     uint64_t jobEpoch_ = 0;
     int workersBusy_ = 0;
     bool shutdown_ = false;
-    /** FIFO task queue (guarded by mutex_). */
-    std::deque<PendingTask> tasks_;
+    /**
+     * FIFO task queue: a ring over a vector (head/count), so the
+     * steady-state submit/pop cycle reuses slots instead of churning
+     * deque nodes. Guarded by mutex_. Pre-sized at construction
+     * (queue depth is schedule-dependent, so growth cannot be
+     * trusted to happen during warmup); the pushTask ratchet is a
+     * backstop.
+     */
+    std::vector<PendingTask> tasks_;
+    size_t taskHead_ = 0;
+    size_t taskCount_ = 0;
 
     /** Active job (valid while workersBusy_ > 0). */
     const RangeFn *jobFn_ = nullptr;
@@ -140,6 +207,8 @@ class ThreadPool
     int64_t jobGrain_ = 1;
     int64_t jobEnd_ = 0;
     int64_t jobChunks_ = 0;
+    /** Caller's workspace scope, mirrored onto workers per job. */
+    Workspace *jobWs_ = nullptr;
 
     /** Serializes external callers (one parallel region at a time). */
     std::mutex runMutex_;
@@ -221,6 +290,18 @@ double parallelReduceSum(int64_t begin, int64_t end, int64_t grain,
 
 /** Pool width (1 means fully serial execution). */
 int runtimeThreads();
+
+/**
+ * Thread-local workspace slot. The arena layer (tensor/arena.hh)
+ * scopes tensor storage through this slot and the pool mirrors it
+ * onto workers for the duration of a job or task — the slot lives
+ * here, below the tensor library, so the pool can propagate it
+ * without depending on the arena types. Returns the previous value.
+ */
+Workspace *exchangeCurrentWorkspaceSlot(Workspace *ws);
+
+/** Current value of the thread-local workspace slot (may be null). */
+Workspace *currentWorkspaceSlot();
 
 } // namespace optimus
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "runtime/runtime.hh"
+#include "tensor/arena.hh"
 #include "tensor/gemm_kernels.hh"
 #include "tensor/simd.hh"
 #include "util/logging.hh"
@@ -140,6 +141,7 @@ processRowGroup(const GemmBlockCtx &ctx, int64_t i, float *apack)
  * are padded to. The scalar panel below is the pre-dispatch kernel,
  * unchanged, so OPTIMUS_SIMD=scalar is bit-exact with the old tree.
  */
+// optlint:hot — steady-state step path (zero-allocation contract).
 void
 gemmBlocked(float *c, const float *a, const float *b, int64_t m,
             int64_t k, int64_t n, bool trans_a, bool trans_b,
@@ -163,7 +165,27 @@ gemmBlocked(float *c, const float *a, const float *b, int64_t m,
     const int64_t kc_max = std::min(k, KC);
     const int64_t nc_pad_max =
         ((std::min(n, ncb) + jw - 1) / jw) * jw;
-    std::vector<float> bpack(kc_max * nc_pad_max);
+    // Packed-B scratch. Under an active workspace scope it is drawn
+    // from the arena and recycles across calls no matter which pool
+    // worker executes this frame — a thread_local here would ratchet
+    // per thread, and which worker runs a reduce-engine bucket task
+    // is scheduling-dependent, so a cold worker could allocate in an
+    // armed steady-state step. Unscoped callers keep the per-thread
+    // buffer (every block is fully rewritten before use, and a GEMM
+    // never nests inside another GEMM on one thread).
+    Workspace *const ws = currentWorkspace();
+    thread_local std::vector<float> t_bpack; // optlint:coldalloc
+    float *bpack;
+    int64_t bpack_cap = 0;
+    if (ws != nullptr) {
+        bpack = ws->allocate(kc_max * nc_pad_max, bpack_cap);
+    } else {
+        // optlint:coldalloc — warmup capacity ratchet.
+        if (static_cast<int64_t>(t_bpack.size()) <
+            kc_max * nc_pad_max)
+            t_bpack.resize(kc_max * nc_pad_max);
+        bpack = t_bpack.data();
+    }
 
     for (int64_t jc = 0; jc < n; jc += ncb) {
         const int64_t nc = std::min(ncb, n - jc);
@@ -174,7 +196,7 @@ gemmBlocked(float *c, const float *a, const float *b, int64_t m,
             // Pack B(pc:pc+kc, jc:jc+nc) p-major with rows padded to
             // the register-tile width; pad columns are zero and feed
             // accumulators that are never stored.
-            float *bp = bpack.data();
+            float *bp = bpack;
             if (nc_pad != nc)
                 std::memset(bp, 0,
                             sizeof(float) * kc * nc_pad);
@@ -212,6 +234,8 @@ gemmBlocked(float *c, const float *a, const float *b, int64_t m,
             });
         }
     }
+    if (ws != nullptr)
+        ws->release(bpack, bpack_cap);
 }
 
 } // namespace

@@ -1,9 +1,12 @@
 #include "tensor/tensor.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <numeric>
+#include <cstdlib>
+#include <cstring>
 
+#include "tensor/arena.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -14,7 +17,7 @@ namespace
 {
 
 int64_t
-shapeProduct(const std::vector<int64_t> &shape)
+shapeProduct(const ShapeVec &shape)
 {
     int64_t product = 1;
     for (int64_t d : shape) {
@@ -44,11 +47,152 @@ checkSameShape(const Tensor &a, const Tensor &b, const char *op)
 
 } // namespace
 
+ShapeVec::ShapeVec(std::initializer_list<int64_t> dims)
+{
+    OPTIMUS_ASSERT(static_cast<int>(dims.size()) <= kMaxRank);
+    for (int64_t d : dims)
+        dims_[rank_++] = d;
+}
+
+ShapeVec::ShapeVec(const std::vector<int64_t> &dims)
+{
+    OPTIMUS_ASSERT(static_cast<int>(dims.size()) <= kMaxRank);
+    for (int64_t d : dims)
+        dims_[rank_++] = d;
+}
+
+void
+ShapeVec::push_back(int64_t d)
+{
+    OPTIMUS_ASSERT(rank_ < kMaxRank);
+    dims_[rank_++] = d;
+}
+
+bool
+ShapeVec::operator==(const ShapeVec &other) const
+{
+    if (rank_ != other.rank_)
+        return false;
+    for (int i = 0; i < rank_; ++i) {
+        if (dims_[i] != other.dims_[i])
+            return false;
+    }
+    return true;
+}
+
+void
+Tensor::allocateStorage(int64_t n)
+{
+    size_ = n;
+    if (n == 0) {
+        data_ = nullptr;
+        cap_ = 0;
+        ws_ = nullptr;
+        return;
+    }
+    ws_ = currentWorkspace();
+    if (ws_) {
+        data_ = ws_->allocate(n, cap_);
+        return;
+    }
+    // Heap path (no scope, or OPTIMUS_ARENA=0): 64-byte aligned like
+    // the arena blocks, rounded up as aligned_alloc requires.
+    const int64_t bytes =
+        (n * int64_t(sizeof(float)) + 63) & ~int64_t(63);
+    // optlint:coldalloc — counted by mem::heapAllocs; the alloc_gate
+    // proves the step path never reaches this in steady state.
+    data_ = static_cast<float *>(std::aligned_alloc(64, bytes));
+    OPTIMUS_ASSERT(data_ != nullptr);
+    cap_ = bytes / int64_t(sizeof(float));
+    mem::noteHeapAlloc(bytes);
+}
+
+void
+Tensor::releaseStorage()
+{
+    if (data_) {
+        if (ws_)
+            ws_->release(data_, cap_);
+        else {
+            std::free(data_);
+            mem::noteHeapFree(cap_ * int64_t(sizeof(float)));
+        }
+    }
+    data_ = nullptr;
+    size_ = 0;
+    cap_ = 0;
+    ws_ = nullptr;
+}
+
 Tensor::Tensor() = default;
 
-Tensor::Tensor(std::vector<int64_t> shape)
-    : shape_(std::move(shape)), data_(shapeProduct(shape_), 0.0f)
+Tensor::Tensor(ShapeVec shape) : shape_(shape)
 {
+    allocateStorage(shapeProduct(shape_));
+    if (size_ > 0)
+        std::memset(data_, 0, size_ * sizeof(float));
+}
+
+Tensor::Tensor(const Tensor &other) : shape_(other.shape_)
+{
+    allocateStorage(other.size_);
+    if (size_ > 0)
+        std::memcpy(data_, other.data_, size_ * sizeof(float));
+}
+
+Tensor::Tensor(Tensor &&other) noexcept
+    : shape_(other.shape_), data_(other.data_), size_(other.size_),
+      cap_(other.cap_), ws_(other.ws_)
+{
+    other.shape_ = ShapeVec();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.cap_ = 0;
+    other.ws_ = nullptr;
+}
+
+Tensor &
+Tensor::operator=(const Tensor &other)
+{
+    if (this == &other)
+        return *this;
+    shape_ = other.shape_;
+    // In-place reuse: the block already granted is large enough, so
+    // keep it (this is the steady-state path for every persistent
+    // tensor that is reassigned each step).
+    if (other.size_ > cap_ || (other.size_ > 0 && data_ == nullptr)) {
+        releaseStorage();
+        allocateStorage(other.size_);
+    } else {
+        size_ = other.size_;
+    }
+    if (size_ > 0)
+        std::memcpy(data_, other.data_, size_ * sizeof(float));
+    return *this;
+}
+
+Tensor &
+Tensor::operator=(Tensor &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    releaseStorage();
+    shape_ = other.shape_;
+    data_ = other.data_;
+    size_ = other.size_;
+    cap_ = other.cap_;
+    ws_ = other.ws_;
+    other.shape_ = ShapeVec();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.cap_ = 0;
+    other.ws_ = nullptr;
+    return *this;
+}
+
+Tensor::~Tensor()
+{
+    releaseStorage();
 }
 
 Tensor
@@ -70,41 +214,40 @@ Tensor::zeros(int64_t d0, int64_t d1, int64_t d2)
 }
 
 Tensor
-Tensor::full(std::vector<int64_t> shape, float value)
+Tensor::full(ShapeVec shape, float value)
 {
-    Tensor t(std::move(shape));
+    Tensor t(shape);
     t.fill(value);
     return t;
 }
 
 Tensor
-Tensor::randn(std::vector<int64_t> shape, Rng &rng, float mean,
-              float stddev)
+Tensor::randn(ShapeVec shape, Rng &rng, float mean, float stddev)
 {
-    Tensor t(std::move(shape));
+    Tensor t(shape);
     for (int64_t i = 0; i < t.size(); ++i)
         t[i] = static_cast<float>(rng.normal(mean, stddev));
     return t;
 }
 
 Tensor
-Tensor::randUniform(std::vector<int64_t> shape, Rng &rng, float lo,
-                    float hi)
+Tensor::randUniform(ShapeVec shape, Rng &rng, float lo, float hi)
 {
-    Tensor t(std::move(shape));
+    Tensor t(shape);
     for (int64_t i = 0; i < t.size(); ++i)
         t[i] = static_cast<float>(rng.uniform(lo, hi));
     return t;
 }
 
 Tensor
-Tensor::fromValues(std::vector<int64_t> shape, std::vector<float> values)
+Tensor::fromValues(ShapeVec shape, const std::vector<float> &values)
 {
     OPTIMUS_ASSERT(shapeProduct(shape) ==
                    static_cast<int64_t>(values.size()));
-    Tensor t;
-    t.shape_ = std::move(shape);
-    t.data_ = std::move(values);
+    Tensor t(shape);
+    if (t.size_ > 0)
+        std::memcpy(t.data_, values.data(),
+                    t.size_ * sizeof(float));
     return t;
 }
 
@@ -157,18 +300,18 @@ Tensor::at(int64_t r, int64_t c) const
 }
 
 Tensor
-Tensor::reshaped(std::vector<int64_t> new_shape) const
+Tensor::reshaped(ShapeVec new_shape) const
 {
     OPTIMUS_ASSERT(shapeProduct(new_shape) == size());
     Tensor t = *this;
-    t.shape_ = std::move(new_shape);
+    t.shape_ = new_shape;
     return t;
 }
 
 void
 Tensor::fill(float value)
 {
-    std::fill(data_.begin(), data_.end(), value);
+    std::fill(data_, data_ + size_, value);
 }
 
 void
@@ -198,8 +341,10 @@ Tensor::sub(const Tensor &other)
 void
 Tensor::scale(float s)
 {
-    for (auto &v : data_)
-        v *= s;
+    float *dst = data_;
+    const int64_t n = size_;
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] *= s;
 }
 
 void
@@ -232,8 +377,8 @@ double
 Tensor::sum() const
 {
     double total = 0.0;
-    for (float v : data_)
-        total += v;
+    for (int64_t i = 0; i < size_; ++i)
+        total += data_[i];
     return total;
 }
 
@@ -241,8 +386,8 @@ float
 Tensor::maxAbs() const
 {
     float best = 0.0f;
-    for (float v : data_) {
-        const float a = std::fabs(v);
+    for (int64_t i = 0; i < size_; ++i) {
+        const float a = std::fabs(data_[i]);
         if (a > best)
             best = a;
     }
@@ -253,8 +398,8 @@ double
 Tensor::norm() const
 {
     double sum_sq = 0.0;
-    for (float v : data_)
-        sum_sq += static_cast<double>(v) * v;
+    for (int64_t i = 0; i < size_; ++i)
+        sum_sq += static_cast<double>(data_[i]) * data_[i];
     return std::sqrt(sum_sq);
 }
 
@@ -265,8 +410,7 @@ Tensor::sliceRows(int64_t begin, int64_t end) const
     OPTIMUS_ASSERT(begin >= 0 && begin <= end && end <= rows());
     const int64_t c = cols();
     Tensor out({end - begin, c});
-    std::copy(data_.begin() + begin * c, data_.begin() + end * c,
-              out.data());
+    std::copy(data_ + begin * c, data_ + end * c, out.data());
     return out;
 }
 
@@ -277,7 +421,7 @@ Tensor::setRows(int64_t row, const Tensor &src)
     OPTIMUS_ASSERT(cols() == src.cols());
     OPTIMUS_ASSERT(row >= 0 && row + src.rows() <= rows());
     std::copy(src.data(), src.data() + src.size(),
-              data_.begin() + row * cols());
+              data_ + row * cols());
 }
 
 Tensor
@@ -305,6 +449,8 @@ Tensor::allClose(const Tensor &other, float tol) const
     return true;
 }
 
+// optlint:coldfn — diagnostic formatter; reached only from
+// assertion-failure and logging paths, never the steady step.
 std::string
 Tensor::shapeString() const
 {

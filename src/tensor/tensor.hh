@@ -9,12 +9,24 @@
  * not supported (slices copy). That keeps aliasing out of the
  * hand-written backprop code, which is the error-prone part of this
  * project, at a small memory cost acceptable for laptop-scale models.
+ *
+ * Storage lives either on the global heap or in the workspace arena
+ * active at construction time (see arena.hh): a tensor built under a
+ * `WorkspaceScope` draws a size-class block from that workspace and
+ * returns it on destruction, so steady-state training steps recycle
+ * buffers instead of calling the allocator. Copy-assignment reuses
+ * the destination's block in place whenever its capacity suffices —
+ * that is what keeps persistent tensors (optimizer state, PowerSGD
+ * Q, error-feedback residuals) allocation-free after warmup. The
+ * shape itself is an inline small-vector (`ShapeVec`), so tensor
+ * metadata never touches the heap at all.
  */
 
 #ifndef OPTIMUS_TENSOR_TENSOR_HH
 #define OPTIMUS_TENSOR_TENSOR_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -22,6 +34,43 @@ namespace optimus
 {
 
 class Rng;
+class Workspace;
+
+/**
+ * Inline fixed-capacity shape vector (rank <= kMaxRank). Keeps
+ * tensor construction heap-free; converts from std::vector for the
+ * cold call sites that build shapes dynamically.
+ */
+class ShapeVec
+{
+  public:
+    static constexpr int kMaxRank = 4;
+
+    ShapeVec() = default;
+    ShapeVec(std::initializer_list<int64_t> dims);
+    ShapeVec(const std::vector<int64_t> &dims);
+
+    int size() const { return rank_; }
+    bool empty() const { return rank_ == 0; }
+
+    int64_t operator[](int i) const { return dims_[i]; }
+    int64_t &operator[](int i) { return dims_[i]; }
+
+    const int64_t *begin() const { return dims_; }
+    const int64_t *end() const { return dims_ + rank_; }
+
+    void push_back(int64_t d);
+
+    bool operator==(const ShapeVec &other) const;
+    bool operator!=(const ShapeVec &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    int rank_ = 0;
+    int64_t dims_[kMaxRank] = {};
+};
 
 /** Contiguous row-major float tensor with value semantics. */
 class Tensor
@@ -31,7 +80,14 @@ class Tensor
     Tensor();
 
     /** Zero-initialized tensor of the given shape. */
-    explicit Tensor(std::vector<int64_t> shape);
+    explicit Tensor(ShapeVec shape);
+
+    Tensor(const Tensor &other);
+    Tensor(Tensor &&other) noexcept;
+    /** Reuses own storage in place when capacity suffices. */
+    Tensor &operator=(const Tensor &other);
+    Tensor &operator=(Tensor &&other) noexcept;
+    ~Tensor();
 
     /** Convenience 1D / 2D / 3D constructors (zero-initialized). */
     static Tensor zeros(int64_t n);
@@ -39,28 +95,28 @@ class Tensor
     static Tensor zeros(int64_t d0, int64_t d1, int64_t d2);
 
     /** Tensor filled with a constant. */
-    static Tensor full(std::vector<int64_t> shape, float value);
+    static Tensor full(ShapeVec shape, float value);
 
     /** I.i.d. normal entries with the given mean/stddev. */
-    static Tensor randn(std::vector<int64_t> shape, Rng &rng,
-                        float mean = 0.0f, float stddev = 1.0f);
+    static Tensor randn(ShapeVec shape, Rng &rng, float mean = 0.0f,
+                        float stddev = 1.0f);
 
     /** I.i.d. uniform entries in [lo, hi). */
-    static Tensor randUniform(std::vector<int64_t> shape, Rng &rng,
-                              float lo, float hi);
+    static Tensor randUniform(ShapeVec shape, Rng &rng, float lo,
+                              float hi);
 
     /** Build from explicit values (shape product must match size). */
-    static Tensor fromValues(std::vector<int64_t> shape,
-                             std::vector<float> values);
+    static Tensor fromValues(ShapeVec shape,
+                             const std::vector<float> &values);
 
     /** Total number of elements. */
-    int64_t size() const { return static_cast<int64_t>(data_.size()); }
+    int64_t size() const { return size_; }
 
     /** Number of dimensions. */
-    int rank() const { return static_cast<int>(shape_.size()); }
+    int rank() const { return shape_.size(); }
 
     /** Shape vector. */
-    const std::vector<int64_t> &shape() const { return shape_; }
+    const ShapeVec &shape() const { return shape_; }
 
     /** Extent of dimension @p dim (supports negative indexing). */
     int64_t dim(int dim) const;
@@ -70,8 +126,8 @@ class Tensor
     int64_t cols() const;
 
     /** Raw storage access. */
-    float *data() { return data_.data(); }
-    const float *data() const { return data_.data(); }
+    float *data() { return data_; }
+    const float *data() const { return data_; }
 
     /**
      * Flat element access. Under OPTIMUS_BOUNDS_CHECK (default in
@@ -104,7 +160,7 @@ class Tensor
      * Reinterpret the same storage with a new shape (copying
      * metadata only). @pre product(new_shape) == size()
      */
-    Tensor reshaped(std::vector<int64_t> new_shape) const;
+    Tensor reshaped(ShapeVec new_shape) const;
 
     /** In-place fill with a constant. */
     void fill(float value);
@@ -158,8 +214,18 @@ class Tensor
     /** Cold failure path for the checked operator[]. */
     [[noreturn]] void boundsFail(int64_t i) const;
 
-    std::vector<int64_t> shape_;
-    std::vector<float> data_;
+    /** Acquire storage for @p n elements (uninitialized). */
+    void allocateStorage(int64_t n);
+    /** Return storage to its workspace or the heap. */
+    void releaseStorage();
+
+    ShapeVec shape_;
+    float *data_ = nullptr;
+    int64_t size_ = 0;
+    /** Granted block capacity in elements (>= size_). */
+    int64_t cap_ = 0;
+    /** Owning workspace, or nullptr for heap-backed storage. */
+    Workspace *ws_ = nullptr;
 };
 
 /** c = a + b (allocating). */

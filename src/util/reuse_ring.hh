@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Slot-reusing FIFO for saved-for-backward stashes.
+ *
+ * The layer stash pattern (push per forward, pop per backward, depth
+ * bounded by the pipeline) used std::deque, whose node churn is a
+ * steady-state heap call every few micro-batches. ReuseRing keeps a
+ * ring over a plain vector instead: popFront() only moves the head,
+ * leaving the slot's object — and therefore its tensor blocks and
+ * vector capacities — in place, and pushSlot() hands that object
+ * back to be *assigned into*, so steady state reuses storage
+ * end-to-end. Growth (a deeper pipeline than ever seen) is a warmup
+ * event.
+ *
+ * Rules for slot contents: copy-assign into the slot returned by
+ * pushSlot() (never construct a fresh object and move it over a
+ * std::vector member, which would drop the slot's ratcheted
+ * capacity). Moving a *Tensor* out of a slot is fine — its block
+ * returns to the workspace free lists when the moved-to tensor
+ * dies, so the recycling loop stays closed.
+ */
+
+#ifndef OPTIMUS_UTIL_REUSE_RING_HH
+#define OPTIMUS_UTIL_REUSE_RING_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace optimus
+{
+
+template <typename T>
+class ReuseRing
+{
+  public:
+    /**
+     * Append one logical element and return the slot to assign
+     * into. The slot holds whatever a previously popped element
+     * left behind — reusable capacity, not valid data.
+     */
+    T &pushSlot()
+    {
+        if (count_ == slots_.size())
+            grow();
+        T &slot = slots_[(head_ + count_) % slots_.size()];
+        ++count_;
+        return slot;
+    }
+
+    /** Oldest live element. @pre !empty() */
+    T &front() { return slots_[head_]; }
+    const T &front() const { return slots_[head_]; }
+
+    /**
+     * Retire the oldest element. Its slot (and capacity) stays for
+     * a later pushSlot(). @pre !empty()
+     */
+    void popFront()
+    {
+        head_ = (head_ + 1) % slots_.size();
+        --count_;
+    }
+
+    /** Drop all live elements, keeping every slot's capacity. */
+    void clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+  private:
+    void grow()
+    {
+        // optlint:coldalloc — capacity ratchets during warmup; the
+        // unwrap preserves FIFO order in the new vector.
+        std::vector<T> grown(slots_.empty() ? 4 : slots_.size() * 2);
+        for (size_t i = 0; i < count_; ++i)
+            grown[i] =
+                std::move(slots_[(head_ + i) % slots_.size()]);
+        slots_ = std::move(grown);
+        head_ = 0;
+    }
+
+    std::vector<T> slots_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_UTIL_REUSE_RING_HH

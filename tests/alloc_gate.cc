@@ -1,0 +1,254 @@
+/**
+ * @file
+ * The zero-allocation steady-state gate (tier-1). Global operator
+ * new/delete are replaced with counting wrappers; after a two-step
+ * warmup the counter is armed around full training iterations and
+ * the gate fails on ANY heap allocation made anywhere in the
+ * process — tensor storage, containers, closures, pool tasks — on
+ * the forward/backward/compress/reduce/update path, in every DP
+ * reduce mode. This is the runtime enforcement of what optlint's
+ * ALLOC01 hot set declares statically and what the coldalloc /
+ * coldfn annotations promise is warmup-only.
+ *
+ * Not a gtest binary on purpose: the harness itself must not
+ * allocate between arming and checking.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "data/corpus.hh"
+#include "data/dataset.hh"
+#include "parallel/trainer3d.hh"
+#include "tensor/arena.hh"
+
+namespace
+{
+
+std::atomic<bool> g_armed{false};
+std::atomic<long long> g_armedAllocs{0};
+
+void *
+countedAlloc(std::size_t n, std::size_t align)
+{
+    if (g_armed.load(std::memory_order_relaxed))
+        g_armedAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (n == 0)
+        n = 1;
+    if (align > alignof(std::max_align_t)) {
+        // aligned_alloc wants the size rounded to the alignment.
+        const std::size_t rounded = (n + align - 1) / align * align;
+        return std::aligned_alloc(align, rounded);
+    }
+    return std::malloc(n);
+}
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    void *p = countedAlloc(n, 0);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return operator new(n);
+}
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(n, 0);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(n, 0);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align)
+{
+    void *p = countedAlloc(n, static_cast<std::size_t>(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align)
+{
+    return operator new(n, align);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace optimus;
+
+Trainer3dConfig
+gateConfig(DpReduceMode mode)
+{
+    GptConfig model;
+    model.vocab = 24;
+    model.hidden = 16;
+    model.layers = 4;
+    model.heads = 2;
+    model.seqLen = 8;
+    model.seed = 77;
+
+    Trainer3dConfig config;
+    config.model = model;
+    config.dataParallel = 2;
+    config.pipelineStages = 2;
+    config.microBatches = 2;
+    config.microBatchSize = 2;
+    config.useAdam = true;
+    config.cb.enabled = true;
+    config.cb.epilogueOnly = false;
+    config.cb.spec.rank = 2;
+    config.dp.enabled = true;
+    config.dp.stageFraction = 1.0;
+    config.dp.spec.rank = 2;
+    config.reduceMode = mode;
+    return config;
+}
+
+const char *
+modeName(DpReduceMode mode)
+{
+    switch (mode) {
+      case DpReduceMode::Sequential:
+        return "sequential";
+      case DpReduceMode::Barriered:
+        return "barriered";
+      case DpReduceMode::Overlapped:
+        return "overlapped";
+    }
+    return "?";
+}
+
+/** @return armed allocation count over two post-warmup steps. */
+long long
+runGate(DpReduceMode mode, const LmDataset &data)
+{
+    Trainer3d trainer(gateConfig(mode));
+    Rng rng(99);
+    // Warmup: step one sizes the arenas and ratchets every scratch
+    // capacity; step two builds lazily-constructed compressor warm
+    // state (PowerSGD q matrices, per-parameter residuals).
+    trainer.trainIteration(data, rng);
+    trainer.trainIteration(data, rng);
+
+    g_armedAllocs.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+    trainer.trainIteration(data, rng);
+    trainer.trainIteration(data, rng);
+    g_armed.store(false, std::memory_order_relaxed);
+    return g_armedAllocs.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+int
+main()
+{
+    if (!arenaEnabled()) {
+        std::printf("alloc_gate: OPTIMUS_ARENA=0, nothing to "
+                    "enforce; skipping\n");
+        return 0;
+    }
+
+    CorpusConfig cc;
+    cc.vocab = 24;
+    cc.totalTokens = 6000;
+    cc.seed = 5;
+    SyntheticCorpus corpus(cc);
+    const LmDataset data(corpus.train(), 8);
+
+    int failures = 0;
+    for (const DpReduceMode mode :
+         {DpReduceMode::Sequential, DpReduceMode::Barriered,
+          DpReduceMode::Overlapped}) {
+        const long long count = runGate(mode, data);
+        const int64_t heap = mem::heapAllocs();
+        std::printf("alloc_gate: mode=%-10s armed allocs=%lld "
+                    "(lifetime: heapAllocs=%lld arenaHits=%lld "
+                    "fallbacks=%lld peakBytes=%lld)\n",
+                    modeName(mode), count,
+                    static_cast<long long>(heap),
+                    static_cast<long long>(mem::arenaHits()),
+                    static_cast<long long>(mem::heapFallbacks()),
+                    static_cast<long long>(mem::peakBytes()));
+        if (count != 0) {
+            std::fprintf(stderr,
+                         "alloc_gate: FAIL mode=%s: %lld heap "
+                         "allocation(s) in a steady-state step\n",
+                         modeName(mode), count);
+            ++failures;
+        }
+    }
+    if (failures == 0)
+        std::printf("alloc_gate: PASS (zero steady-state heap "
+                    "allocations in all reduce modes)\n");
+    return failures == 0 ? 0 : 1;
+}

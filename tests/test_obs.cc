@@ -384,8 +384,24 @@ TEST(Metrics, SnapshotMatchesCommTraceAndIsDeterministic)
             EXPECT_GT(snap.at("reduce.buckets.reduced"), 0);
             EXPECT_GT(snap.at("runtime.parallelFor.calls"), 0);
             EXPECT_GT(snap.at("runtime.tasks.submitted"), 0);
+            // The allocation observability gauges are published
+            // every step; steady-state behavior is enforced by
+            // test_arena / alloc_gate, presence is pinned here.
+            EXPECT_GT(snap.at("mem.arenaHits"), 0);
+            EXPECT_GE(snap.at("mem.heapAllocs"), 0);
         }
-        return registry.counterSnapshot();
+        auto snap = registry.counterSnapshot();
+        // mem.* mirrors the process-lifetime tallies behind
+        // mem::heapAllocs() et al. — cumulative across runs by
+        // design, so they are excluded from the run-to-run
+        // determinism comparison below.
+        for (auto it = snap.begin(); it != snap.end();) {
+            if (it->first.rfind("mem.", 0) == 0)
+                it = snap.erase(it);
+            else
+                ++it;
+        }
+        return snap;
     };
 
     const auto first = runOnce();

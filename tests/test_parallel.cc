@@ -225,6 +225,57 @@ TEST(Equivalence, ReplicasNeverDivergeWithCompression)
     EXPECT_LT(trainer.replicaDivergence(), 1e-5f);
 }
 
+TEST(ReduceMode, OverlappedDegeneratesToSequentialAtD1)
+{
+    // Overlapped scheduling hides bucket reduction behind the other
+    // replicas' backward; with one replica there is nothing to hide
+    // behind and the task-queue round trip measured as pure
+    // overhead (0.978x at d=1 p=2 m=4), so the trainer falls back
+    // to the bitwise-identical sequential reduction.
+    Trainer3dConfig config = baseTrainerConfig();
+    config.reduceMode = DpReduceMode::Overlapped;
+
+    config.dataParallel = 1;
+    Trainer3d degenerate(config);
+    EXPECT_EQ(degenerate.effectiveReduceMode(),
+              DpReduceMode::Sequential);
+
+    config.dataParallel = 2;
+    Trainer3d overlapped(config);
+    EXPECT_EQ(overlapped.effectiveReduceMode(),
+              DpReduceMode::Overlapped);
+
+    // Barriered mode is an explicit engine request; it is honored
+    // as configured even at D == 1.
+    config.dataParallel = 1;
+    config.reduceMode = DpReduceMode::Barriered;
+    Trainer3d barriered(config);
+    EXPECT_EQ(barriered.effectiveReduceMode(),
+              DpReduceMode::Barriered);
+
+    // The short-circuit changes scheduling only: a D=1 trainer
+    // configured Overlapped trains bit-for-bit like one configured
+    // Sequential.
+    auto digest = [](DpReduceMode mode) {
+        Trainer3dConfig c = baseTrainerConfig();
+        c.dataParallel = 1;
+        c.pipelineStages = 2;
+        c.reduceMode = mode;
+        Trainer3d trainer(c);
+        LmDataset data = tinyData(c.model.seqLen);
+        Rng rng(46);
+        double sum = 0.0;
+        for (int it = 0; it < 3; ++it)
+            trainer.trainIteration(data, rng);
+        for (const auto &p : trainer.stage(0, 0).params())
+            for (int64_t i = 0; i < p->size(); ++i)
+                sum += p->value[i];
+        return sum;
+    };
+    EXPECT_EQ(digest(DpReduceMode::Overlapped),
+              digest(DpReduceMode::Sequential));
+}
+
 TEST(EmbeddingSync, FusedEqualsBaseline)
 {
     // Identical runs differing only in fused vs baseline embedding

@@ -48,3 +48,64 @@ hotAllocationFree(const float *x, const float *y, int64_t n)
         acc += static_cast<double>(x[i]) * y[i];
     return static_cast<float>(acc);
 }
+
+std::vector<float> &
+ratchetScratch(std::vector<float> &buf, int64_t n)
+{
+    // optlint:coldalloc — warmup capacity ratchet; the steady state
+    // re-enters with sufficient capacity and never allocates.
+    if (static_cast<int64_t>(buf.size()) < n)
+        buf.resize(static_cast<size_t>(n));
+    return buf;
+}
+
+// optlint:hot
+float
+hotWithColdallocRatchet(std::vector<float> &scratch, const float *x,
+                        int64_t n)
+{
+    ratchetScratch(scratch, n);
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        scratch[static_cast<size_t>(i)] = x[i];
+        acc += x[i];
+    }
+    return static_cast<float>(acc);
+}
+
+// optlint:hot
+float
+hotWithInlineColdalloc(std::vector<float> &scratch, const float *x,
+                       int64_t n)
+{
+    scratch.clear();
+    for (int64_t i = 0; i < n; ++i)
+        scratch.push_back(x[i]); // optlint:coldalloc capacity ratchet
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i)
+        acc += scratch[static_cast<size_t>(i)];
+    return static_cast<float>(acc);
+}
+
+// optlint:coldfn — setup-only layout build; hot callers cache it.
+std::vector<float>
+buildLayout(int64_t n)
+{
+    std::vector<float> layout;
+    for (int64_t i = 0; i < n; ++i)
+        layout.push_back(static_cast<float>(i));
+    return layout;
+}
+
+// optlint:hot
+float
+hotWithColdfnSetup(std::vector<float> &cache, const float *x,
+                   int64_t n)
+{
+    if (cache.empty())
+        cache = buildLayout(n);
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i)
+        acc += static_cast<double>(x[i]) * cache[size_t(i)];
+    return static_cast<float>(acc);
+}

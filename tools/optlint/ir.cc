@@ -59,7 +59,13 @@ isAllocatingMemberVerb(const std::string &s)
     return kVerbs.count(s) != 0;
 }
 
-/** Types whose by-value construction owns heap storage. */
+/**
+ * Types whose by-value construction owns heap storage. Tensor is
+ * deliberately absent since the workspace-arena memory model: its
+ * storage is drawn from the recycling arenas on the step path, and
+ * the steady-state heap contract is enforced at runtime by the
+ * alloc_gate test rather than syntactically.
+ */
 bool
 isOwningContainerType(const std::string &s)
 {
@@ -67,7 +73,7 @@ isOwningContainerType(const std::string &s)
         "vector",       "string",        "map",
         "set",          "multimap",      "multiset",
         "deque",        "list",          "stringstream",
-        "ostringstream", "istringstream", "Tensor"};
+        "ostringstream", "istringstream"};
     return kTypes.count(s) != 0;
 }
 
@@ -216,6 +222,11 @@ void
 scanDirectEffects(const LexedFile &f, FunctionDef &fn)
 {
     const auto &t = f.tokens;
+    // Allocation facts on coldalloc-annotated lines are declared
+    // warmup-only (capacity ratchets) and stay out of the summary.
+    const auto cold = [&f](int line) {
+        return f.coldallocLines.count(line) != 0;
+    };
     for (size_t k = fn.bodyBegin + 1; k < fn.bodyEnd; ++k) {
         const Token &tk = t[k];
         if (tk.kind == TokKind::Ident) {
@@ -223,7 +234,9 @@ scanDirectEffects(const LexedFile &f, FunctionDef &fn)
             if (isSyncMarker(id))
                 fn.synchronized = true;
             // Allocation markers.
-            if (id == "new" && !isMemberAccess(t, k)) {
+            if (cold(tk.line)) {
+                // fallthrough: clock/global markers still scan.
+            } else if (id == "new" && !isMemberAccess(t, k)) {
                 fn.direct.allocates = true;
                 if (fn.direct.allocEvidence.empty())
                     fn.direct.allocEvidence =
@@ -632,6 +645,9 @@ linkProgram(const std::vector<const LexedFile *> &files,
             fn.isHot = default_hot || lf.hotLines.count(fn.line) ||
                        lf.hotLines.count(fn.line - 1) ||
                        lf.hotLines.count(fn.line - 2);
+            fn.isColdSetup = lf.coldfnLines.count(fn.line) ||
+                             lf.coldfnLines.count(fn.line - 1) ||
+                             lf.coldfnLines.count(fn.line - 2);
             fn.total = fn.direct;
             p.functions.push_back(std::move(fn));
         }
@@ -667,7 +683,11 @@ linkProgram(const std::vector<const LexedFile *> &files,
                             g.total.globalEvidence;
                         changed = true;
                     }
-                    if (g.total.allocates && !fn.total.allocates) {
+                    // Allocation effects stop at coldfn boundaries:
+                    // a setup-only callee allocating is precisely
+                    // the declared-cold case ALLOC01 sees through.
+                    if (g.total.allocates && !g.isColdSetup &&
+                        !fn.total.allocates) {
                         fn.total.allocates = true;
                         fn.total.allocEvidence =
                             "via " + g.qualName + ": " +
@@ -743,9 +763,10 @@ dumpProgram(const Program &program)
         else if (!fn.total.allocEvidence.empty())
             evidence = "  <" + fn.total.allocEvidence + ">";
         std::printf(
-            "%s:%d %s%s%s%s%s%s%s%s%s\n", f.path.c_str(), fn.line,
-            fn.qualName.c_str(),
+            "%s:%d %s%s%s%s%s%s%s%s%s%s\n", f.path.c_str(),
+            fn.line, fn.qualName.c_str(),
             fn.isHot ? " [hot]" : "",
+            fn.isColdSetup ? " [coldfn]" : "",
             fn.synchronized ? " [sync]" : "",
             fn.total.writesGlobal ? " writes-global" : "",
             params.c_str(),

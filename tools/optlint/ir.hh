@@ -88,6 +88,9 @@ struct FunctionDef
     std::set<std::string> locals; ///< params + block-locals
     bool synchronized = false;    ///< body locks or uses atomics
     bool isHot = false;           ///< in the ALLOC01 hot-path set
+    /** Declared setup-/instrumentation-only (`optlint:coldfn`):
+     * allocation effects are not folded into hot callers. */
+    bool isColdSetup = false;
     /** Defined inside a class/struct body. Unknown identifiers in
      * such a method are (almost always) data members, so writes to
      * them follow the disjoint-per-object rule instead of being

@@ -14,7 +14,7 @@ namespace
 
 /**
  * Parse `optlint:allow(A,B)` / `optlint:expect(A)` / `optlint:hot`
- * out of a comment.
+ * / `optlint:coldalloc` out of a comment.
  */
 void
 parseAnnotations(LexedFile &out, const std::string &comment, int line,
@@ -65,6 +65,28 @@ parseAnnotations(LexedFile &out, const std::string &comment, int line,
         out.hotLines.insert(line);
         if (own_line)
             out.hotLines.insert(line + 1);
+    }
+
+    // `optlint:coldfn` declares the function defined on this line
+    // (or the next, for own-line comments) setup-/instrumentation-
+    // only: its allocations never fold into hot callers.
+    size_t coldfn = comment.find("optlint:coldfn");
+    if (coldfn != std::string::npos) {
+        out.coldfnLines.insert(line);
+        if (own_line)
+            out.coldfnLines.insert(line + 1);
+    }
+
+    // `optlint:coldalloc` declares the allocation on this line (or
+    // the following statement, for own-line comments) a warmup-only
+    // capacity ratchet that the steady state never executes.
+    size_t cold = comment.find("optlint:coldalloc");
+    if (cold != std::string::npos) {
+        out.coldallocLines.insert(line);
+        if (own_line) {
+            for (int span = 1; span <= 3; ++span)
+                out.coldallocLines.insert(line + span);
+        }
     }
 }
 

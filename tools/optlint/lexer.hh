@@ -5,7 +5,8 @@
  *
  * The lexer strips comments/strings/preprocessor lines into a flat
  * token stream with line numbers, and captures the `optlint:allow`,
- * `optlint:expect`, and `optlint:hot` annotations out of band. It is
+ * `optlint:expect`, `optlint:hot`, and `optlint:coldalloc`
+ * annotations out of band. It is
  * deliberately not a conforming C++ lexer — just enough structure
  * for pattern rules and the lightweight IR in ir.hh.
  */
@@ -77,6 +78,23 @@ struct LexedFile
     /** Lines covered by an `optlint:hot` annotation (the annotation
      * line itself plus, for own-line comments, the next line). */
     std::set<int> hotLines;
+    /**
+     * Lines covered by an `optlint:coldfn` annotation (same window
+     * as hotLines). A function whose definition header falls on a
+     * covered line is setup-, warmup-, or instrumentation-only: its
+     * allocation effects are declared off the steady-state path and
+     * are not folded into hot callers by ALLOC01 propagation.
+     */
+    std::set<int> coldfnLines;
+    /**
+     * Lines covered by an `optlint:coldalloc` annotation: the
+     * annotation line plus, for own-line comments, the next three
+     * lines (justifications and ratchet statements often wrap). Allocation
+     * facts on covered lines are warmup-only by declaration and are
+     * not recorded as direct allocation effects, so ALLOC01 sees
+     * through capacity ratchets that the steady state never hits.
+     */
+    std::set<int> coldallocLines;
 };
 
 bool lexFile(const fs::path &file, const std::string &display,

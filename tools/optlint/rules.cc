@@ -709,7 +709,7 @@ checkHotPathAllocations(const Program &program,
                         std::vector<Violation> &out)
 {
     for (const FunctionDef &fn : program.functions) {
-        if (!fn.isHot || !fn.total.allocates)
+        if (!fn.isHot || fn.isColdSetup || !fn.total.allocates)
             continue;
         const LexedFile &f = program.fileOf(fn);
         addViolation(out, f, fn.line, "ALLOC01",
