@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Continuous-batching serving benchmark: a closed-loop load
+ * generator submits a fixed request mix to the ServeEngine twice —
+ * once serialized (maxSequences = 1: every request decoded alone)
+ * and once continuously batched on a 2-stage pipeline — and
+ * reports tokens/s for both plus per-request latency percentiles
+ * (p50/p95/p99 via the engine's always-on Log2Histogram). A traced
+ * wave is recorded to BENCH_serve_trace.json for Perfetto /
+ * tracesum, and the results land in BENCH_serve.json.
+ *
+ * --smoke shrinks the run for ctest and turns on the validation
+ * gates: every request must complete with its full token budget,
+ * every batched output must be bitwise identical to the
+ * single-request full-recompute oracle (referenceGreedyDecode),
+ * the recorded trace must contain serve.step/serve.decode spans,
+ * and — when the pool has at least two workers to batch across —
+ * batched throughput must be strictly higher than unbatched.
+ *
+ * Usage: bench_serve [--requests 24] [--max-new 32] [--reps 3]
+ *        [--smoke]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hh"
+#include "obs/trace.hh"
+#include "runtime/runtime.hh"
+#include "serve/engine.hh"
+#include "util/cli.hh"
+
+using namespace optimus;
+
+namespace
+{
+
+const char *kTracePath = "BENCH_serve_trace.json";
+
+GptConfig
+benchModel(bool smoke)
+{
+    GptConfig model;
+    if (smoke) {
+        model.vocab = 24;
+        model.hidden = 16;
+        model.layers = 4;
+        model.heads = 2;
+        model.seqLen = 16;
+    } else {
+        model.vocab = 64;
+        model.hidden = 64;
+        model.layers = 8;
+        model.heads = 4;
+        model.seqLen = 64;
+    }
+    model.seed = 77;
+    return model;
+}
+
+/** Deterministic request mix with prompt lengths 3..6. */
+std::vector<std::vector<int32_t>>
+benchPrompts(int count, int64_t vocab)
+{
+    std::vector<std::vector<int32_t>> prompts;
+    for (int r = 0; r < count; ++r) {
+        std::vector<int32_t> prompt;
+        for (int t = 0; t < 3 + r % 4; ++t)
+            prompt.push_back(static_cast<int32_t>(
+                (7 * r + 3 * t + 1) % vocab));
+        prompts.push_back(std::move(prompt));
+    }
+    return prompts;
+}
+
+serve::ServeConfig
+makeConfig(const GptConfig &model, bool batched)
+{
+    serve::ServeConfig config;
+    config.model = model;
+    config.pipelineStages = 2;
+    config.maxSequences = batched ? 8 : 1;
+    config.maxBatchTokens = batched ? 64 : model.seqLen;
+    return config;
+}
+
+struct RunResult
+{
+    double bestSeconds = 1e30;
+    int64_t tokensPerWave = 0;
+    int64_t p50Us = 0;
+    int64_t p95Us = 0;
+    int64_t p99Us = 0;
+};
+
+/**
+ * Closed-loop load: submit the whole mix, drain, repeat. One
+ * untimed warmup wave sizes the slot arenas and capacities; the
+ * best of @p reps timed waves is the noise floor.
+ */
+RunResult
+measure(serve::ServeEngine &engine,
+        const std::vector<std::vector<int32_t>> &prompts,
+        int64_t max_new, int reps)
+{
+    RunResult result;
+    const auto wave = [&]() {
+        const int64_t before = engine.tokensGenerated();
+        for (const auto &prompt : prompts)
+            engine.submit(prompt, max_new);
+        engine.drain();
+        return engine.tokensGenerated() - before;
+    };
+    wave(); // warmup: arenas, ring/vector capacities, pool spin-up
+    for (int rep = 0; rep < reps; ++rep) {
+        const int64_t t0 = obs::nowNs();
+        result.tokensPerWave = wave();
+        const double s = obs::secondsBetween(t0, obs::nowNs());
+        if (s < result.bestSeconds)
+            result.bestSeconds = s;
+    }
+    result.p50Us = engine.latencyUs().percentile(50);
+    result.p95Us = engine.latencyUs().percentile(95);
+    result.p99Us = engine.latencyUs().percentile(99);
+    return result;
+}
+
+/** The smoke trace must contain serving spans of both kinds. */
+bool
+hasServeSpans(const std::vector<obs::TraceEvent> &events)
+{
+    bool step = false, decode = false;
+    for (const auto &e : events) {
+        if (e.phase != 'X' ||
+            std::strcmp(e.category, "serve") != 0)
+            continue;
+        if (std::strcmp(e.name, "serve.step") == 0)
+            step = true;
+        else if (std::strcmp(e.name, "serve.decode") == 0)
+            decode = true;
+    }
+    return step && decode;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const bool smoke = args.getBool("smoke", false);
+    const int requests =
+        static_cast<int>(args.getInt("requests", smoke ? 6 : 24));
+    const int reps =
+        static_cast<int>(args.getInt("reps", smoke ? 2 : 3));
+    const GptConfig model = benchModel(smoke);
+    const int64_t max_new = args.getInt("max-new", smoke ? 8 : 32);
+
+    const auto prompts = benchPrompts(requests, model.vocab);
+
+    std::printf("=== continuous-batching serving benchmark ===\n");
+    std::printf("pool threads: %d  requests: %d  max-new: %lld  "
+                "reps: %d%s\n\n",
+                runtimeThreads(), requests,
+                static_cast<long long>(max_new), reps,
+                smoke ? "  [smoke]" : "");
+
+    // Serialized baseline: one slot, so every request is decoded
+    // alone (no cross-sequence batching to parallelize over).
+    serve::ServeEngine unbatched(makeConfig(model, false));
+    const RunResult serial =
+        measure(unbatched, prompts, max_new, reps);
+
+    // Continuous batching over the 2-stage pipeline.
+    serve::ServeEngine batched(makeConfig(model, true));
+    std::map<int64_t, std::vector<int32_t>> outputs;
+    batched.setFinishCallback(
+        [&outputs](const serve::FinishedRequest &done) {
+            outputs[done.id] = std::vector<int32_t>(
+                done.tokens.begin() + done.promptLen,
+                done.tokens.end());
+        });
+    const RunResult cont = measure(batched, prompts, max_new, reps);
+
+    // One traced wave for the artifact (outside the timed runs:
+    // tracing reads the clock per span).
+    obs::startTracing();
+    for (const auto &prompt : prompts)
+        batched.submit(prompt, max_new);
+    batched.drain();
+    obs::stopTracing();
+    const bool trace_written = obs::writeTrace(kTracePath);
+    const std::vector<obs::TraceEvent> events = obs::traceEvents();
+
+    const double serial_tps =
+        serial.tokensPerWave / serial.bestSeconds;
+    const double cont_tps = cont.tokensPerWave / cont.bestSeconds;
+    std::printf("unbatched: %8.3f ms/wave  %10.0f tok/s\n",
+                1e3 * serial.bestSeconds, serial_tps);
+    std::printf("batched:   %8.3f ms/wave  %10.0f tok/s  "
+                "(%.2fx)\n",
+                1e3 * cont.bestSeconds, cont_tps,
+                cont_tps / serial_tps);
+    std::printf("batched request latency: p50 %lld us  p95 %lld us"
+                "  p99 %lld us\n\n",
+                static_cast<long long>(cont.p50Us),
+                static_cast<long long>(cont.p95Us),
+                static_cast<long long>(cont.p99Us));
+
+    bool ok = true;
+    const int64_t expected_tokens =
+        static_cast<int64_t>(requests) * max_new;
+    if (serial.tokensPerWave != expected_tokens ||
+        cont.tokensPerWave != expected_tokens) {
+        ok = false;
+        std::fprintf(stderr,
+                     "FAILED: wave produced %lld/%lld tokens, "
+                     "expected %lld\n",
+                     static_cast<long long>(serial.tokensPerWave),
+                     static_cast<long long>(cont.tokensPerWave),
+                     static_cast<long long>(expected_tokens));
+    }
+
+    if (smoke) {
+        // Bitwise gate: continuous batching must reproduce the
+        // single-request full-recompute oracle for every request
+        // of every wave. Ids ascend in submission order and the
+        // map iterates in id order, so entry w * requests + r is
+        // wave w's instance of prompt r.
+        std::vector<const std::vector<int32_t> *> all_waves;
+        for (const auto &entry : outputs)
+            all_waves.push_back(&entry.second);
+        const size_t waves = all_waves.size() / prompts.size();
+        for (size_t r = 0; r < prompts.size(); ++r) {
+            const std::vector<int32_t> expect =
+                serve::referenceGreedyDecode(model, prompts[r],
+                                             max_new);
+            for (size_t w = 0; w < waves; ++w) {
+                const auto &got =
+                    *all_waves[w * prompts.size() + r];
+                if (got != expect) {
+                    ok = false;
+                    std::fprintf(stderr,
+                                 "FAILED: request %zu wave %zu "
+                                 "diverges from the full-recompute "
+                                 "oracle\n",
+                                 r, w);
+                }
+            }
+        }
+
+        if (!trace_written || !hasServeSpans(events)) {
+            ok = false;
+            std::fprintf(stderr,
+                         "FAILED: %s missing or lacks serve.step/"
+                         "serve.decode spans\n",
+                         kTracePath);
+        }
+
+        // Throughput gate: batching across sequences is the only
+        // parallelism single-token decode has, so with >= 2 pool
+        // workers the batched wave must win.
+        if (runtimeThreads() >= 2 && cont_tps <= serial_tps) {
+            ok = false;
+            std::fprintf(stderr,
+                         "FAILED: batched %.0f tok/s is not above "
+                         "unbatched %.0f tok/s with %d threads\n",
+                         cont_tps, serial_tps, runtimeThreads());
+        }
+    }
+
+    FILE *f = std::fopen("BENCH_serve.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
+    std::fprintf(f, "  \"threads\": %d,\n", runtimeThreads());
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"requests\": %d,\n", requests);
+    std::fprintf(f, "  \"max_new_tokens\": %lld,\n",
+                 static_cast<long long>(max_new));
+    std::fprintf(f, "  \"pipeline_stages\": 2,\n");
+    std::fprintf(f, "  \"tokens_per_wave\": %lld,\n",
+                 static_cast<long long>(cont.tokensPerWave));
+    std::fprintf(f,
+                 "  \"unbatched\": {\"seconds\": %.6f, "
+                 "\"tokens_per_s\": %.1f},\n",
+                 serial.bestSeconds, serial_tps);
+    std::fprintf(f,
+                 "  \"batched\": {\"seconds\": %.6f, "
+                 "\"tokens_per_s\": %.1f},\n",
+                 cont.bestSeconds, cont_tps);
+    std::fprintf(f, "  \"speedup\": %.4f,\n",
+                 cont_tps / serial_tps);
+    std::fprintf(f,
+                 "  \"latency_us\": {\"p50\": %lld, \"p95\": %lld, "
+                 "\"p99\": %lld},\n",
+                 static_cast<long long>(cont.p50Us),
+                 static_cast<long long>(cont.p95Us),
+                 static_cast<long long>(cont.p99Us));
+    std::fprintf(f, "  \"trace_path\": \"%s\",\n", kTracePath);
+    std::fprintf(f, "  \"valid\": %s\n}\n", ok ? "true" : "false");
+    std::fclose(f);
+
+    std::printf("results written to BENCH_serve.json (trace: %s)\n",
+                kTracePath);
+    return ok ? 0 : 1;
+}

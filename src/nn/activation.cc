@@ -36,6 +36,7 @@ Gelu::derivative(float x)
     return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
 }
 
+// optlint:hot — serving decode path (zero-allocation contract).
 Tensor
 Gelu::forward(const Tensor &x)
 {
@@ -47,13 +48,15 @@ Gelu::forward(const Tensor &x)
         for (int64_t i = lo; i < hi; ++i)
             yd[i] = value(xd[i]);
     });
-    stash_.pushSlot() = x;
+    if (mode() == Mode::Train)
+        stash_.pushSlot() = x;
     return y;
 }
 
 Tensor
 Gelu::backward(const Tensor &dy)
 {
+    OPTIMUS_ASSERT(mode() == Mode::Train);
     OPTIMUS_ASSERT(!stash_.empty());
     const Tensor &x = stash_.front();
     OPTIMUS_ASSERT(x.size() == dy.size());
@@ -82,13 +85,15 @@ Relu::forward(const Tensor &x)
         for (int64_t i = lo; i < hi; ++i)
             yd[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
     });
-    stash_.pushSlot() = x;
+    if (mode() == Mode::Train)
+        stash_.pushSlot() = x;
     return y;
 }
 
 Tensor
 Relu::backward(const Tensor &dy)
 {
+    OPTIMUS_ASSERT(mode() == Mode::Train);
     OPTIMUS_ASSERT(!stash_.empty());
     const Tensor &x = stash_.front();
 

@@ -4,10 +4,21 @@
 
 #include "runtime/runtime.hh"
 #include "tensor/matmul.hh"
+#include "tensor/simd.hh"
 #include "util/logging.hh"
 
 namespace optimus
 {
+
+void
+KvCache::ensure(int64_t capacity, int64_t hidden)
+{
+    if (k.rank() != 2 || k.rows() < capacity || k.cols() != hidden) {
+        k = Tensor({capacity, hidden});
+        v = Tensor({capacity, hidden});
+    }
+    len = 0;
+}
 
 MultiHeadAttention::MultiHeadAttention(const std::string &label,
                                        int64_t hidden, int64_t heads,
@@ -54,10 +65,110 @@ MultiHeadAttention::accumulateBlock(Tensor &dst, const Tensor &block,
     }
 }
 
+void
+MultiHeadAttention::setMode(Mode mode)
+{
+    Layer::setMode(mode);
+    qkv_->setMode(mode);
+    proj_->setMode(mode);
+}
+
+// optlint:hot — serving decode path (zero-allocation contract).
+Tensor
+MultiHeadAttention::forwardCached(const Tensor &x, KvCache &cache)
+{
+    OPTIMUS_ASSERT(mode() == Mode::Infer);
+    OPTIMUS_ASSERT(x.rank() == 2 && x.cols() == hidden_);
+    const int64_t r_count = x.rows();
+    const int64_t base = cache.len;
+    OPTIMUS_ASSERT(base + r_count <= cache.capacity());
+    const int64_t dh = headDim();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    Tensor qkv = qkv_->forward(x); // [R x 3h], row-wise in Infer
+    // Append the new keys/values (heads concatenated — the same
+    // column layout as the qkv k/v slices).
+    const float *qd = qkv.data();
+    float *kd = cache.k.data();
+    float *vd = cache.v.data();
+    for (int64_t r = 0; r < r_count; ++r) {
+        const float *src = qd + r * 3 * hidden_;
+        float *krow = kd + (base + r) * hidden_;
+        float *vrow = vd + (base + r) * hidden_;
+        for (int64_t j = 0; j < hidden_; ++j) {
+            krow[j] = src[hidden_ + j];
+            vrow[j] = src[2 * hidden_ + j];
+        }
+    }
+    cache.len = base + r_count;
+
+    // Row t of the score scratch holds the (base + r + 1) attention
+    // weights of pair t = r * heads + head. Every kernel below is a
+    // pure function of the row's position p, never of r_count, so
+    // prefill and decode produce identical bits position by
+    // position.
+    Tensor probs({r_count * heads_, base + r_count});
+    const int64_t pstride = probs.cols();
+    Tensor ctx({r_count, hidden_});
+    const simd::Tier tier = simd::tier();
+    float *pd = probs.data();
+    float *cd = ctx.data();
+    parallelFor(0, r_count * heads_, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t t = lo; t < hi; ++t) {
+            const int64_t r = t / heads_;
+            const int64_t hd = t % heads_;
+            const int64_t p = base + r;
+            const float *qrow = qd + r * 3 * hidden_ + hd * dh;
+            float *s = pd + t * pstride;
+            for (int64_t j = 0; j <= p; ++j) {
+                s[j] = static_cast<float>(simd::dotDouble(
+                           tier, qrow,
+                           kd + j * hidden_ + hd * dh, dh)) *
+                    scale;
+            }
+            // Causal softmax over [0, p] — the training kernel's
+            // masked row softmax, minus the zeroed future entries.
+            float max_val = s[0];
+            for (int64_t j = 1; j <= p; ++j) {
+                if (s[j] > max_val)
+                    max_val = s[j];
+            }
+            double denom = 0.0;
+            for (int64_t j = 0; j <= p; ++j) {
+                s[j] = std::exp(s[j] - max_val);
+                denom += s[j];
+            }
+            const float inv = static_cast<float>(1.0 / denom);
+            for (int64_t j = 0; j <= p; ++j)
+                s[j] *= inv;
+            // Context: j-ascending accumulation over cached values.
+            float *out = cd + r * hidden_ + hd * dh;
+            for (int64_t c = 0; c < dh; ++c)
+                out[c] = 0.0f;
+            for (int64_t j = 0; j <= p; ++j) {
+                const float pj = s[j];
+                const float *vrow = vd + j * hidden_ + hd * dh;
+                for (int64_t c = 0; c < dh; ++c)
+                    out[c] += pj * vrow[c];
+            }
+        }
+    });
+    return proj_->forward(ctx);
+}
+
 Tensor
 MultiHeadAttention::forward(const Tensor &x)
 {
     OPTIMUS_ASSERT(x.rank() == 2 && x.cols() == hidden_);
+    if (mode() == Mode::Infer) {
+        // Full-sequence recompute over one sequence: the same row
+        // kernels as incremental decode, against a local scratch
+        // cache (no member state, so concurrent calls are safe).
+        OPTIMUS_ASSERT(x.rows() >= 1 && x.rows() <= seqLen_);
+        KvCache scratch;
+        scratch.ensure(x.rows(), hidden_);
+        return forwardCached(x, scratch);
+    }
     const int64_t n = x.rows();
     OPTIMUS_ASSERT(n % seqLen_ == 0);
     const int64_t batch = n / seqLen_;
@@ -125,6 +236,7 @@ MultiHeadAttention::forward(const Tensor &x)
 Tensor
 MultiHeadAttention::backward(const Tensor &dy)
 {
+    OPTIMUS_ASSERT(mode() == Mode::Train);
     OPTIMUS_ASSERT(!stash_.empty());
     const Stash &st = stash_.front();
 

@@ -3,6 +3,14 @@
  * Causal multi-head self-attention with hand-written backward.
  * Operates on [batch*seq x hidden] activations; the sequence length
  * is fixed at construction, and the batch size is derived per call.
+ *
+ * Mode::Infer adds a per-sequence KV cache: forwardCached() appends
+ * the new rows' keys/values and attends each new row against the
+ * whole cache with per-row kernels (simd::dotDouble scores, scalar
+ * j-ascending context accumulation). Prefill (R = S rows) and
+ * single-token decode (R = 1) run the exact same per-position
+ * arithmetic, which is what makes incremental decode bitwise equal
+ * to full-sequence recompute at every SIMD tier.
  */
 
 #ifndef OPTIMUS_NN_ATTENTION_HH
@@ -16,6 +24,32 @@
 
 namespace optimus
 {
+
+/**
+ * Per-sequence, per-layer key/value cache. Rows are positions; the
+ * column layout matches the fused qkv projection's k/v slices (all
+ * heads concatenated, head hd at columns [hd*dh, (hd+1)*dh)).
+ * ensure() draws the tensors from the active workspace scope, so a
+ * serving slot's cache recycles its blocks across requests.
+ */
+struct KvCache
+{
+    Tensor k; // [capacity x hidden]
+    Tensor v; // [capacity x hidden]
+    int64_t len = 0;
+
+    /** Ensure capacity for @p capacity positions of width @p hidden;
+     *  existing contents are discarded. */
+    void ensure(int64_t capacity, int64_t hidden);
+
+    /** Forget all cached positions (capacity stays). */
+    void clear() { len = 0; }
+
+    int64_t capacity() const
+    {
+        return k.rank() == 2 ? k.rows() : 0;
+    }
+};
 
 /**
  * y = proj(concat_h softmax(mask(Q_h K_h^T / sqrt(d_h))) V_h), with
@@ -43,6 +77,17 @@ class MultiHeadAttention : public Layer
     std::string name() const override;
     void clearStash() override;
     size_t stashDepth() const override { return stash_.size(); }
+    void setMode(Mode mode) override;
+
+    /**
+     * Incremental attention (Infer mode only): append @p x's rows
+     * (positions cache.len .. cache.len + R - 1 of one sequence) to
+     * @p cache and attend each against the cache prefix up to and
+     * including itself. Stateless w.r.t. the layer, so one instance
+     * serves concurrent sequences (each with its own cache).
+     * @return [R x hidden] context projection.
+     */
+    Tensor forwardCached(const Tensor &x, KvCache &cache);
 
     int64_t hidden() const { return hidden_; }
     int64_t heads() const { return heads_; }

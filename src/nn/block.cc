@@ -1,5 +1,7 @@
 #include "nn/block.hh"
 
+#include "util/logging.hh"
+
 namespace optimus
 {
 
@@ -30,6 +32,31 @@ TransformerBlock::forward(const Tensor &x)
         ln2_->forward(r))));
     r.add(m);
     return r;
+}
+
+// optlint:hot — serving decode path (zero-allocation contract).
+Tensor
+TransformerBlock::forwardCached(const Tensor &x, KvCache &cache)
+{
+    OPTIMUS_ASSERT(mode() == Mode::Infer);
+    Tensor a = attn_->forwardCached(ln1_->forward(x), cache);
+    Tensor r = add(x, a);
+    Tensor m = fc2_->forward(gelu_->forward(fc1_->forward(
+        ln2_->forward(r))));
+    r.add(m);
+    return r;
+}
+
+void
+TransformerBlock::setMode(Mode mode)
+{
+    Layer::setMode(mode);
+    ln1_->setMode(mode);
+    attn_->setMode(mode);
+    ln2_->setMode(mode);
+    fc1_->setMode(mode);
+    gelu_->setMode(mode);
+    fc2_->setMode(mode);
 }
 
 Tensor

@@ -41,6 +41,15 @@ class TransformerBlock : public Layer
     std::string name() const override { return label_; }
     void clearStash() override;
     size_t stashDepth() const override;
+    void setMode(Mode mode) override;
+
+    /**
+     * Incremental forward (Infer mode only): the block's usual
+     * pre-norm residual dataflow with attention routed through
+     * @p cache (one cache per block per sequence).
+     * @return [R x hidden] activations for the new rows.
+     */
+    Tensor forwardCached(const Tensor &x, KvCache &cache);
 
   private:
     std::string label_;

@@ -52,6 +52,17 @@ class EmbeddingLayer
     Tensor forward(const std::vector<int32_t> &tokens, int64_t batch,
                    int64_t seq);
 
+    /**
+     * Stashless lookup of @p n consecutive positions of one
+     * sequence starting at position @p pos0 (the serving path:
+     * prefill embeds the prompt at pos0 = 0, decode embeds the
+     * newest token at pos0 = len - 1). Same per-row arithmetic as
+     * forward(); never touches the stash.
+     * @return [n x hidden] activations.
+     */
+    Tensor embedRows(const int32_t *tokens, int64_t n,
+                     int64_t pos0) const;
+
     /** Scatter-accumulate gradients for the oldest stashed batch. */
     void backward(const Tensor &dy);
 

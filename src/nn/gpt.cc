@@ -127,6 +127,15 @@ GptModel::params() const
 }
 
 void
+GptModel::setMode(Mode mode)
+{
+    for (auto &block : blocks_)
+        block->setMode(mode);
+    finalNorm_->setMode(mode);
+    head_->setMode(mode);
+}
+
+void
 GptModel::clearStash()
 {
     embedding_->clearStash();

@@ -88,6 +88,13 @@ class GptModel
     /** Drop all stashed activations. */
     void clearStash();
 
+    /**
+     * Switch every layer between Train and Infer (see layer.hh).
+     * Call with an empty stash; forwardBackward/evaluate require
+     * Train mode.
+     */
+    void setMode(Mode mode);
+
   private:
     GptConfig config_;
     std::unique_ptr<EmbeddingLayer> embedding_;

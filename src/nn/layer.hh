@@ -9,6 +9,26 @@
  * stash, backward() pops the oldest. Both 1F1B and monolithic
  * execution issue backwards in the same micro-batch order as
  * forwards, so FIFO order is always correct.
+ *
+ * Execution modes
+ * ---------------
+ * Every layer runs in an explicit mode (DESIGN.md section 10):
+ *
+ *  - `Mode::Train` (the default) is the historical behavior:
+ *    forward() stashes whatever backward will need, bit-for-bit
+ *    unchanged from before the mode split existed.
+ *  - `Mode::Infer` is the forward-only serving path: forward()
+ *    never touches the stash (the stash storage is never even
+ *    constructed), holds no mutable layer state, and computes every
+ *    activation row with *row-independent* arithmetic — the result
+ *    of a row depends only on that row's input, never on how many
+ *    other rows share the batch. Row independence is what makes
+ *    incremental KV-cache decode bitwise-equal to full-sequence
+ *    recompute and continuous batching invariant under request
+ *    interleaving. Infer-mode forwards are therefore safe to call
+ *    concurrently on one shared layer instance (one model copy
+ *    serves every in-flight sequence). backward() in Infer mode is
+ *    a contract violation and panics.
  */
 
 #ifndef OPTIMUS_NN_LAYER_HH
@@ -23,11 +43,29 @@
 namespace optimus
 {
 
+/** Execution mode of the layer stack (see the file comment). */
+enum class Mode
+{
+    Train, ///< forward stashes for backward (training pipelines)
+    Infer, ///< forward-only: stateless, row-independent, no stash
+};
+
 /** Differentiable module mapping [N x in] -> [N x out]. */
 class Layer
 {
   public:
     virtual ~Layer() = default;
+
+    /**
+     * Switch execution mode. Composite layers override to
+     * propagate to children. Call only between passes (never while
+     * a forward/backward is in flight, and never with a non-empty
+     * stash — switch modes after clearStash()).
+     */
+    virtual void setMode(Mode mode) { mode_ = mode; }
+
+    /** Current execution mode. */
+    Mode mode() const { return mode_; }
 
     /**
      * Run the forward pass, saving whatever backward will need onto
@@ -52,6 +90,9 @@ class Layer
 
     /** Number of stashed (awaiting-backward) micro-batches. */
     virtual size_t stashDepth() const = 0;
+
+  private:
+    Mode mode_ = Mode::Train;
 };
 
 } // namespace optimus

@@ -18,6 +18,44 @@ LayerNorm::LayerNorm(const std::string &label, int64_t features,
 {
 }
 
+// optlint:hot — serving decode path (zero-allocation contract).
+Tensor
+LayerNorm::forwardInfer(const Tensor &x) const
+{
+    const int64_t rows = x.rows();
+    const int64_t f = x.cols();
+    Tensor y({rows, f});
+    const float *xd = x.data();
+    const float *g = gamma_->value.data();
+    const float *b = beta_->value.data();
+    float *yd = y.data();
+    // Same per-row statistics as the training forward, with the
+    // normalized activations written straight to the output instead
+    // of a stash. Rows are independent, so the arithmetic is
+    // batch-invariant.
+    parallelFor(0, rows, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const float *row = xd + i * f;
+            double sum = 0.0;
+            for (int64_t j = 0; j < f; ++j)
+                sum += row[j];
+            const float mu = static_cast<float>(sum / f);
+            double var = 0.0;
+            for (int64_t j = 0; j < f; ++j) {
+                const float d = row[j] - mu;
+                var += static_cast<double>(d) * d;
+            }
+            const float inv_std = 1.0f /
+                std::sqrt(static_cast<float>(var / f) + eps_);
+            for (int64_t j = 0; j < f; ++j) {
+                const float xn = (row[j] - mu) * inv_std;
+                yd[i * f + j] = g[j] * xn + b[j];
+            }
+        }
+    });
+    return y;
+}
+
 Tensor
 LayerNorm::forward(const Tensor &x)
 {
@@ -25,6 +63,8 @@ LayerNorm::forward(const Tensor &x)
     const int64_t rows = x.rows();
     const int64_t f = x.cols();
     OPTIMUS_ASSERT(f == gamma_->value.size());
+    if (mode() == Mode::Infer)
+        return forwardInfer(x);
 
     // Assign into the ring slot: steady state reuses the previous
     // stash's tensor block and vector capacity in place.
@@ -74,6 +114,7 @@ LayerNorm::forward(const Tensor &x)
 Tensor
 LayerNorm::backward(const Tensor &dy)
 {
+    OPTIMUS_ASSERT(mode() == Mode::Train);
     OPTIMUS_ASSERT(!stash_.empty());
     const Stash &st = stash_.front();
 

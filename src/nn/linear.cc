@@ -1,5 +1,6 @@
 #include "nn/linear.hh"
 
+#include "runtime/runtime.hh"
 #include "tensor/matmul.hh"
 #include "util/logging.hh"
 
@@ -29,6 +30,8 @@ Tensor
 Linear::forward(const Tensor &x)
 {
     OPTIMUS_ASSERT(x.rank() == 2 && x.cols() == inFeatures());
+    if (mode() == Mode::Infer)
+        return forwardInfer(x);
     Tensor y = matmul(x, weight_->value);
     const int64_t rows = y.rows();
     const int64_t out = y.cols();
@@ -42,10 +45,43 @@ Linear::forward(const Tensor &x)
     return y;
 }
 
+// optlint:hot — serving decode path (zero-allocation contract).
+Tensor
+Linear::forwardInfer(const Tensor &x) const
+{
+    const int64_t rows = x.rows();
+    const int64_t in = inFeatures();
+    const int64_t out = outFeatures();
+    Tensor y({rows, out});
+    const float *xd = x.data();
+    const float *w = weight_->value.data();
+    const float *b = bias_->value.data();
+    float *yd = y.data();
+    // Row-independent matvec: y_i = b, then a k-ascending axpy per
+    // input feature. Each output row's arithmetic is a pure function
+    // of its own input row, so the bits never depend on the batch.
+    parallelFor(0, rows, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const float *xr = xd + i * in;
+            float *yr = yd + i * out;
+            for (int64_t j = 0; j < out; ++j)
+                yr[j] = b[j];
+            for (int64_t k = 0; k < in; ++k) {
+                const float xv = xr[k];
+                const float *wr = w + k * out;
+                for (int64_t j = 0; j < out; ++j)
+                    yr[j] += xv * wr[j];
+            }
+        }
+    });
+    return y;
+}
+
 // optlint:hot — steady-state step path (zero-allocation contract).
 Tensor
 Linear::backward(const Tensor &dy)
 {
+    OPTIMUS_ASSERT(mode() == Mode::Train);
     OPTIMUS_ASSERT(!stash_.empty());
     const Tensor &x = stash_.front();
     OPTIMUS_ASSERT(dy.rank() == 2 && dy.cols() == outFeatures());

@@ -1,6 +1,13 @@
 /**
  * @file
  * Fully connected layer Y = X * W + b with W stored [in x out].
+ *
+ * Mode::Infer replaces the panel-blocked GEMM with a per-row matvec
+ * (k-ascending axpy into a bias-initialized row). The GEMM's
+ * vector-panel/scalar-tail split makes a row's bits depend on how
+ * many rows share the call; the row kernel does not, which is the
+ * batch-invariance the KV-cache decode identity and continuous
+ * batching rely on (see layer.hh).
  */
 
 #ifndef OPTIMUS_NN_LINEAR_HH
@@ -44,6 +51,9 @@ class Linear : public Layer
     ParamPtr bias() const { return bias_; }
 
   private:
+    /** Batch-invariant per-row matvec (Infer mode; stateless). */
+    Tensor forwardInfer(const Tensor &x) const;
+
     ParamPtr weight_;
     ParamPtr bias_;
     ReuseRing<Tensor> stash_;

@@ -118,6 +118,44 @@ StageModule::positionTable() const
 }
 
 void
+StageModule::setMode(Mode mode)
+{
+    for (auto &block : blocks_)
+        block->setMode(mode);
+    if (finalNorm_)
+        finalNorm_->setMode(mode);
+    if (head_)
+        head_->setMode(mode);
+}
+
+Tensor
+StageModule::inferEmbed(const int32_t *tokens, int64_t n,
+                        int64_t pos0) const
+{
+    OPTIMUS_ASSERT(isFirst());
+    return embedding_->embedRows(tokens, n, pos0);
+}
+
+// optlint:hot — serving decode path (zero-allocation contract).
+Tensor
+StageModule::inferBlocks(const Tensor &h, KvCache *caches)
+{
+    Tensor out = h;
+    for (size_t i = 0; i < blocks_.size(); ++i)
+        out = blocks_[i]->forwardCached(out, caches[i]);
+    return out;
+}
+
+// optlint:hot — serving decode path (zero-allocation contract).
+Tensor
+StageModule::inferLogits(const Tensor &h)
+{
+    OPTIMUS_ASSERT(isLast());
+    Tensor out = finalNorm_->forward(h);
+    return head_->forward(out);
+}
+
+void
 StageModule::clearStash()
 {
     if (embedding_)

@@ -73,6 +73,40 @@ class StageModule
     /** Drop all stashed activations. */
     void clearStash();
 
+    // --- Forward-only (serving) entries -------------------------
+    //
+    // The same stage boundaries as training, in Mode::Infer: no
+    // stashes, KV-cached attention, batch-invariant row kernels.
+    // The caller owns one KvCache per block per sequence and hands
+    // this stage its slice (numBlocks() caches).
+
+    /** Switch every owned layer's execution mode (see layer.hh). */
+    void setMode(Mode mode);
+
+    /** Blocks owned by this stage. */
+    int64_t numBlocks() const
+    {
+        return static_cast<int64_t>(blocks_.size());
+    }
+
+    /**
+     * Stashless embedding of @p n consecutive tokens of one
+     * sequence starting at position @p pos0 (first stage only).
+     */
+    Tensor inferEmbed(const int32_t *tokens, int64_t n,
+                      int64_t pos0) const;
+
+    /**
+     * Run this stage's blocks over @p h with per-block KV caches
+     * (Infer mode only). @p caches points at numBlocks() caches.
+     * @return boundary activations [R x hidden].
+     */
+    Tensor inferBlocks(const Tensor &h, KvCache *caches);
+
+    /** Last-stage epilogue: final norm + tied head, stashless.
+     *  @return logits [R x vocab]. */
+    Tensor inferLogits(const Tensor &h);
+
   private:
     GptConfig config_;
     int stage_;

@@ -1,0 +1,425 @@
+#include "serve/engine.hh"
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "runtime/runtime.hh"
+#include "util/logging.hh"
+
+namespace optimus
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Greedy sample: argmax over one logits row, lowest id wins ties. */
+int32_t
+argmaxRow(const Tensor &logits, int64_t row)
+{
+    const int64_t vocab = logits.cols();
+    const float *d = logits.data() + row * vocab;
+    int64_t best = 0;
+    for (int64_t t = 1; t < vocab; ++t) {
+        if (d[t] > d[best])
+            best = t;
+    }
+    return static_cast<int32_t>(best);
+}
+
+} // namespace
+
+ServeEngine::ServeEngine(const ServeConfig &config)
+    : config_(config),
+      blocksPerStage_(0),
+      stepArena_(std::make_unique<Workspace>("serve.step"))
+{
+    OPTIMUS_ASSERT(config_.pipelineStages >= 1);
+    OPTIMUS_ASSERT(config_.model.layers % config_.pipelineStages == 0);
+    OPTIMUS_ASSERT(config_.maxSequences >= 1);
+    OPTIMUS_ASSERT(config_.maxBatchTokens >= 1);
+    blocksPerStage_ = config_.model.layers / config_.pipelineStages;
+
+    Transport &base =
+        config_.transport ? *config_.transport : defaultTransport();
+    tracing_ = std::make_unique<TracingTransport>(base);
+    transport_ = tracing_.get();
+
+    stages_.reserve(static_cast<size_t>(config_.pipelineStages));
+    for (int s = 0; s < config_.pipelineStages; ++s) {
+        stages_.push_back(std::make_unique<StageModule>(
+            config_.model, s, config_.pipelineStages));
+        stages_.back()->setMode(Mode::Infer);
+    }
+
+    // One stateful channel per boundary (warm starts are per
+    // stream, matching the trainer's per-channel compressors).
+    if (config_.boundary.kind != CompressorKind::None) {
+        for (int s = 0; s + 1 < config_.pipelineStages; ++s)
+            boundaryCompressors_.push_back(
+                makeCompressor(config_.boundary));
+    }
+
+    slots_.resize(static_cast<size_t>(config_.maxSequences));
+    for (auto &seq : slots_) {
+        seq.arena = std::make_unique<Workspace>("serve.slot");
+        seq.kv.resize(static_cast<size_t>(config_.model.layers));
+    }
+    decodeSlots_.reserve(static_cast<size_t>(config_.maxSequences));
+    admittedSlots_.reserve(
+        static_cast<size_t>(config_.maxSequences));
+    nextToken_.resize(static_cast<size_t>(config_.maxSequences));
+}
+
+int64_t
+ServeEngine::submit(const std::vector<int32_t> &prompt,
+                    int64_t max_new_tokens)
+{
+    OPTIMUS_ASSERT(!prompt.empty());
+    OPTIMUS_ASSERT(max_new_tokens >= 1);
+    OPTIMUS_ASSERT(static_cast<int64_t>(prompt.size()) +
+                       max_new_tokens <=
+                   config_.model.seqLen);
+
+    PendingRequest &req = pending_.pushSlot();
+    req.id = nextId_++;
+    // Copy-assign into the recycled slot (keeps its capacity).
+    req.prompt = prompt;
+    req.maxNewTokens = max_new_tokens;
+    req.submitNs = obs::nowNs();
+    if (obs::metricsEnabled())
+        obs::MetricsRegistry::instance().counter("serve.requests")
+            .add(1);
+    return req.id;
+}
+
+int64_t
+ServeEngine::activeSequences() const
+{
+    int64_t n = 0;
+    for (const auto &seq : slots_)
+        n += seq.active ? 1 : 0;
+    return n;
+}
+
+bool
+ServeEngine::idle() const
+{
+    return pending_.empty() && activeSequences() == 0;
+}
+
+void
+ServeEngine::drain()
+{
+    while (!idle())
+        step();
+}
+
+int64_t
+ServeEngine::step()
+{
+    obs::ScopedSpan span("serve", "serve.step", iteration_);
+    transport_->setIteration(iteration_);
+    WorkspaceScope step_scope(stepArena_.get());
+
+    retireFinished();
+
+    // Each already-active sequence decodes one token this round;
+    // charge them against the budget before admitting prompts.
+    int64_t budget = config_.maxBatchTokens - activeSequences();
+    const int64_t before = tokensGenerated_;
+    admitPending(budget);
+    decodeActive();
+
+    const int64_t produced = tokensGenerated_ - before;
+    if (obs::metricsEnabled() && produced > 0)
+        obs::MetricsRegistry::instance().counter("serve.tokens")
+            .add(produced);
+    mem::publishMetrics();
+    ++iteration_;
+    return produced;
+}
+
+void
+ServeEngine::retireFinished()
+{
+    for (auto &seq : slots_) {
+        if (!seq.finished())
+            continue;
+        const int64_t latency_ns = obs::nowNs() - seq.submitNs;
+        latencyUs_.add(latency_ns / 1000);
+        if (obs::metricsEnabled()) {
+            obs::MetricsRegistry::instance()
+                .counter("serve.completed")
+                .add(1);
+            obs::MetricsRegistry::instance()
+                .histogram("serve.latencyUs")
+                .observe(latency_ns / 1000);
+        }
+        if (onFinish_) {
+            FinishedRequest done{seq.id, seq.tokens, seq.promptLen,
+                                 latency_ns};
+            onFinish_(done);
+        }
+        seq.active = false;
+        seq.id = -1;
+        ++completed_;
+    }
+}
+
+void
+ServeEngine::admitPending(int64_t &budget)
+{
+    admittedSlots_.clear();
+    while (!pending_.empty()) {
+        int64_t slot = -1;
+        for (size_t i = 0; i < slots_.size(); ++i) {
+            if (!slots_[i].active) {
+                slot = static_cast<int64_t>(i);
+                break;
+            }
+        }
+        if (slot < 0)
+            break;
+
+        PendingRequest &req = pending_.front();
+        const int64_t cost = static_cast<int64_t>(req.prompt.size());
+        // Over-budget admission waits — unless nothing is running,
+        // so a prompt longer than the whole budget still progresses.
+        if (cost > budget && activeSequences() > 0)
+            break;
+
+        Sequence &seq = slots_[slot];
+        seq.id = req.id;
+        seq.active = true;
+        seq.promptLen = cost;
+        seq.maxNewTokens = req.maxNewTokens;
+        seq.submitNs = req.submitNs;
+        // Copy-assign reuses the slot's ratcheted capacity; the
+        // reserve sizes it for the whole response up front so
+        // decode-time appends never grow it.
+        seq.tokens = req.prompt;
+        // optlint:coldalloc — admission-time capacity ratchet.
+        seq.tokens.reserve(
+            static_cast<size_t>(cost + seq.maxNewTokens));
+        {
+            WorkspaceScope scope(seq.arena.get());
+            for (auto &cache : seq.kv)
+                cache.ensure(config_.model.seqLen,
+                             config_.model.hidden);
+        }
+        pending_.popFront();
+        budget -= cost;
+        if (budget < 0)
+            budget = 0;
+        // optlint:coldalloc — capacity reserved at construction.
+        admittedSlots_.push_back(slot);
+    }
+    if (admittedSlots_.empty())
+        return;
+
+    const int64_t n = static_cast<int64_t>(admittedSlots_.size());
+    Sequence *slots = slots_.data();
+    const int64_t *idx = admittedSlots_.data();
+    if (boundaryCompressors_.empty()) {
+        // Prefills are per-sequence independent (stateless Infer
+        // layers, disjoint slots), so they batch across the pool
+        // like decode does.
+        parallelFor(0, n, 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i)
+                prefill(slots[idx[i]]);
+        });
+    } else {
+        // A stateful boundary channel (warm starts, shared
+        // reconstruction scratch) serializes prefill order.
+        for (int64_t i = 0; i < n; ++i)
+            prefill(slots[idx[i]]);
+    }
+    tokensGenerated_ += n;
+}
+
+void
+ServeEngine::prefill(Sequence &seq)
+{
+    obs::ScopedSpan span("serve", "serve.prefill", seq.id, "rows",
+                         seq.promptLen);
+    WorkspaceScope scope(seq.arena.get());
+    const int64_t h = config_.model.hidden;
+
+    Tensor x =
+        stages_[0]->inferEmbed(seq.tokens.data(), seq.promptLen, 0);
+    for (size_t s = 0; s < stages_.size(); ++s) {
+        if (s > 0)
+            boundaryTransfer(static_cast<int>(s) - 1, x);
+        x = stages_[s]->inferBlocks(
+            x, seq.kv.data() + static_cast<int64_t>(s) *
+                                   blocksPerStage_);
+    }
+
+    // Only the last prompt row feeds the head: rows are
+    // independent in Infer mode, so slicing first is bitwise
+    // neutral and skips (promptLen - 1) * vocab wasted dots.
+    Tensor last_row({1, h});
+    float *ld = last_row.data();
+    const float *xd = x.data() + (seq.promptLen - 1) * h;
+    for (int64_t c = 0; c < h; ++c)
+        ld[c] = xd[c];
+    Tensor logits = stages_.back()->inferLogits(last_row);
+
+    // optlint:coldalloc — capacity reserved at admission.
+    seq.tokens.push_back(argmaxRow(logits, 0));
+    seq.prefillIteration = iteration_;
+}
+
+// optlint:hot — the steady-state serving decode path: one token per
+// active sequence with zero heap allocations once slots are warm.
+int64_t
+ServeEngine::decodeActive()
+{
+    decodeSlots_.clear();
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        const Sequence &seq = slots_[i];
+        // Sequences prefilled this round already got their token.
+        if (seq.active && seq.prefillIteration != iteration_) {
+            // optlint:coldalloc — capacity reserved at construction.
+            decodeSlots_.push_back(static_cast<int64_t>(i));
+        }
+    }
+    const int64_t a_count = static_cast<int64_t>(decodeSlots_.size());
+    if (a_count == 0)
+        return 0;
+
+    obs::ScopedSpan span("serve", "serve.decode", iteration_, "rows",
+                         a_count);
+
+    const int64_t h = config_.model.hidden;
+    const int64_t num_stages = static_cast<int64_t>(stages_.size());
+    const int64_t bps = blocksPerStage_;
+
+    // Gathered boundary activations, one row per decoding sequence
+    // (engine step arena). Written through disjoint rows in the
+    // parallel bodies below.
+    Tensor acts({a_count, h});
+    float *actsd = acts.data();
+    Sequence *slots = slots_.data();
+    const int64_t *idx = decodeSlots_.data();
+    int32_t *next = nextToken_.data();
+
+    for (int64_t s = 0; s < num_stages; ++s) {
+        StageModule &stage = *stages_[s];
+        const bool first = (s == 0);
+        const bool last = (s == num_stages - 1);
+        parallelFor(0, a_count, 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+                Sequence &seq = slots[idx[i]];
+                WorkspaceScope slot_scope(seq.arena.get());
+                Tensor x;
+                if (first) {
+                    const int64_t pos =
+                        static_cast<int64_t>(seq.tokens.size()) - 1;
+                    x = stage.inferEmbed(seq.tokens.data() + pos, 1,
+                                         pos);
+                } else {
+                    x = Tensor({1, h});
+                    float *xd = x.data();
+                    const float *row = actsd + i * h;
+                    for (int64_t c = 0; c < h; ++c)
+                        xd[c] = row[c];
+                }
+                x = stage.inferBlocks(x, seq.kv.data() + s * bps);
+                if (last) {
+                    Tensor logits = stage.inferLogits(x);
+                    next[i] = argmaxRow(logits, 0);
+                } else {
+                    const float *xd = x.data();
+                    float *row = actsd + i * h;
+                    for (int64_t c = 0; c < h; ++c)
+                        row[c] = xd[c];
+                }
+            }
+        });
+        if (!last)
+            boundaryTransfer(static_cast<int>(s), acts);
+    }
+
+    for (int64_t i = 0; i < a_count; ++i) {
+        Sequence &seq = slots_[idx[i]];
+        // optlint:coldalloc — capacity reserved at admission.
+        seq.tokens.push_back(next[i]);
+    }
+    tokensGenerated_ += a_count;
+    return a_count;
+}
+
+void
+ServeEngine::boundaryTransfer(int src_stage, Tensor &acts)
+{
+    const int64_t exact =
+        acts.size() * static_cast<int64_t>(sizeof(float));
+    int64_t wire = exact;
+    CompressorSpec spec; // kind None: exact transfer
+    if (!boundaryCompressors_.empty()) {
+        // The receiving stage decodes from the lossy
+        // reconstruction, exactly like the trainer's compressed
+        // backward channels.
+        Compressor &channel = *boundaryCompressors_[src_stage];
+        wire = channel.compress(acts, boundaryRecon_);
+        const float *rd = boundaryRecon_.data();
+        float *ad = acts.data();
+        const int64_t n = acts.size();
+        for (int64_t c = 0; c < n; ++c)
+            ad[c] = rd[c];
+        spec = config_.boundary;
+    }
+    transport_->p2pSend(CommPhase::InterStage, src_stage,
+                        src_stage + 1, -1, exact, wire, spec);
+}
+
+std::vector<int32_t>
+referenceGreedyDecode(const GptConfig &config,
+                      const std::vector<int32_t> &prompt,
+                      int64_t max_new_tokens)
+{
+    OPTIMUS_ASSERT(!prompt.empty());
+    OPTIMUS_ASSERT(static_cast<int64_t>(prompt.size()) +
+                       max_new_tokens <=
+                   config.seqLen);
+
+    StageModule stage(config, 0, 1);
+    stage.setMode(Mode::Infer);
+
+    std::vector<int32_t> tokens = prompt;
+    tokens.reserve(prompt.size() +
+                   static_cast<size_t>(max_new_tokens));
+    std::vector<KvCache> caches(
+        static_cast<size_t>(config.layers));
+    std::vector<int32_t> out;
+    out.reserve(static_cast<size_t>(max_new_tokens));
+
+    const int64_t h = config.hidden;
+    for (int64_t t = 0; t < max_new_tokens; ++t) {
+        // ensure() drops cached positions: every token is a full
+        // prefix recompute, the slowest-but-simplest oracle.
+        const int64_t n = static_cast<int64_t>(tokens.size());
+        for (auto &cache : caches)
+            cache.ensure(n, h);
+
+        Tensor x = stage.inferEmbed(tokens.data(), n, 0);
+        x = stage.inferBlocks(x, caches.data());
+
+        Tensor last_row({1, h});
+        float *ld = last_row.data();
+        const float *xd = x.data() + (n - 1) * h;
+        for (int64_t c = 0; c < h; ++c)
+            ld[c] = xd[c];
+        Tensor logits = stage.inferLogits(last_row);
+
+        const int32_t tok = argmaxRow(logits, 0);
+        tokens.push_back(tok);
+        out.push_back(tok);
+    }
+    return out;
+}
+
+} // namespace serve
+} // namespace optimus

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Continuous-batching serving engine over the forward-only pipeline
+ * (DESIGN.md section 10).
+ *
+ * The engine instantiates the *training* stage partition
+ * (StageModule over the same contiguous block boundaries) in
+ * Mode::Infer and runs decode iterations over a slot table of
+ * in-flight sequences. Each step() is one scheduler round:
+ *
+ *   retire   — finished sequences leave their slots and fire the
+ *              completion callback;
+ *   admit    — pending requests claim free slots under the
+ *              max-batch-tokens budget and prefill their prompt
+ *              through every stage (producing their first token);
+ *   decode   — every other active sequence advances one token: the
+ *              per-sequence stage slices run batched (parallelFor
+ *              over sequences, each under its slot arena), and the
+ *              gathered [active x hidden] boundary activations cross
+ *              each stage boundary through comm::Transport as an
+ *              InterStage p2pSend — optionally through a lossy
+ *              Compressor — so serving traffic lands in the same
+ *              CommEvent stream, obs spans, and metrics the trainer
+ *              uses.
+ *
+ * Determinism: Infer-mode kernels are row-independent, so a
+ * sequence's token stream is a pure function of its prompt — bitwise
+ * identical whether it is decoded alone, batched with any other
+ * sequences, or admitted in any interleaving (with an exact
+ * boundary, CompressorKind::None; lossy boundary compression
+ * deliberately trades this away). Greedy sampling breaks argmax
+ * ties toward the lowest token id.
+ *
+ * Memory: every per-sequence tensor (KV cache, decode activations)
+ * is drawn from the slot's workspace arena and every batched
+ * gather from the engine's step arena, so steady-state decode makes
+ * zero heap allocations once the slots are warm (alloc_gate
+ * --serve enforces this).
+ */
+
+#ifndef OPTIMUS_SERVE_ENGINE_HH
+#define OPTIMUS_SERVE_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/transport.hh"
+#include "compress/compressor.hh"
+#include "parallel/stage_module.hh"
+#include "serve/sequence.hh"
+#include "util/reuse_ring.hh"
+#include "util/stats.hh"
+
+namespace optimus
+{
+namespace serve
+{
+
+/** Engine construction parameters. */
+struct ServeConfig
+{
+    GptConfig model;
+    /** Pipeline depth; model.layers must divide evenly. */
+    int pipelineStages = 1;
+    /** Batch slot count (concurrently decoding sequences). */
+    int64_t maxSequences = 8;
+    /**
+     * Token budget of one scheduler round: each decoding sequence
+     * costs 1, admitting a prompt costs its length. Admission that
+     * would exceed the budget waits — unless nothing is running,
+     * so an oversized prompt still makes progress alone.
+     */
+    int64_t maxBatchTokens = 64;
+    /**
+     * Inter-stage activation compressor. Kind None transfers
+     * exactly (the bitwise-determinism configuration); lossy kinds
+     * compress the gathered boundary activations and decode from
+     * the reconstruction.
+     */
+    CompressorSpec boundary{};
+    /** Accounting transport (e.g. a RecordingTransport for volume
+     *  tests); null uses the process default. */
+    Transport *transport = nullptr;
+};
+
+/** Continuous-batching greedy-decode engine (see the file comment). */
+class ServeEngine
+{
+  public:
+    using FinishFn = std::function<void(const FinishedRequest &)>;
+
+    explicit ServeEngine(const ServeConfig &config);
+
+    /** Called at retirement, before the slot is recycled. */
+    void setFinishCallback(FinishFn fn) { onFinish_ = std::move(fn); }
+
+    /**
+     * Enqueue a request. @p prompt must be non-empty and
+     * prompt.size() + max_new_tokens must fit the model's seqLen.
+     * @return the request id (also reported at completion).
+     */
+    int64_t submit(const std::vector<int32_t> &prompt,
+                   int64_t max_new_tokens);
+
+    /**
+     * One scheduler round: retire, admit, decode. Every active
+     * sequence produces exactly one token (admitted ones from their
+     * prefill). @return tokens produced this round.
+     */
+    int64_t step();
+
+    /** step() until no request is pending or in flight. */
+    void drain();
+
+    /** True when no request is pending or in flight. */
+    bool idle() const;
+
+    int64_t activeSequences() const;
+    int64_t pendingRequests() const
+    {
+        return static_cast<int64_t>(pending_.size());
+    }
+    int64_t completedRequests() const { return completed_; }
+    int64_t tokensGenerated() const { return tokensGenerated_; }
+    int64_t iterations() const { return iteration_; }
+
+    /** Per-request submit-to-retire latency in microseconds
+     *  (always on, independent of obs metrics). */
+    const Log2Histogram &latencyUs() const { return latencyUs_; }
+
+    const ServeConfig &config() const { return config_; }
+
+  private:
+    void retireFinished();
+    /** Admit pending requests into free slots under @p budget
+     *  (decremented by each admitted prompt's length), then prefill
+     *  the admitted batch — in parallel across the pool when the
+     *  boundary is exact, serially when a stateful compressor owns
+     *  the channel. */
+    void admitPending(int64_t &budget);
+    /** Run @p seq's prompt through all stages; appends the first
+     *  generated token. */
+    void prefill(Sequence &seq);
+    /** Advance every sequence decoding this round by one token.
+     *  @return tokens produced. */
+    int64_t decodeActive();
+    /** Account (and optionally compress, reconstructing in place)
+     *  one boundary transfer of @p acts out of @p src_stage. */
+    void boundaryTransfer(int src_stage, Tensor &acts);
+
+    ServeConfig config_;
+    int64_t blocksPerStage_;
+
+    /** Arena for batched gathers; declared before every member that
+     *  may hold one of its tensors. */
+    std::unique_ptr<Workspace> stepArena_;
+    std::vector<std::unique_ptr<StageModule>> stages_;
+    /** One stateful channel per stage boundary (empty when the
+     *  boundary spec is kind None). */
+    std::vector<std::unique_ptr<Compressor>> boundaryCompressors_;
+    /** Reconstruction target reused across boundary transfers. */
+    Tensor boundaryRecon_;
+    std::unique_ptr<TracingTransport> tracing_;
+    Transport *transport_;
+
+    std::vector<Sequence> slots_;
+    ReuseRing<PendingRequest> pending_;
+    /** Slot indices decoding this round (capacity = maxSequences). */
+    std::vector<int64_t> decodeSlots_;
+    /** Slot indices admitted this round (capacity = maxSequences). */
+    std::vector<int64_t> admittedSlots_;
+    /** Per-decoding-sequence sampled token, by decodeSlots_ index. */
+    std::vector<int32_t> nextToken_;
+
+    FinishFn onFinish_;
+    Log2Histogram latencyUs_;
+    int64_t nextId_ = 1;
+    int64_t iteration_ = 0;
+    int64_t completed_ = 0;
+    int64_t tokensGenerated_ = 0;
+};
+
+/**
+ * Reference greedy decoder: a single-stage Infer pipeline that
+ * recomputes the full prefix from scratch for every generated token
+ * (fresh KV caches each time). The serving engine's incremental
+ * batched decode must match this bitwise for every request when the
+ * boundary is exact — this is the oracle the equivalence tests and
+ * the alloc-gate compare against.
+ *
+ * @return the generated tokens (prompt excluded).
+ */
+std::vector<int32_t>
+referenceGreedyDecode(const GptConfig &config,
+                      const std::vector<int32_t> &prompt,
+                      int64_t max_new_tokens);
+
+} // namespace serve
+} // namespace optimus
+
+#endif // OPTIMUS_SERVE_ENGINE_HH

@@ -10,6 +10,13 @@
  * ALLOC01 hot set declares statically and what the coldalloc /
  * coldfn annotations promise is warmup-only.
  *
+ * `--serve` gates the serving decode path instead: a pipelined
+ * (P=2) continuous-batching ServeEngine is warmed with two full
+ * request waves (slot arenas sized, every ring and vector capacity
+ * ratcheted), then a third identical wave — admission, batched
+ * decode, retirement — runs fully armed and must make zero heap
+ * allocations.
+ *
  * Not a gtest binary on purpose: the harness itself must not
  * allocate between arming and checking.
  */
@@ -17,11 +24,13 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 
 #include "data/corpus.hh"
 #include "data/dataset.hh"
 #include "parallel/trainer3d.hh"
+#include "serve/engine.hh"
 #include "tensor/arena.hh"
 
 namespace
@@ -207,16 +216,97 @@ runGate(DpReduceMode mode, const LmDataset &data)
     return g_armedAllocs.load(std::memory_order_relaxed);
 }
 
+/** Deterministic prompt mix (lengths 3..5 over the gate vocab). */
+std::vector<std::vector<int32_t>>
+servePrompts()
+{
+    std::vector<std::vector<int32_t>> prompts;
+    for (int r = 0; r < 6; ++r) {
+        std::vector<int32_t> prompt;
+        for (int t = 0; t < 3 + r % 3; ++t)
+            prompt.push_back((7 * r + 3 * t + 1) % 24);
+        prompts.push_back(std::move(prompt));
+    }
+    return prompts;
+}
+
+/**
+ * @return armed allocation count over one full post-warmup request
+ * wave (admission, batched pipelined decode, retirement).
+ */
+long long
+runServeGate()
+{
+    serve::ServeConfig config;
+    config.model.vocab = 24;
+    config.model.hidden = 16;
+    config.model.layers = 4;
+    config.model.heads = 2;
+    config.model.seqLen = 16;
+    config.model.seed = 77;
+    config.pipelineStages = 2;
+    config.maxSequences = 4;
+    config.maxBatchTokens = 16;
+    serve::ServeEngine engine(config);
+
+    const std::vector<std::vector<int32_t>> prompts = servePrompts();
+
+    // Warmup: wave one sizes the slot arenas and ratchets every
+    // token/ring capacity; wave two proves the shapes repeat. The
+    // scheduler is deterministic, so wave three reuses exactly the
+    // slot assignments (and therefore capacities) of wave one.
+    for (int wave = 0; wave < 2; ++wave) {
+        for (const auto &prompt : prompts)
+            engine.submit(prompt, 8);
+        engine.drain();
+    }
+
+    for (const auto &prompt : prompts)
+        engine.submit(prompt, 8);
+    g_armedAllocs.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+    engine.drain();
+    g_armed.store(false, std::memory_order_relaxed);
+    return g_armedAllocs.load(std::memory_order_relaxed);
+}
+
+int
+serveMain()
+{
+    const long long count = runServeGate();
+    std::printf("alloc_gate: mode=serve      armed allocs=%lld "
+                "(lifetime: heapAllocs=%lld arenaHits=%lld "
+                "fallbacks=%lld peakBytes=%lld)\n",
+                count, static_cast<long long>(mem::heapAllocs()),
+                static_cast<long long>(mem::arenaHits()),
+                static_cast<long long>(mem::heapFallbacks()),
+                static_cast<long long>(mem::peakBytes()));
+    if (count != 0) {
+        std::fprintf(stderr,
+                     "alloc_gate: FAIL mode=serve: %lld heap "
+                     "allocation(s) in a steady-state request "
+                     "wave\n",
+                     count);
+        return 1;
+    }
+    std::printf("alloc_gate: PASS (zero steady-state heap "
+                "allocations on the serving decode path)\n");
+    return 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     if (!arenaEnabled()) {
         std::printf("alloc_gate: OPTIMUS_ARENA=0, nothing to "
                     "enforce; skipping\n");
         return 0;
     }
+
+    if (argc > 1 && std::strcmp(argv[1], "--serve") == 0)
+        return serveMain();
 
     CorpusConfig cc;
     cc.vocab = 24;

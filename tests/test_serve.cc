@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Serving-path contracts: incremental KV-cache decode is bitwise
+ * equal to full-sequence recompute, the continuous-batching engine
+ * reproduces the single-request full-recompute oracle for every
+ * request under any admission interleaving, Infer mode never
+ * constructs stash storage, and pipelined serving traffic is
+ * accounted in the InterStage CommEvent stream (exactly, and with
+ * smaller wire bytes when a lossy boundary compressor is
+ * installed). The ctest legs re-run this suite across
+ * OPTIMUS_THREADS and OPTIMUS_SIMD=scalar.
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/transport.hh"
+#include "nn/attention.hh"
+#include "serve/engine.hh"
+#include "tensor/arena.hh"
+
+using namespace optimus;
+
+namespace
+{
+
+GptConfig
+tinyModel()
+{
+    GptConfig model;
+    model.vocab = 24;
+    model.hidden = 16;
+    model.layers = 4;
+    model.heads = 2;
+    model.seqLen = 16;
+    model.seed = 77;
+    return model;
+}
+
+/** Deterministic activation fill (no RNG: reproducible per cell). */
+void
+fillCells(Tensor &t)
+{
+    float *d = t.data();
+    for (int64_t i = 0; i < t.size(); ++i)
+        d[i] = 0.1f * static_cast<float>((i * 31 + 7) % 13 - 6);
+}
+
+/** Deterministic prompt mix with lengths 3..5. */
+std::vector<std::vector<int32_t>>
+mixedPrompts(int count)
+{
+    std::vector<std::vector<int32_t>> prompts;
+    for (int r = 0; r < count; ++r) {
+        std::vector<int32_t> prompt;
+        for (int t = 0; t < 3 + r % 3; ++t)
+            prompt.push_back((7 * r + 3 * t + 1) % 24);
+        prompts.push_back(std::move(prompt));
+    }
+    return prompts;
+}
+
+/** Collect per-request generated tokens keyed by request id. */
+std::map<int64_t, std::vector<int32_t>>
+attachCollector(serve::ServeEngine &engine)
+{
+    std::map<int64_t, std::vector<int32_t>> outputs;
+    auto *out = &outputs;
+    engine.setFinishCallback(
+        [out](const serve::FinishedRequest &done) {
+            (*out)[done.id] = std::vector<int32_t>(
+                done.tokens.begin() + done.promptLen,
+                done.tokens.end());
+        });
+    return outputs;
+}
+
+TEST(Serve, AttentionIncrementalMatchesRecompute)
+{
+    const int64_t hidden = 16, heads = 2, seq = 12;
+    Rng rng(123);
+    MultiHeadAttention attn("attn", hidden, heads, seq, rng);
+    attn.setMode(Mode::Infer);
+
+    Tensor x({seq, hidden});
+    fillCells(x);
+
+    // Plain Infer forward is the full-sequence recompute reference.
+    const Tensor full = attn.forward(x);
+
+    // Chunked prefill (5 rows at once) then single-token decode
+    // must reproduce it bit for bit.
+    KvCache cache;
+    cache.ensure(seq, hidden);
+    const int64_t prefill = 5;
+    Tensor head({prefill, hidden});
+    for (int64_t i = 0; i < prefill * hidden; ++i)
+        head.data()[i] = x.data()[i];
+    Tensor y = attn.forwardCached(head, cache);
+    for (int64_t i = 0; i < prefill * hidden; ++i)
+        ASSERT_EQ(full.data()[i], y.data()[i]) << "prefill row";
+
+    for (int64_t r = prefill; r < seq; ++r) {
+        Tensor row({1, hidden});
+        for (int64_t c = 0; c < hidden; ++c)
+            row.data()[c] = x.data()[r * hidden + c];
+        Tensor yr = attn.forwardCached(row, cache);
+        for (int64_t c = 0; c < hidden; ++c)
+            ASSERT_EQ(full.data()[r * hidden + c], yr.data()[c])
+                << "decode row " << r << " col " << c;
+    }
+    EXPECT_EQ(cache.len, seq);
+}
+
+TEST(Serve, EngineMatchesReferenceAcrossPipelineDepths)
+{
+    const GptConfig model = tinyModel();
+    const std::vector<int32_t> prompt = {3, 1, 4, 1, 5};
+    const int64_t max_new = 8;
+    const std::vector<int32_t> expect =
+        serve::referenceGreedyDecode(model, prompt, max_new);
+    ASSERT_EQ(static_cast<int64_t>(expect.size()), max_new);
+
+    for (int stages : {1, 2, 4}) {
+        serve::ServeConfig config;
+        config.model = model;
+        config.pipelineStages = stages;
+        config.maxSequences = 2;
+        config.maxBatchTokens = 16;
+        serve::ServeEngine engine(config);
+        auto outputs = attachCollector(engine);
+
+        const int64_t id = engine.submit(prompt, max_new);
+        engine.drain();
+
+        ASSERT_TRUE(engine.idle());
+        ASSERT_EQ(engine.completedRequests(), 1);
+        ASSERT_EQ(outputs.count(id), 1u);
+        EXPECT_EQ(outputs[id], expect)
+            << "pipelineStages=" << stages;
+    }
+}
+
+TEST(Serve, BatchingIsInterleavingInvariant)
+{
+    const GptConfig model = tinyModel();
+    const auto prompts = mixedPrompts(6);
+    const int64_t max_new = 6;
+
+    // Oracle: every request decoded alone by full recompute.
+    std::vector<std::vector<int32_t>> expect;
+    for (const auto &prompt : prompts)
+        expect.push_back(
+            serve::referenceGreedyDecode(model, prompt, max_new));
+
+    serve::ServeConfig config;
+    config.model = model;
+    config.pipelineStages = 2;
+    config.maxSequences = 3;
+    config.maxBatchTokens = 12;
+
+    // Arrival pattern A: everything up front.
+    serve::ServeEngine burst(config);
+    auto burst_out = attachCollector(burst);
+    std::vector<int64_t> burst_ids;
+    for (const auto &prompt : prompts)
+        burst_ids.push_back(burst.submit(prompt, max_new));
+    burst.drain();
+
+    // Arrival pattern B: trickled between decode iterations.
+    serve::ServeEngine trickle(config);
+    auto trickle_out = attachCollector(trickle);
+    std::vector<int64_t> trickle_ids;
+    size_t next = 0;
+    while (next < prompts.size() || !trickle.idle()) {
+        if (next < prompts.size()) {
+            trickle_ids.push_back(
+                trickle.submit(prompts[next], max_new));
+            ++next;
+        }
+        trickle.step();
+        trickle.step();
+    }
+
+    ASSERT_EQ(burst.completedRequests(), 6);
+    ASSERT_EQ(trickle.completedRequests(), 6);
+    for (size_t r = 0; r < prompts.size(); ++r) {
+        EXPECT_EQ(burst_out[burst_ids[r]], expect[r])
+            << "burst request " << r;
+        EXPECT_EQ(trickle_out[trickle_ids[r]], expect[r])
+            << "trickled request " << r;
+    }
+}
+
+TEST(Serve, InferForwardNeverStashes)
+{
+    const int64_t hidden = 16, heads = 2, seq = 8;
+    Rng rng(5);
+    MultiHeadAttention attn("attn", hidden, heads, seq, rng);
+    Tensor x({seq, hidden});
+    fillCells(x);
+
+    // Train mode stashes one entry per forward.
+    (void)attn.forward(x);
+    EXPECT_EQ(attn.stashDepth(), 1u);
+    attn.clearStash();
+
+    // Infer mode never touches the stash...
+    attn.setMode(Mode::Infer);
+    (void)attn.forward(x);
+    EXPECT_EQ(attn.stashDepth(), 0u);
+
+    // ...and a warmed arena-scoped Infer forward allocates nothing:
+    // no stash storage is constructed at all, so steady state is
+    // pure workspace recycling (mem:: counters are process-wide).
+    if (arenaEnabled()) {
+        Workspace ws("test.infer");
+        {
+            WorkspaceScope scope(&ws);
+            (void)attn.forward(x);
+        }
+        const int64_t heap_before = mem::heapAllocs();
+        const int64_t hits_before = mem::arenaHits();
+        {
+            WorkspaceScope scope(&ws);
+            (void)attn.forward(x);
+        }
+        EXPECT_EQ(mem::heapAllocs(), heap_before);
+        EXPECT_GT(mem::arenaHits(), hits_before);
+    }
+}
+
+TEST(Serve, PipelineBoundaryVolumeIsAccounted)
+{
+    const GptConfig model = tinyModel();
+    InProcessTransport base;
+    RecordingTransport recorder(base);
+
+    serve::ServeConfig config;
+    config.model = model;
+    config.pipelineStages = 2;
+    config.maxSequences = 2;
+    config.maxBatchTokens = 16;
+    config.transport = &recorder;
+    serve::ServeEngine engine(config);
+
+    const std::vector<int32_t> prompt = {3, 1, 4, 1, 5};
+    const int64_t max_new = 6;
+    engine.submit(prompt, max_new);
+    engine.drain();
+
+    // One boundary (P=2): the prefill moves promptLen rows once,
+    // then each of the (max_new - 1) decode rounds moves one row.
+    const int64_t prompt_len =
+        static_cast<int64_t>(prompt.size());
+    const int64_t rows = prompt_len + (max_new - 1);
+    const CommVolume vol =
+        recorder.trace().volume(CommPhase::InterStage);
+    EXPECT_EQ(recorder.trace().count(CommPhase::InterStage),
+              1 + (max_new - 1));
+    EXPECT_EQ(vol.exactBytes,
+              rows * model.hidden *
+                  static_cast<int64_t>(sizeof(float)));
+    EXPECT_EQ(vol.wireBytes, vol.exactBytes); // exact boundary
+}
+
+TEST(Serve, CompressedBoundaryShrinksWireBytes)
+{
+    const GptConfig model = tinyModel();
+    InProcessTransport base;
+    RecordingTransport recorder(base);
+
+    serve::ServeConfig config;
+    config.model = model;
+    config.pipelineStages = 2;
+    config.maxSequences = 2;
+    config.maxBatchTokens = 16;
+    config.transport = &recorder;
+    config.boundary.kind = CompressorKind::TopK;
+    config.boundary.topkFraction = 0.25;
+    serve::ServeEngine engine(config);
+
+    auto outputs = attachCollector(engine);
+    const auto prompts = mixedPrompts(2);
+    std::vector<int64_t> ids;
+    for (const auto &prompt : prompts)
+        ids.push_back(engine.submit(prompt, 6));
+    engine.drain();
+
+    // Lossy transfer trades bitwise identity for volume: every
+    // request still completes with its full token budget, and the
+    // recorded wire bytes must be strictly below exact.
+    ASSERT_EQ(engine.completedRequests(), 2);
+    for (int64_t id : ids)
+        EXPECT_EQ(outputs[id].size(), 6u);
+    const CommVolume vol =
+        recorder.trace().volume(CommPhase::InterStage);
+    EXPECT_GT(vol.exactBytes, 0);
+    EXPECT_LT(vol.wireBytes, vol.exactBytes);
+    for (const auto &event : recorder.trace().events()) {
+        if (event.phase == CommPhase::InterStage) {
+            EXPECT_EQ(static_cast<int>(event.compressor.kind),
+                      static_cast<int>(CompressorKind::TopK));
+        }
+    }
+}
+
+} // namespace
