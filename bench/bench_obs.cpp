@@ -2,10 +2,13 @@
  * @file
  * Observability overhead benchmark: full Trainer3d iterations on
  * the overlapped+compressed bench_step_overlap workload, first with
- * tracing disabled and then with the span tracer recording to a
- * file, reporting the per-step overhead ratio. Writes
- * BENCH_obs.json and leaves the recorded trace (BENCH_obs_trace.json)
- * behind for Perfetto / tracesum.
+ * everything off, then with the span tracer recording to a file,
+ * then with the telemetry rings + compression-health probes live —
+ * reporting each per-step overhead ratio. A ServeEngine wave is
+ * measured the same way (telemetry off vs on). Writes
+ * BENCH_obs.json (tracing plus `rings`/`probes` columns) and leaves
+ * the recorded trace (BENCH_obs_trace.json) behind for Perfetto /
+ * tracesum.
  *
  * --smoke shrinks the run for ctest and turns on the validation
  * gates: the written trace must parse, its per-phase totals must
@@ -14,24 +17,35 @@
  * (OPTIMUS_THREADS >= D+1) — at least one dpReduce bucket span must
  * temporally overlap a backward span.
  *
+ * --hold-scrape SECONDS keeps the process alive after the runs
+ * until the exporter (OPTIMUS_METRICS_PORT) has served at least one
+ * scrape or the deadline passes — the CI hook for curling a live
+ * /metrics endpoint.
+ *
  * Usage: bench_obs [--iters 3] [--reps 5] [--bucket-kb 64]
- *        [--smoke]
+ *        [--smoke] [--hold-scrape SECONDS]
  */
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
 #include "data/corpus.hh"
 #include "data/dataset.hh"
 #include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "obs/probes.hh"
+#include "obs/promexport.hh"
+#include "obs/rings.hh"
 #include "obs/trace.hh"
 #include "obs/tracesum.hh"
 #include "parallel/trainer3d.hh"
 #include "runtime/runtime.hh"
+#include "serve/engine.hh"
 #include "util/cli.hh"
 
 using namespace optimus;
@@ -147,6 +161,67 @@ reconciles(double trace_s, double timer_s)
     return std::abs(trace_s - timer_s) <= 0.01 * timer_s + 2e-6;
 }
 
+/** Deterministic request mix with prompt lengths 3..6. */
+std::vector<std::vector<int32_t>>
+servePrompts(int count, int64_t vocab)
+{
+    std::vector<std::vector<int32_t>> prompts;
+    for (int r = 0; r < count; ++r) {
+        std::vector<int32_t> prompt;
+        for (int t = 0; t < 3 + r % 4; ++t)
+            prompt.push_back(static_cast<int32_t>(
+                (7 * r + 3 * t + 1) % vocab));
+        prompts.push_back(std::move(prompt));
+    }
+    return prompts;
+}
+
+/**
+ * Best-of-reps wall time of one closed-loop serving wave (submit
+ * the whole mix, drain) on a 2-stage lossy-boundary engine — the
+ * workload whose boundary transfers feed the serve health probes.
+ */
+struct ServeWaveResult
+{
+    double bestSeconds = 1e30;
+    obs::CompressionHealth health;
+};
+
+ServeWaveResult
+measureServeWave(bool smoke, int reps)
+{
+    GptConfig model = benchModel(smoke);
+    model.seqLen = smoke ? 16 : 64;
+    serve::ServeConfig config;
+    config.model = model;
+    config.pipelineStages = 2;
+    config.maxSequences = smoke ? 4 : 8;
+    config.maxBatchTokens = smoke ? 16 : 64;
+    config.boundary.kind = CompressorKind::TopK;
+    config.boundary.topkFraction = 0.5;
+    serve::ServeEngine engine(config);
+    const auto prompts =
+        servePrompts(smoke ? 6 : 12, model.vocab);
+    const int64_t max_new = smoke ? 4 : 8;
+
+    const auto wave = [&]() {
+        for (const auto &prompt : prompts)
+            engine.submit(prompt, max_new);
+        engine.drain();
+    };
+    wave(); // warmup: arenas, ring/vector capacities
+    ServeWaveResult result;
+    for (int rep = 0; rep < reps; ++rep) {
+        const int64_t t0 = obs::nowNs();
+        wave();
+        result.bestSeconds =
+            std::min(result.bestSeconds,
+                     obs::secondsBetween(t0, obs::nowNs()));
+    }
+    result.health = engine.boundaryHealth();
+    return result;
+}
+
 /**
  * Smoke gate: some bucket-reduce span must run concurrently with a
  * backward span (the overlap the engine exists to create). Checked
@@ -219,14 +294,50 @@ main(int argc, char **argv)
     }
     const std::vector<obs::TraceEvent> events = obs::traceEvents();
 
+    // Telemetry run: rings + health probes live (tracing back off).
+    RunResult tel;
+    obs::CompressionHealth pp_health, dp_health;
+    {
+        obs::enableMetrics(true);
+        obs::enableProbes(true);
+        Trainer3d trainer(makeConfig(model, bucket_bytes, smoke, ""));
+        Rng rng(11);
+        tel = measure(trainer, data, rng, reps, iters);
+        pp_health = trainer.ppHealth();
+        dp_health = trainer.dpHealth();
+        obs::enableProbes(false);
+        obs::enableMetrics(false);
+    }
+
+    // Serving wave, telemetry off then on.
+    const ServeWaveResult serve_off = measureServeWave(smoke, reps);
+    obs::enableMetrics(true);
+    obs::enableProbes(true);
+    const ServeWaveResult serve_on = measureServeWave(smoke, reps);
+    obs::enableProbes(false);
+    obs::enableMetrics(false);
+
     const double overhead =
         off.bestStep > 0.0 ? on.bestStep / off.bestStep : 1.0;
-    std::printf("tracing off: best %8.3f ms  mean %8.3f ms\n",
+    const double tel_overhead =
+        off.bestStep > 0.0 ? tel.bestStep / off.bestStep : 1.0;
+    const double serve_overhead =
+        serve_off.bestSeconds > 0.0
+            ? serve_on.bestSeconds / serve_off.bestSeconds
+            : 1.0;
+    std::printf("tracing off:  best %8.3f ms  mean %8.3f ms\n",
                 1e3 * off.bestStep, 1e3 * off.meanStep);
-    std::printf("tracing on:  best %8.3f ms  mean %8.3f ms\n",
+    std::printf("tracing on:   best %8.3f ms  mean %8.3f ms\n",
                 1e3 * on.bestStep, 1e3 * on.meanStep);
-    std::printf("overhead (best-over-best): %.3fx, %zu events\n\n",
-                overhead, events.size());
+    std::printf("telemetry on: best %8.3f ms  mean %8.3f ms\n",
+                1e3 * tel.bestStep, 1e3 * tel.meanStep);
+    std::printf("overhead (best-over-best): tracing %.3fx, "
+                "telemetry %.3fx, %zu events\n",
+                overhead, tel_overhead, events.size());
+    std::printf("serve wave: off %8.3f ms  on %8.3f ms "
+                "(%.3fx)\n\n",
+                1e3 * serve_off.bestSeconds,
+                1e3 * serve_on.bestSeconds, serve_overhead);
 
     const obs::TraceSummary summary =
         obs::summarizeTraceFile(kTracePath);
@@ -307,6 +418,27 @@ main(int argc, char **argv)
                  "%.6f},\n",
                  on.bestStep, on.meanStep);
     std::fprintf(f, "  \"overhead_ratio\": %.4f,\n", overhead);
+    std::fprintf(f,
+                 "  \"rings\": {\"step_off\": %.6f, \"step_on\": "
+                 "%.6f, \"step_ratio\": %.4f,\n"
+                 "    \"serve_wave_off\": %.6f, \"serve_wave_on\": "
+                 "%.6f, \"serve_wave_ratio\": %.4f},\n",
+                 off.bestStep, tel.bestStep, tel_overhead,
+                 serve_off.bestSeconds, serve_on.bestSeconds,
+                 serve_overhead);
+    std::fprintf(f,
+                 "  \"probes\": {\"pp_relerr\": %.6f, "
+                 "\"pp_wire_ratio\": %.4f,\n"
+                 "    \"dp_relerr\": %.6f, \"dp_wire_ratio\": "
+                 "%.4f,\n"
+                 "    \"serve_relerr\": %.6f, \"serve_wire_ratio\": "
+                 "%.4f, \"alerts\": %lld},\n",
+                 pp_health.relError(), pp_health.wireRatio(),
+                 dp_health.relError(), dp_health.wireRatio(),
+                 serve_on.health.relError(),
+                 serve_on.health.wireRatio(),
+                 static_cast<long long>(
+                     obs::AlertLog::instance().raisedTotal()));
     std::fprintf(f, "  \"trace_events\": %zu,\n", events.size());
     std::fprintf(f, "  \"trace_spans\": %lld,\n",
                  static_cast<long long>(summary.spans));
@@ -316,5 +448,38 @@ main(int argc, char **argv)
 
     std::printf("results written to BENCH_obs.json (trace: %s)\n",
                 kTracePath);
+
+    // CI hook: stay alive until the exporter has served a scrape
+    // (or the deadline passes) so `curl /metrics` sees live data.
+    const double hold = args.getDouble("hold-scrape", 0.0);
+    if (hold > 0.0) {
+        obs::maybeStartMetricsServerFromEnv();
+        if (obs::metricsServerPort() < 0) {
+            std::fprintf(stderr,
+                         "FAILED: --hold-scrape without a running "
+                         "exporter (set OPTIMUS_METRICS_PORT)\n");
+            return 1;
+        }
+        std::printf("holding for a scrape on port %d (max %.0f "
+                    "s)...\n",
+                    obs::metricsServerPort(), hold);
+        std::fflush(stdout);
+        // Wait for a scrape issued AFTER the hold began: earlier
+        // scrapes may predate the telemetry phase and therefore
+        // show empty rings — the hold exists so a scraper can see
+        // the finished run.
+        const int64_t base = obs::metricsScrapeCount();
+        const int64_t deadline =
+            obs::nowNs() + static_cast<int64_t>(hold * 1e9);
+        timespec ts{0, 50 * 1000 * 1000};
+        while (obs::metricsScrapeCount() <= base &&
+               obs::nowNs() < deadline)
+            nanosleep(&ts, nullptr);
+        std::printf("exporter served %lld scrape(s)\n",
+                    static_cast<long long>(
+                        obs::metricsScrapeCount()));
+        if (obs::metricsScrapeCount() <= base)
+            return 1;
+    }
     return ok ? 0 : 1;
 }

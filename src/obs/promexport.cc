@@ -1,0 +1,387 @@
+#include "obs/promexport.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/probes.hh"
+#include "obs/rings.hh"
+
+namespace optimus
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Registry name -> Prometheus metric name ('.' and other
+ *  non-identifier characters become '_'; optimus_ prefix). */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "optimus_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' ||
+                        c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+void
+appendLine(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+appendLine(std::string &out, const char *fmt, ...)
+{
+    char buffer[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+    va_end(args);
+    out += buffer;
+}
+
+void
+renderCountersAndGauges(std::string &out)
+{
+    const MetricsRegistry &registry = MetricsRegistry::instance();
+    for (const auto &[name, value] : registry.counterSnapshot()) {
+        const std::string metric = promName(name);
+        // Counters and gauges share the snapshot; exporting both as
+        // gauge is always well-formed (a counter is a monotone
+        // gauge to a scraper that never resets).
+        appendLine(out, "# TYPE %s gauge\n", metric.c_str());
+        appendLine(out, "%s %lld\n", metric.c_str(),
+                   static_cast<long long>(value));
+    }
+}
+
+void
+renderRings(std::string &out)
+{
+    RingRegistry &registry = RingRegistry::instance();
+    const std::vector<std::string> names = registry.names();
+    if (names.empty())
+        return;
+    appendLine(out, "# TYPE optimus_ring gauge\n");
+    std::vector<double> window;
+    for (const std::string &name : names) {
+        const Ring *ring = registry.find(name);
+        if (!ring)
+            continue;
+        const RingRollup roll = ring->rollup();
+        struct
+        {
+            const char *stat;
+            double value;
+        } stats[] = {
+            {"last", roll.last},   {"min", roll.min},
+            {"max", roll.max},     {"mean", roll.mean},
+            {"p99", roll.p99},
+            {"count", static_cast<double>(roll.count)},
+            {"total", static_cast<double>(roll.total)},
+        };
+        for (const auto &s : stats) {
+            appendLine(out,
+                       "optimus_ring{ring=\"%s\",stat=\"%s\"} "
+                       "%.10g\n",
+                       name.c_str(), s.stat, s.value);
+        }
+        // Raw series as an exposition comment: scrapers skip '#'
+        // lines, obstop parses them for sparklines. Same format in
+        // a live scrape and a metrics.prom dump.
+        appendLine(out, "# ring %s %lld", name.c_str(),
+                   static_cast<long long>(ring->firstIndex()));
+        ring->snapshot(window);
+        for (const double v : window)
+            appendLine(out, " %.10g", v);
+        out += "\n";
+    }
+}
+
+void
+renderAlerts(std::string &out)
+{
+    AlertLog &log = AlertLog::instance();
+    appendLine(out, "# TYPE optimus_alerts_total counter\n");
+    appendLine(out, "optimus_alerts_total %lld\n",
+               static_cast<long long>(log.raisedTotal()));
+    for (const Alert &alert : log.snapshot()) {
+        appendLine(out,
+                   "# alert step=%lld channel=%s kind=%s "
+                   "value=%.10g threshold=%.10g\n",
+                   static_cast<long long>(alert.step),
+                   alert.channel, alertKindName(alert.kind),
+                   alert.value, alert.threshold);
+    }
+}
+
+} // namespace
+
+// optlint:coldfn — reporting path (scrape / dump), never the step
+// path; free-form string building is fine here.
+std::string
+renderPrometheusText()
+{
+    std::string out;
+    out.reserve(16 * 1024);
+    renderCountersAndGauges(out);
+    renderRings(out);
+    renderAlerts(out);
+    return out;
+}
+
+bool
+writeMetricsProm(const std::string &path)
+{
+    const std::string text = renderPrometheusText();
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f)
+        return false;
+    const size_t written =
+        std::fwrite(text.data(), 1, text.size(), f);
+    const bool ok = written == text.size() && std::fclose(f) == 0;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+namespace
+{
+
+std::mutex g_dumpMutex;
+std::string g_dumpPath;
+
+void
+dumpAtExit()
+{
+    std::lock_guard<std::mutex> lock(g_dumpMutex);
+    if (!g_dumpPath.empty())
+        writeMetricsProm(g_dumpPath);
+}
+
+/** Self-pipe to the dump watcher thread. The handler must not
+ *  render (registry mutexes, malloc — none async-signal-safe; a
+ *  signal landing inside malloc would self-deadlock), so it only
+ *  write()s the signal number and returns; the watcher dumps from
+ *  a normal thread context and then re-raises with the default
+ *  disposition. */
+int g_sigPipe[2] = {-1, -1};
+
+void
+dumpOnSignal(int sig)
+{
+    // async-signal-safe hand-off; termination happens when the
+    // watcher re-raises after writing the dump.
+    (void)!::write(g_sigPipe[1], &sig, sizeof(sig));
+}
+
+void
+dumpWatcher()
+{
+    for (;;) {
+        int sig = 0;
+        const ssize_t n =
+            ::read(g_sigPipe[0], &sig, sizeof(sig));
+        if (n != static_cast<ssize_t>(sizeof(sig)))
+            return;
+        dumpAtExit();
+        std::signal(sig, SIG_DFL);
+        std::raise(sig);
+    }
+}
+
+} // namespace
+
+void
+installMetricsDump(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(g_dumpMutex);
+    const bool first = g_dumpPath.empty();
+    g_dumpPath = path;
+    if (!first)
+        return;
+    // Touch every registry the dump renders BEFORE registering the
+    // atexit handler: __cxa_atexit runs in reverse registration
+    // order, so a registry first constructed later (e.g. the ring
+    // registry on the first telemetry sample) would otherwise be
+    // destroyed before dumpAtExit reads it.
+    MetricsRegistry::instance();
+    RingRegistry::instance();
+    AlertLog::instance();
+    std::atexit(dumpAtExit);
+    if (::pipe(g_sigPipe) == 0) {
+        std::thread(dumpWatcher).detach();
+        std::signal(SIGINT, dumpOnSignal);
+        std::signal(SIGTERM, dumpOnSignal);
+    }
+}
+
+namespace
+{
+
+std::mutex g_serverMutex;
+std::thread g_serverThread;
+std::atomic<int> g_listenFd{-1};
+std::atomic<int> g_boundPort{-1};
+std::atomic<int64_t> g_scrapes{0};
+
+void
+serveLoop(int listen_fd)
+{
+    for (;;) {
+        const int client =
+            ::accept(listen_fd, nullptr, nullptr);
+        if (client < 0) {
+            // The socket was closed by stopMetricsServer (or an
+            // unrecoverable error hit); either way the thread is
+            // done.
+            return;
+        }
+        // Drain whatever request line arrived; the response is the
+        // same for every path, so parsing would be theater.
+        char request[1024];
+        (void)::recv(client, request, sizeof(request), 0);
+
+        const std::string body = renderPrometheusText();
+        char header[160];
+        const int header_len = std::snprintf(
+            header, sizeof(header),
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4\r\n"
+            "Content-Length: %zu\r\n"
+            "Connection: close\r\n\r\n",
+            body.size());
+        (void)::send(client, header,
+                     static_cast<size_t>(header_len), 0);
+        size_t sent = 0;
+        while (sent < body.size()) {
+            const ssize_t n =
+                ::send(client, body.data() + sent,
+                       body.size() - sent, 0);
+            if (n <= 0)
+                break;
+            sent += static_cast<size_t>(n);
+        }
+        ::close(client);
+        g_scrapes.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+} // namespace
+
+// optlint:coldfn — listener setup, once per process.
+bool
+startMetricsServer(int port)
+{
+    std::lock_guard<std::mutex> lock(g_serverMutex);
+    if (g_listenFd.load(std::memory_order_relaxed) >= 0)
+        return true;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 8) != 0) {
+        ::close(fd);
+        return false;
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        ::close(fd);
+        return false;
+    }
+
+    g_listenFd.store(fd, std::memory_order_relaxed);
+    g_boundPort.store(ntohs(addr.sin_port),
+                      std::memory_order_relaxed);
+    g_serverThread = std::thread(serveLoop, fd);
+    // The listener thread must be joined before the global
+    // std::thread object is destroyed at process exit, or the
+    // destructor terminates; stopMetricsServer is idempotent, so
+    // an explicit earlier stop is still fine.
+    static bool exit_hook = false;
+    if (!exit_hook) {
+        exit_hook = true;
+        std::atexit(stopMetricsServer);
+    }
+    return true;
+}
+
+int
+metricsServerPort()
+{
+    return g_boundPort.load(std::memory_order_relaxed);
+}
+
+void
+stopMetricsServer()
+{
+    std::lock_guard<std::mutex> lock(g_serverMutex);
+    const int fd = g_listenFd.exchange(-1,
+                                       std::memory_order_relaxed);
+    if (fd < 0)
+        return;
+    // shutdown() wakes the blocked accept() so the thread observes
+    // the close and exits.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+    if (g_serverThread.joinable())
+        g_serverThread.join();
+    g_boundPort.store(-1, std::memory_order_relaxed);
+}
+
+int64_t
+metricsScrapeCount()
+{
+    return g_scrapes.load(std::memory_order_relaxed);
+}
+
+// optlint:coldfn — once-per-process env resolution.
+void
+maybeStartMetricsServerFromEnv()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (const char *port = std::getenv("OPTIMUS_METRICS_PORT")) {
+            if (*port)
+                startMetricsServer(static_cast<int>(
+                    std::strtol(port, nullptr, 10)));
+        }
+        if (const char *path = std::getenv("OPTIMUS_METRICS_DUMP"))
+            installMetricsDump(path);
+    });
+}
+
+} // namespace obs
+} // namespace optimus

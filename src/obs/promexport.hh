@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Prometheus-text-format exporter over the obs registries.
+ *
+ * renderPrometheusText() serializes the metrics registry (counters,
+ * gauges, log2 histograms), the ring registry, and the alert log
+ * into Prometheus exposition format (text/plain; version=0.0.4):
+ * metric names are the registry names with '.' mapped to '_' under
+ * an `optimus_` prefix, rings export their windowed rollups as a
+ * labeled `optimus_ring` gauge family, and each ring additionally
+ * emits a `# ring <name> <firstIndex> <v0> <v1> ...` comment line —
+ * invisible to scrapers, but enough for `obstop` to reconstruct
+ * the raw series from either a live scrape or a metrics.prom dump.
+ *
+ * The optional HTTP listener is a single background thread serving
+ * the rendered text to any GET; it exists for scrape/CI/obstop
+ * convenience, not throughput. While it blocks in accept() it
+ * allocates nothing, so an enabled-but-unscraped exporter keeps
+ * the alloc_gate contract.
+ */
+
+#ifndef OPTIMUS_OBS_PROMEXPORT_HH
+#define OPTIMUS_OBS_PROMEXPORT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace optimus
+{
+namespace obs
+{
+
+/** Render every registry into Prometheus exposition text. */
+std::string renderPrometheusText();
+
+/** Write renderPrometheusText() to @p path (atomically via a
+ *  temp-file rename). @return false on I/O failure. */
+bool writeMetricsProm(const std::string &path);
+
+/**
+ * Arrange for writeMetricsProm(@p path) to run at process exit and
+ * on SIGINT/SIGTERM. The signal handler itself only does an
+ * async-signal-safe hand-off (a self-pipe write); a watcher thread
+ * performs the dump from normal thread context, restores the
+ * default disposition, and re-raises, so the process still exits
+ * with the conventional signal status.
+ */
+void installMetricsDump(const std::string &path);
+
+/**
+ * Start the HTTP listener on 127.0.0.1:@p port (0 picks an
+ * ephemeral port; query it with metricsServerPort()). Idempotent
+ * while running. @return false when the socket setup fails.
+ */
+bool startMetricsServer(int port);
+
+/** Bound listener port, or -1 when the server is not running. */
+int metricsServerPort();
+
+/** Stop the listener thread and close the socket. Safe to call
+ *  when the server never started. */
+void stopMetricsServer();
+
+/** Requests served since the listener started. */
+int64_t metricsScrapeCount();
+
+/**
+ * Resolve the exporter env knobs once per process:
+ * OPTIMUS_METRICS_PORT starts the listener on that port, and
+ * OPTIMUS_METRICS_DUMP installs an at-exit/on-signal dump to the
+ * given path. Idempotent; called from the trainer and serve-engine
+ * constructors.
+ */
+void maybeStartMetricsServerFromEnv();
+
+} // namespace obs
+} // namespace optimus
+
+#endif // OPTIMUS_OBS_PROMEXPORT_HH

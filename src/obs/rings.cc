@@ -1,0 +1,169 @@
+#include "obs/rings.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace optimus
+{
+namespace obs
+{
+
+Ring::Ring(int64_t capacity)
+{
+    OPTIMUS_ASSERT(capacity >= 1);
+    values_.reserve(static_cast<size_t>(capacity));
+    values_.resize(static_cast<size_t>(capacity), 0.0);
+}
+
+// optlint:hot — sampled once per step; must stay allocation-free.
+void
+Ring::push(double v)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_[static_cast<size_t>(
+        pushed_ % static_cast<int64_t>(values_.size()))] = v;
+    ++pushed_;
+}
+
+int64_t
+Ring::capacity() const
+{
+    return static_cast<int64_t>(values_.size());
+}
+
+int64_t
+Ring::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::min(pushed_, static_cast<int64_t>(values_.size()));
+}
+
+int64_t
+Ring::totalPushed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pushed_;
+}
+
+int64_t
+Ring::firstIndex() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int64_t retained =
+        std::min(pushed_, static_cast<int64_t>(values_.size()));
+    return pushed_ - retained;
+}
+
+double
+Ring::at(int64_t i) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int64_t cap = static_cast<int64_t>(values_.size());
+    const int64_t retained = std::min(pushed_, cap);
+    OPTIMUS_ASSERT(i >= 0 && i < retained);
+    return values_[static_cast<size_t>((pushed_ - retained + i) %
+                                       cap)];
+}
+
+// optlint:coldfn — reporting path (exporter / dump / tests), never
+// the step path; the p99 sorts a copied window.
+RingRollup
+Ring::rollup() const
+{
+    std::vector<double> window;
+    snapshot(window);
+    RingRollup roll;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        roll.total = pushed_;
+    }
+    roll.count = static_cast<int64_t>(window.size());
+    if (window.empty())
+        return roll;
+    roll.last = window.back();
+    double sum = 0.0;
+    roll.min = window[0];
+    roll.max = window[0];
+    for (const double v : window) {
+        sum += v;
+        roll.min = std::min(roll.min, v);
+        roll.max = std::max(roll.max, v);
+    }
+    roll.mean = sum / static_cast<double>(window.size());
+    std::sort(window.begin(), window.end());
+    // Nearest-rank: the ceil(p/100 * n)-th smallest sample.
+    const size_t rank = static_cast<size_t>(
+        (99 * window.size() + 99) / 100);
+    roll.p99 = window[std::min(rank, window.size()) - 1];
+    return roll;
+}
+
+void
+Ring::snapshot(std::vector<double> &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int64_t cap = static_cast<int64_t>(values_.size());
+    const int64_t retained = std::min(pushed_, cap);
+    out.clear();
+    out.reserve(static_cast<size_t>(retained));
+    for (int64_t i = 0; i < retained; ++i)
+        out.push_back(values_[static_cast<size_t>(
+            (pushed_ - retained + i) % cap)]);
+}
+
+void
+Ring::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pushed_ = 0;
+}
+
+RingRegistry &
+RingRegistry::instance()
+{
+    static RingRegistry registry;
+    return registry;
+}
+
+// optlint:coldfn — slot registration is first-touch-only; the
+// steady state resolves existing slots with a map find.
+Ring &
+RingRegistry::ring(const std::string &name, int64_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = rings_[name];
+    if (!slot)
+        slot = std::make_unique<Ring>(capacity);
+    return *slot;
+}
+
+std::vector<std::string>
+RingRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(rings_.size());
+    for (const auto &[name, ring] : rings_)
+        out.push_back(name);
+    return out;
+}
+
+const Ring *
+RingRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = rings_.find(name);
+    return it == rings_.end() ? nullptr : it->second.get();
+}
+
+void
+RingRegistry::resetValues()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, ring] : rings_)
+        ring->reset();
+}
+
+} // namespace obs
+} // namespace optimus

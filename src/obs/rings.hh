@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Time-series ring buffers: fixed-capacity per-metric sample
+ * histories pushed at step / serve-iteration boundaries.
+ *
+ * The metrics registry answers "how many, in total"; the rings
+ * answer "what did the last N steps look like" — loss, step
+ * seconds, wire ratio, residual norms — without unbounded growth.
+ * A Ring preallocates its value array at registration, so push()
+ * is O(1) and allocation-free; producers register once through
+ * RingRegistry::ring() (a coldfn, mirrors MetricsRegistry) and
+ * cache the returned reference in a function-local static, so the
+ * steady state touches no lock but the ring's own (uncontended:
+ * one push per step, plus an occasional exporter read).
+ *
+ * Determinism contract: rings are observation only — value rings
+ * (loss, ratios, norms) hold the same samples at any
+ * OPTIMUS_THREADS, timing rings hold wall-clock and are exempt
+ * from run-to-run comparison, and nothing reads a ring back into
+ * the training or serving computation.
+ */
+
+#ifndef OPTIMUS_OBS_RINGS_HH
+#define OPTIMUS_OBS_RINGS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace optimus
+{
+namespace obs
+{
+
+/** Windowed summary of a ring's retained samples. */
+struct RingRollup
+{
+    /** Samples retained (<= capacity). */
+    int64_t count = 0;
+    /** Samples pushed over the ring's lifetime. */
+    int64_t total = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    /** Nearest-rank 99th percentile of the retained window. */
+    double p99 = 0.0;
+    /** Most recent sample. */
+    double last = 0.0;
+};
+
+/**
+ * Fixed-capacity sample history. Thread-safe: push and reads take
+ * the ring's mutex (once per step, never inside a kernel).
+ */
+class Ring
+{
+  public:
+    explicit Ring(int64_t capacity);
+
+    /** Append one sample, evicting the oldest at capacity. O(1),
+     *  allocation-free. */
+    void push(double v);
+
+    int64_t capacity() const;
+    /** Retained sample count (<= capacity). */
+    int64_t size() const;
+    /** Lifetime push count. */
+    int64_t totalPushed() const;
+    /** Global index of the oldest retained sample (total - size). */
+    int64_t firstIndex() const;
+
+    /** Retained sample @p i, oldest first (0 <= i < size()). */
+    double at(int64_t i) const;
+
+    /** Min/max/mean/p99 over the retained window. The p99 sorts a
+     *  copy — reporting path only, not the step path. */
+    RingRollup rollup() const;
+
+    /** Copy the retained window, oldest first, into @p out. */
+    void snapshot(std::vector<double> &out) const;
+
+    /** Drop every sample (capacity is kept). */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<double> values_;
+    int64_t pushed_ = 0;
+};
+
+/**
+ * Process-wide named-ring registry; mirrors MetricsRegistry.
+ * References stay valid forever; resetValues() clears samples but
+ * never removes a registration.
+ */
+class RingRegistry
+{
+  public:
+    static constexpr int64_t kDefaultCapacity = 256;
+
+    static RingRegistry &instance();
+
+    /**
+     * Find-or-create by name (coldfn: register during warmup and
+     * cache the reference). @p capacity applies only at creation.
+     */
+    Ring &ring(const std::string &name,
+               int64_t capacity = kDefaultCapacity);
+
+    /** Registered names, sorted (std::map order). */
+    std::vector<std::string> names() const;
+
+    /** The named ring, or nullptr when never registered. */
+    const Ring *find(const std::string &name) const;
+
+    /** Clear every ring's samples; registrations persist. */
+    void resetValues();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Ring>> rings_;
+};
+
+} // namespace obs
+} // namespace optimus
+
+#endif // OPTIMUS_OBS_RINGS_HH

@@ -53,6 +53,21 @@ struct StepAgg
     double busy = 0.0;
 };
 
+/** A serve.prefill span held back for wave assignment (its id is
+ *  the sequence, not the wave; see TraceSummary). */
+struct PendingPrefill
+{
+    double beginUs = 0.0;
+    double durUs = 0.0;
+};
+
+bool
+isCommCategory(const std::string &cat)
+{
+    return cat == "interStage" || cat == "dpReduce" ||
+           cat == "embSync" || cat == "other";
+}
+
 } // namespace
 
 TraceSummary
@@ -60,6 +75,11 @@ summarizeTrace(const std::string &json_text)
 {
     TraceSummary summary;
     std::map<long long, StepAgg> step_aggs;
+    std::map<long long, ServeWave> waves;
+    // Wave intervals [begin, end) in trace microseconds, for
+    // assigning prefill spans by time containment.
+    std::map<long long, std::pair<double, double>> wave_spans;
+    std::vector<PendingPrefill> prefills;
 
     std::istringstream stream(json_text);
     std::string line;
@@ -101,7 +121,59 @@ summarizeTrace(const std::string &json_text)
             double iter = -1.0;
             if (jsonNumber(line, "iter", iter) && iter >= 0.0)
                 step_aggs[static_cast<long long>(iter)].busy += dur_s;
+        } else if (cat == "serve" && id >= 0) {
+            double ts_us = 0.0;
+            jsonNumber(line, "ts", ts_us);
+            double rows = 0.0;
+            if (name == "serve.step") {
+                ServeWave &wave = waves[id];
+                wave.id = id;
+                wave.stepSeconds += dur_s;
+                wave_spans[id] = {ts_us, ts_us + dur_us};
+            } else if (name == "serve.decode") {
+                ServeWave &wave = waves[id];
+                wave.id = id;
+                wave.decodeSeconds += dur_s;
+                if (jsonNumber(line, "rows", rows))
+                    wave.decodeRows +=
+                        static_cast<int64_t>(rows);
+            } else if (name == "serve.prefill") {
+                // id is the sequence id — hold for containment.
+                prefills.push_back({ts_us, dur_us});
+            }
+        } else if (isCommCategory(cat)) {
+            CommRollup &roll = summary.commByVerb[cat + "/" + name];
+            ++roll.spans;
+            roll.seconds += dur_s;
+            double bytes = 0.0;
+            // Event-derived folds: the span args being summed were
+            // written from transport CommEvents at record time.
+            if (jsonNumber(line, "exactBytes", bytes))
+                roll.exactBytes += bytes; // optlint:allow(COM01)
+            if (jsonNumber(line, "wireBytes", bytes))
+                roll.wireBytes += bytes; // optlint:allow(COM01)
         }
+    }
+
+    // Assign each prefill to the wave whose serve.step interval
+    // contains its start (the prefill runs inside the step span).
+    for (const PendingPrefill &prefill : prefills) {
+        for (const auto &[wave_id, interval] : wave_spans) {
+            if (prefill.beginUs >= interval.first &&
+                prefill.beginUs < interval.second) {
+                ServeWave &wave = waves[wave_id];
+                ++wave.prefills;
+                wave.prefillSeconds += prefill.durUs * 1e-6;
+                break;
+            }
+        }
+    }
+    summary.serveWaves = static_cast<int64_t>(waves.size());
+    for (const auto &[wave_id, wave] : waves) {
+        summary.serveStep += wave.stepSeconds;
+        summary.servePrefill += wave.prefillSeconds;
+        summary.serveDecode += wave.decodeSeconds;
+        summary.waves.push_back(wave);
     }
 
     summary.steps = static_cast<int64_t>(step_aggs.size());
@@ -157,23 +229,83 @@ std::string
 renderTraceSummary(const TraceSummary &summary)
 {
     std::string out;
-    char buffer[160];
+    char buffer[192];
     std::snprintf(buffer, sizeof(buffer),
-                  "trace summary: %lld spans, %lld steps\n",
+                  "trace summary: %lld spans, %lld steps, "
+                  "%lld serve waves\n",
                   static_cast<long long>(summary.spans),
-                  static_cast<long long>(summary.steps));
+                  static_cast<long long>(summary.steps),
+                  static_cast<long long>(summary.serveWaves));
     out += buffer;
-    out += "  category              seconds   of step\n";
-    appendRow(out, "compute", summary.forwardBackward, summary.total);
-    appendRow(out, "dpReduce", summary.dpReduce, summary.total);
-    appendRow(out, "dpReduceBusy", summary.dpReduceBusy,
-              summary.total);
-    appendRow(out, "overlapHidden", summary.overlapHidden,
-              summary.total);
-    appendRow(out, "embSync", summary.embSync, summary.total);
-    appendRow(out, "optimizer", summary.optimizer, summary.total);
-    appendRow(out, "other", summary.other, summary.total);
-    appendRow(out, "total(step)", summary.total, summary.total);
+    if (summary.steps > 0 || summary.serveWaves == 0) {
+        out += "  category              seconds   of step\n";
+        appendRow(out, "compute", summary.forwardBackward,
+                  summary.total);
+        appendRow(out, "dpReduce", summary.dpReduce, summary.total);
+        appendRow(out, "dpReduceBusy", summary.dpReduceBusy,
+                  summary.total);
+        appendRow(out, "overlapHidden", summary.overlapHidden,
+                  summary.total);
+        appendRow(out, "embSync", summary.embSync, summary.total);
+        appendRow(out, "optimizer", summary.optimizer,
+                  summary.total);
+        appendRow(out, "other", summary.other, summary.total);
+        appendRow(out, "total(step)", summary.total, summary.total);
+    }
+    if (summary.serveWaves > 0) {
+        out += "  serve phase           seconds   of wave\n";
+        appendRow(out, "prefill", summary.servePrefill,
+                  summary.serveStep);
+        appendRow(out, "decode", summary.serveDecode,
+                  summary.serveStep);
+        const double serve_other =
+            summary.serveStep >
+                    summary.servePrefill + summary.serveDecode
+                ? summary.serveStep - summary.servePrefill -
+                      summary.serveDecode
+                : 0.0;
+        appendRow(out, "scheduler", serve_other, summary.serveStep);
+        appendRow(out, "total(wave)", summary.serveStep,
+                  summary.serveStep);
+        out += "  per-wave phase table:\n";
+        out += "    wave   step(s)    prefill(s)  decode(s)"
+               "  prefills  rows\n";
+        const size_t shown =
+            summary.waves.size() > 24 ? 24 : summary.waves.size();
+        for (size_t w = 0; w < shown; ++w) {
+            const ServeWave &wave = summary.waves[w];
+            std::snprintf(buffer, sizeof(buffer),
+                          "    %4lld %9.6f %11.6f %10.6f %9lld "
+                          "%5lld\n",
+                          static_cast<long long>(wave.id),
+                          wave.stepSeconds, wave.prefillSeconds,
+                          wave.decodeSeconds,
+                          static_cast<long long>(wave.prefills),
+                          static_cast<long long>(wave.decodeRows));
+            out += buffer;
+        }
+        if (shown < summary.waves.size()) {
+            std::snprintf(buffer, sizeof(buffer),
+                          "    ... %lld more wave(s)\n",
+                          static_cast<long long>(
+                              summary.waves.size() - shown));
+            out += buffer;
+        }
+    }
+    if (!summary.commByVerb.empty()) {
+        out += "  comm by phase/verb:\n";
+        out += "    phase/verb                    spans     "
+               "seconds   exactMB     wireMB\n";
+        for (const auto &[key, roll] : summary.commByVerb) {
+            std::snprintf(
+                buffer, sizeof(buffer),
+                "    %-28s %6lld %11.6f %9.3f %10.3f\n", key.c_str(),
+                static_cast<long long>(roll.spans), roll.seconds,
+                roll.exactBytes / (1024.0 * 1024.0),
+                roll.wireBytes / (1024.0 * 1024.0));
+            out += buffer;
+        }
+    }
     out += "  spans by category:\n";
     for (const auto &[cat, seconds] : summary.categorySeconds) {
         std::snprintf(buffer, sizeof(buffer),

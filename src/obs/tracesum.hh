@@ -21,11 +21,32 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace optimus
 {
 namespace obs
 {
+
+/** One serving scheduler round (cat="serve" spans of one wave). */
+struct ServeWave
+{
+    int64_t id = 0;             // serve.step / serve.decode span id
+    double stepSeconds = 0.0;   // serve.step wall time
+    double prefillSeconds = 0.0; // serve.prefill spans in this wave
+    double decodeSeconds = 0.0; // serve.decode wall time
+    int64_t prefills = 0;       // prompts admitted this wave
+    int64_t decodeRows = 0;     // sequences decoded this wave
+};
+
+/** Per-(phase, verb) rollup of the transport spans. */
+struct CommRollup
+{
+    int64_t spans = 0;
+    double seconds = 0.0;
+    double exactBytes = 0.0;
+    double wireBytes = 0.0;
+};
 
 struct TraceSummary
 {
@@ -45,6 +66,22 @@ struct TraceSummary
     double overlapHidden = 0.0;   // sum_i max(0, busy_i - exposed_i)
 
     double other = 0.0;           // total minus the named phases
+
+    // Serving-trace breakdown, from cat="serve" spans. serve.step
+    // and serve.decode carry the scheduler iteration as their span
+    // id; serve.prefill carries the sequence id, so prefills are
+    // assigned to waves by time containment in the wave's
+    // serve.step interval.
+    int64_t serveWaves = 0;      // distinct serve.step ids
+    double serveStep = 0.0;      // summed wave wall time
+    double servePrefill = 0.0;
+    double serveDecode = 0.0;
+    std::vector<ServeWave> waves; // per-wave phase table, id order
+
+    // Transport spans rolled up per "phase/verb" (categories
+    // interStage/dpReduce/embSync/other; exactBytes/wireBytes from
+    // the span args, reconciling with CommTrace volumes).
+    std::map<std::string, CommRollup> commByVerb;
 
     // All spans grouped by category (seconds / count).
     std::map<std::string, double> categorySeconds;

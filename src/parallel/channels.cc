@@ -69,6 +69,18 @@ BackwardChannel::send(const Tensor &grad, int micro_batch,
         volume_.add(transport_->p2pSend(
             CommPhase::InterStage, stage_, stage_ - 1, replica_,
             exact_bytes, wire_bytes, seededSpec_));
+        if (obs::probeActive()) {
+            // Read-only observation of tensors the send already
+            // produced; double accumulation in send order keeps
+            // the probe values thread-count independent.
+            const size_t n = static_cast<size_t>(fed.size());
+            probeInputNormSq_ += obs::l2NormSq(fed.data(), n);
+            probeErrNormSq_ +=
+                obs::l2DiffNormSq(fed.data(), delivered.data(), n);
+            probeCosineSum_ +=
+                cosineSimilarity(fed.data(), delivered.data(), n);
+            ++probeCosineCount_;
+        }
         if (config_.lazyErrorPropagation) {
             error_ = fed;
             error_.sub(delivered);
@@ -113,6 +125,23 @@ BackwardChannel::send(const Tensor &grad, int micro_batch,
     return delivered;
 }
 
+obs::CompressionHealth
+BackwardChannel::health() const
+{
+    obs::CompressionHealth h;
+    h.sends = totalSends_;
+    h.compressedSends = compressedSends_;
+    h.exactBytes = volume_.exactBytes;
+    h.wireBytes = volume_.wireBytes;
+    h.inputNormSq = probeInputNormSq_;
+    h.errNormSq = probeErrNormSq_;
+    h.residualNormSq = obs::l2NormSq(
+        error_.data(), static_cast<size_t>(error_.size()));
+    h.cosineSum = probeCosineSum_;
+    h.cosineCount = probeCosineCount_;
+    return h;
+}
+
 void
 BackwardChannel::reset()
 {
@@ -125,6 +154,10 @@ BackwardChannel::reset()
     volume_ = CommVolume{};
     compressedSends_ = 0;
     totalSends_ = 0;
+    probeInputNormSq_ = 0.0;
+    probeErrNormSq_ = 0.0;
+    probeCosineSum_ = 0.0;
+    probeCosineCount_ = 0;
 }
 
 } // namespace optimus

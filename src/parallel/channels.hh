@@ -15,6 +15,7 @@
 
 #include "comm/transport.hh"
 #include "compress/error_feedback.hh"
+#include "obs/probes.hh"
 #include "schedule/schedule.hh"
 
 namespace optimus
@@ -119,6 +120,15 @@ class BackwardChannel
     /** Number of total sends. */
     int64_t totalSends() const { return totalSends_; }
 
+    /**
+     * Accumulated compression health (obs::probesEnabled() runs
+     * only): byte totals are views over the channel's transport
+     * events, norm fields accumulate over compressed sends, and
+     * the residual norm reflects the current stored error. Purely
+     * observational — never read back into the computation.
+     */
+    obs::CompressionHealth health() const;
+
     /** Stored lazy-propagation error (for tests / memory model). */
     const Tensor &storedError() const { return error_; }
 
@@ -158,6 +168,11 @@ class BackwardChannel
     CommVolume volume_;
     int64_t compressedSends_ = 0;
     int64_t totalSends_ = 0;
+    /** Probe accumulators (probesEnabled() only; see health()). */
+    double probeInputNormSq_ = 0.0;
+    double probeErrNormSq_ = 0.0;
+    double probeCosineSum_ = 0.0;
+    int64_t probeCosineCount_ = 0;
 };
 
 } // namespace optimus

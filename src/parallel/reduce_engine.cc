@@ -6,6 +6,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace optimus
 {
@@ -54,6 +55,19 @@ struct ReduceEngine::Bucket
     /** Per-iteration results (written by exactly one task). */
     ReduceVolume volume;
     double busySeconds = 0.0;
+
+    /**
+     * Cumulative probe state (also single-task writes, but never
+     * reset per iteration): lifetime reduce count, event-derived
+     * byte totals, and — for compressed buckets under
+     * probesEnabled() — health norm accumulators.
+     */
+    int64_t reduces = 0;
+    CommVolume totalVolume;
+    double probeInputNormSq = 0.0;
+    double probeErrNormSq = 0.0;
+    double probeCosineSum = 0.0;
+    int64_t probeCosineCount = 0;
 };
 
 ReduceEngine::ReduceEngine(const ReduceEngineConfig &config)
@@ -290,6 +304,8 @@ ReduceEngine::reduceExact(Bucket &bucket)
         CommPhase::DpReduce, bucket.group, ReduceOp::Mean);
     bucket.volume.exactBytes = ev.exactBytes;
     bucket.volume.actualBytes = ev.wireBytes;
+    ++bucket.reduces;
+    bucket.totalVolume.add(ev);
 }
 
 // optlint:hot — steady-state step path (zero-allocation contract).
@@ -311,6 +327,26 @@ ReduceEngine::reduceCompressed(Bucket &bucket)
         CommPhase::DpReduce, *bucket.dps, inputs, bucket.mean);
     bucket.volume.exactBytes = ev.exactBytes;
     bucket.volume.actualBytes = ev.wireBytes;
+    ++bucket.reduces;
+    bucket.totalVolume.add(ev);
+
+    if (obs::probeActive()) {
+        // Read-only observation of the error-fed inputs and the
+        // mean reconstruction, before either is overwritten below.
+        // Worker-order double accumulation into single-task bucket
+        // state keeps the values thread-count independent.
+        const size_t n = static_cast<size_t>(bucket.mean.size());
+        for (int d = 0; d < workers; ++d) {
+            bucket.probeInputNormSq +=
+                obs::l2NormSq(bucket.fed[d].data(), n);
+            bucket.probeErrNormSq += obs::l2DiffNormSq(
+                bucket.fed[d].data(), bucket.mean.data(), n);
+            bucket.probeCosineSum +=
+                cosineSimilarity(bucket.fed[d].data(),
+                                 bucket.mean.data(), n);
+            ++bucket.probeCosineCount;
+        }
+    }
 
     for (int d = 0; d < workers; ++d) {
         if (config_.dp.errorFeedback) {
@@ -354,6 +390,32 @@ ReduceEngine::residualNorms() const
     for (double &n : norms)
         n = std::sqrt(n);
     return norms;
+}
+
+obs::CompressionHealth
+ReduceEngine::health() const
+{
+    obs::CompressionHealth h;
+    for (const auto &bucket : buckets_) {
+        h.sends += bucket->reduces;
+        if (bucket->spec.compressed)
+            h.compressedSends += bucket->reduces;
+        // Event-derived view-merge: the bucket's totalVolume folds
+        // its transport events, so no byte is hand-counted here.
+        h.exactBytes += // optlint:allow(COM01)
+            bucket->totalVolume.exactBytes;
+        h.wireBytes += // optlint:allow(COM01)
+            bucket->totalVolume.wireBytes;
+        h.inputNormSq += bucket->probeInputNormSq;
+        h.errNormSq += bucket->probeErrNormSq;
+        h.cosineSum += bucket->probeCosineSum;
+        h.cosineCount += bucket->probeCosineCount;
+        for (const Tensor &residual : bucket->residual)
+            h.residualNormSq += obs::l2NormSq(
+                residual.data(),
+                static_cast<size_t>(residual.size()));
+    }
+    return h;
 }
 
 int64_t

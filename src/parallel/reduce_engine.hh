@@ -48,6 +48,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/probes.hh"
 #include "parallel/data_parallel.hh"
 #include "runtime/runtime.hh"
 #include "tensor/arena.hh"
@@ -144,6 +145,16 @@ class ReduceEngine
 
     /** Per-worker residual error norms (diagnostics / tests). */
     std::vector<double> residualNorms() const;
+
+    /**
+     * Cumulative compression health of this stage's DP reduction
+     * (obs::probesEnabled() runs only). Byte totals are views over
+     * the buckets' transport events (all buckets); norm and cosine
+     * fields cover the compressed buckets, accumulated per bucket
+     * in worker order and folded in bucket-index order, so the
+     * result is identical at any OPTIMUS_THREADS.
+     */
+    obs::CompressionHealth health() const;
 
     /** Persistent compressor + residual bytes (memory accounting). */
     int64_t stateBytes() const;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "obs/metrics.hh"
+#include "obs/promexport.hh"
+#include "obs/rings.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
 
@@ -77,6 +80,12 @@ Trainer3d::Trainer3d(const Trainer3dConfig &config)
     const int p_ways = config.pipelineStages;
     OPTIMUS_ASSERT(d_ways >= 1 && p_ways >= 1);
     OPTIMUS_ASSERT(config.microBatches >= 1);
+
+    // Resolve the telemetry env knobs (OPTIMUS_TELEMETRY /
+    // OPTIMUS_PROBES / thresholds / OPTIMUS_METRICS_PORT) while
+    // construction may still allocate freely.
+    obs::initTelemetryFromEnv();
+    obs::maybeStartMetricsServerFromEnv();
 
     // Overlapped scheduling exists to hide bucket reduction behind
     // the *other* replicas' backward; at D == 1 there is nothing to
@@ -235,8 +244,10 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     double loss_sum = 0.0;
 
     // Stamp this iteration's transport events (outside any parallel
-    // region; the first iteration is 0).
+    // region; the first iteration is 0). The same boundary arms the
+    // sampled probe cadence for every channel this step touches.
     transport_->setIteration(iterations_);
+    obs::probeStepBegin(iterations_);
 
     // Channel byte counters are cumulative; snapshot them so the
     // returned stats cover this iteration only.
@@ -418,6 +429,23 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     stats.phases.embSync = obs::secondsBetween(t_emb, t_emb_end);
     obs::emitSpan("phase", "embSync", t_emb, t_emb_end, iterations_);
 
+    // Global gradient norm, sampled after the reduce (replicas are
+    // identical, so replica 0 in stage/parameter order suffices)
+    // and before the optimizer zeroes the gradients. Read-only
+    // observation: probed and unprobed runs stay bitwise identical.
+    double grad_norm = -1.0;
+    if (obs::probeActive()) {
+        double grad_norm_sq = 0.0;
+        for (int p = 0; p < p_ways; ++p) {
+            for (const auto &param : workerParams_[p][0]) {
+                grad_norm_sq += obs::l2NormSq(
+                    param->grad.data(),
+                    static_cast<size_t>(param->grad.size()));
+            }
+        }
+        grad_norm = std::sqrt(grad_norm_sq);
+    }
+
     // Optimizer update; replicas update identically because their
     // gradients are now identical.
     const int64_t t_opt = obs::nowNs();
@@ -454,11 +482,153 @@ Trainer3d::trainIteration(const LmDataset &data, Rng &rng)
     const int64_t t_end = obs::nowNs();
     stats.phases.total = obs::secondsBetween(t_iter, t_end);
     obs::emitSpan("phase", "step", t_iter, t_end, iterations_);
+    // Telemetry boundary: ring samples, health-probe rollups, and
+    // threshold monitors — all pure observation, all allocation-
+    // free once the rings are registered (warmup does that).
+    sampleTelemetry(stats, grad_norm);
     // Fold the allocation tallies into obs::metrics and the
     // mem.heapAllocs counter track once per step.
     mem::publishMetrics();
     ++iterations_;
     return stats;
+}
+
+obs::CompressionHealth
+Trainer3d::ppHealth() const
+{
+    obs::CompressionHealth h;
+    for (const auto &replica : channels_) {
+        for (const auto &channel : replica)
+            h.merge(channel->health());
+    }
+    return h;
+}
+
+obs::CompressionHealth
+Trainer3d::dpHealth() const
+{
+    // The bucketed engines carry the probe state; in Sequential
+    // mode (legacy reducer) the DP channel reports empty health.
+    obs::CompressionHealth h;
+    for (const auto &engine : engines_)
+        h.merge(engine->health());
+    return h;
+}
+
+// optlint:hot — runs once per step inside the zero-allocation
+// window; rings and alert slots were registered during warmup.
+void
+Trainer3d::sampleTelemetry(const IterationStats &stats,
+                           double grad_norm)
+{
+    if (obs::metricsEnabled()) {
+        static obs::Ring &loss_ring =
+            obs::RingRegistry::instance().ring("train.loss");
+        static obs::Ring &step_ring =
+            obs::RingRegistry::instance().ring(
+                "train.step.seconds");
+        static obs::Ring &fb_ring =
+            obs::RingRegistry::instance().ring(
+                "train.forwardBackward.seconds");
+        static obs::Ring &reduce_ring =
+            obs::RingRegistry::instance().ring(
+                "train.dpReduce.seconds");
+        loss_ring.push(stats.loss);
+        step_ring.push(stats.phases.total);
+        fb_ring.push(stats.phases.forwardBackward);
+        reduce_ring.push(stats.phases.dpReduce);
+    }
+    if (!obs::probeActive())
+        return;
+
+    // Per-window health: cumulative snapshots minus the previous
+    // sampled step's (residual norms carry over as state). Only
+    // sampled steps pay the health fold and the ring pushes.
+    const obs::CompressionHealth pp = ppHealth();
+    const obs::CompressionHealth dp = dpHealth();
+    const obs::CompressionHealth pp_step = pp.delta(ppHealthPrev_);
+    const obs::CompressionHealth dp_step = dp.delta(dpHealthPrev_);
+    ppHealthPrev_ = pp;
+    dpHealthPrev_ = dp;
+
+    if (obs::metricsEnabled()) {
+        static obs::Ring &pp_relerr =
+            obs::RingRegistry::instance().ring("probe.pp.relerr");
+        static obs::Ring &pp_ratio =
+            obs::RingRegistry::instance().ring(
+                "probe.pp.wireratio");
+        static obs::Ring &pp_residual =
+            obs::RingRegistry::instance().ring(
+                "probe.pp.residual");
+        static obs::Ring &pp_cosine =
+            obs::RingRegistry::instance().ring("probe.pp.cosine");
+        static obs::Ring &dp_relerr =
+            obs::RingRegistry::instance().ring("probe.dp.relerr");
+        static obs::Ring &dp_ratio =
+            obs::RingRegistry::instance().ring(
+                "probe.dp.wireratio");
+        static obs::Ring &dp_residual =
+            obs::RingRegistry::instance().ring(
+                "probe.dp.residual");
+        static obs::Ring &dp_cosine =
+            obs::RingRegistry::instance().ring("probe.dp.cosine");
+        static obs::Ring &emb_bytes =
+            obs::RingRegistry::instance().ring("probe.emb.bytes");
+        static obs::Ring &gradnorm_ring =
+            obs::RingRegistry::instance().ring("train.gradnorm");
+        pp_relerr.push(pp_step.relError());
+        pp_ratio.push(pp_step.wireRatio());
+        pp_residual.push(pp_step.residualNorm());
+        pp_cosine.push(pp_step.meanCosine());
+        dp_relerr.push(dp_step.relError());
+        dp_ratio.push(dp_step.wireRatio());
+        dp_residual.push(dp_step.residualNorm());
+        dp_cosine.push(dp_step.meanCosine());
+        emb_bytes.push(static_cast<double>(
+            stats.embVolume.tableBytes));
+        gradnorm_ring.push(grad_norm);
+    }
+
+    // Threshold monitors -> rate-limited alerts. The stderr line
+    // is the sanctioned step-summary echo: the one place training
+    // surfaces an alert as text; every other consumer reads the
+    // obs metrics / exporter.
+    const obs::ProbeThresholds &limits = obs::probeThresholds();
+    const auto monitor = [&](const char *channel,
+                             obs::AlertKind kind, double value,
+                             double threshold) {
+        if (threshold <= 0.0 || !(value > threshold))
+            return;
+        if (!obs::AlertLog::instance().raise(
+                channel, kind, iterations_, value, threshold))
+            return;
+        std::fprintf( // optlint:allow(OBS02)
+            stderr,
+            "optimus: alert step=%lld channel=%s kind=%s "
+            "value=%.6g threshold=%.6g\n",
+            static_cast<long long>(iterations_), channel,
+            obs::alertKindName(kind), value, threshold);
+    };
+    if (pp_step.compressedSends > 0) {
+        monitor("pp", obs::AlertKind::RelError,
+                pp_step.relError(), limits.relErrMax);
+    }
+    if (dp_step.compressedSends > 0) {
+        monitor("dp", obs::AlertKind::RelError,
+                dp_step.relError(), limits.relErrMax);
+    }
+    if (grad_norm >= 0.0) {
+        monitor("train", obs::AlertKind::GradNorm, grad_norm,
+                limits.gradNormMax);
+    }
+    if (haveBestLoss_ && limits.lossFactor > 0.0) {
+        monitor("train", obs::AlertKind::LossDrift, stats.loss,
+                limits.lossFactor * bestLoss_);
+    }
+    if (!haveBestLoss_ || stats.loss < bestLoss_) {
+        bestLoss_ = stats.loss;
+        haveBestLoss_ = true;
+    }
 }
 
 double

@@ -28,6 +28,7 @@
 #include "data/dataset.hh"
 #include "data/zeroshot.hh"
 #include "nn/loss.hh"
+#include "obs/probes.hh"
 #include "nn/optimizer.hh"
 #include "parallel/channels.hh"
 #include "parallel/data_parallel.hh"
@@ -206,6 +207,18 @@ class Trainer3d
     int64_t iterations() const { return iterations_; }
 
     /**
+     * Cumulative compression health of the PP backward channels
+     * (merged over replicas and boundaries in fixed order). Norm
+     * fields are populated only while obs::probesEnabled(); byte
+     * totals always reflect the channels' transport events.
+     */
+    obs::CompressionHealth ppHealth() const;
+
+    /** Cumulative compression health of the DP reduction (merged
+     *  over the per-stage engines in stage order). */
+    obs::CompressionHealth dpHealth() const;
+
+    /**
      * The reduce mode actually executed. Overlapped degenerates to
      * Sequential when D == 1: with a single replica there is no
      * concurrent backward to hide bucket tasks behind, so the task
@@ -269,6 +282,18 @@ class Trainer3d
     EmbeddingSynchronizer embSync_;
     std::unique_ptr<ReplicaScorer> scorer_;
     int64_t iterations_ = 0;
+
+    /** One ring-sample + health-probe + monitor pass at the end of
+     *  a step (@p grad_norm < 0 means "not sampled"). */
+    void sampleTelemetry(const IterationStats &stats,
+                         double grad_norm);
+
+    /** Previous-step cumulative health (per-step ring deltas). */
+    obs::CompressionHealth ppHealthPrev_;
+    obs::CompressionHealth dpHealthPrev_;
+    /** Best (lowest) loss seen — the loss-drift baseline. */
+    double bestLoss_ = 0.0;
+    bool haveBestLoss_ = false;
 
     /**
      * Persistent per-step scratch: sampled micro-batches, exclusion

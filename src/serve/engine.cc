@@ -1,9 +1,14 @@
 #include "serve/engine.hh"
 
+#include <cstdio>
+
 #include "obs/metrics.hh"
+#include "obs/promexport.hh"
+#include "obs/rings.hh"
 #include "obs/trace.hh"
 #include "runtime/runtime.hh"
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace optimus
 {
@@ -38,6 +43,8 @@ ServeEngine::ServeEngine(const ServeConfig &config)
     OPTIMUS_ASSERT(config_.model.layers % config_.pipelineStages == 0);
     OPTIMUS_ASSERT(config_.maxSequences >= 1);
     OPTIMUS_ASSERT(config_.maxBatchTokens >= 1);
+    obs::initTelemetryFromEnv();
+    obs::maybeStartMetricsServerFromEnv();
     blocksPerStage_ = config_.model.layers / config_.pipelineStages;
 
     Transport &base =
@@ -119,7 +126,9 @@ int64_t
 ServeEngine::step()
 {
     obs::ScopedSpan span("serve", "serve.step", iteration_);
+    const int64_t t0 = obs::metricsEnabled() ? obs::nowNs() : 0;
     transport_->setIteration(iteration_);
+    obs::probeStepBegin(iteration_);
     WorkspaceScope step_scope(stepArena_.get());
 
     retireFinished();
@@ -135,6 +144,8 @@ ServeEngine::step()
     if (obs::metricsEnabled() && produced > 0)
         obs::MetricsRegistry::instance().counter("serve.tokens")
             .add(produced);
+    sampleTelemetry(produced,
+                    t0 ? obs::secondsBetween(t0, obs::nowNs()) : 0.0);
     mem::publishMetrics();
     ++iteration_;
     return produced;
@@ -358,21 +369,108 @@ ServeEngine::boundaryTransfer(int src_stage, Tensor &acts)
         acts.size() * static_cast<int64_t>(sizeof(float));
     int64_t wire = exact;
     CompressorSpec spec; // kind None: exact transfer
+    ++boundaryProbe_.sends;
     if (!boundaryCompressors_.empty()) {
         // The receiving stage decodes from the lossy
         // reconstruction, exactly like the trainer's compressed
         // backward channels.
         Compressor &channel = *boundaryCompressors_[src_stage];
         wire = channel.compress(acts, boundaryRecon_);
+        ++boundaryProbe_.compressedSends;
         const float *rd = boundaryRecon_.data();
         float *ad = acts.data();
         const int64_t n = acts.size();
+        if (obs::probeActive()) {
+            // Pure observation before the reconstruction overwrites
+            // the activations: compare the exact boundary payload
+            // against what the next stage will actually decode from.
+            const size_t un = static_cast<size_t>(n);
+            boundaryProbe_.inputNormSq += obs::l2NormSq(ad, un);
+            boundaryProbe_.errNormSq +=
+                obs::l2DiffNormSq(ad, rd, un);
+            boundaryProbe_.cosineSum += cosineSimilarity(ad, rd, un);
+            ++boundaryProbe_.cosineCount;
+        }
         for (int64_t c = 0; c < n; ++c)
             ad[c] = rd[c];
         spec = config_.boundary;
     }
-    transport_->p2pSend(CommPhase::InterStage, src_stage,
-                        src_stage + 1, -1, exact, wire, spec);
+    boundaryVolume_.add(transport_->p2pSend(CommPhase::InterStage,
+                                            src_stage, src_stage + 1,
+                                            -1, exact, wire, spec));
+}
+
+obs::CompressionHealth
+ServeEngine::boundaryHealth() const
+{
+    // Compose the probe accumulators with the transport-event byte
+    // totals; the assignments are views over boundaryVolume_'s
+    // CommEvent folds, so the health report reconciles exactly with
+    // a RecordingTransport trace of the same run.
+    obs::CompressionHealth h = boundaryProbe_;
+    h.exactBytes = boundaryVolume_.exactBytes;
+    h.wireBytes = boundaryVolume_.wireBytes;
+    return h;
+}
+
+// optlint:hot — runs once per scheduler round inside the
+// zero-allocation window; rings and alert slots were registered
+// during the warmup waves.
+void
+ServeEngine::sampleTelemetry(int64_t produced, double step_seconds)
+{
+    if (obs::metricsEnabled()) {
+        static obs::Ring &tokens_ring =
+            obs::RingRegistry::instance().ring("serve.tokens");
+        static obs::Ring &step_ring =
+            obs::RingRegistry::instance().ring(
+                "serve.step.seconds");
+        static obs::Ring &active_ring =
+            obs::RingRegistry::instance().ring("serve.active");
+        tokens_ring.push(static_cast<double>(produced));
+        step_ring.push(step_seconds);
+        active_ring.push(static_cast<double>(activeSequences()));
+    }
+    if (!obs::probeActive())
+        return;
+
+    const obs::CompressionHealth health = boundaryHealth();
+    const obs::CompressionHealth round =
+        health.delta(boundaryHealthPrev_);
+    boundaryHealthPrev_ = health;
+
+    if (obs::metricsEnabled()) {
+        static obs::Ring &relerr_ring =
+            obs::RingRegistry::instance().ring(
+                "probe.serve.relerr");
+        static obs::Ring &ratio_ring =
+            obs::RingRegistry::instance().ring(
+                "probe.serve.wireratio");
+        static obs::Ring &cosine_ring =
+            obs::RingRegistry::instance().ring(
+                "probe.serve.cosine");
+        relerr_ring.push(round.relError());
+        ratio_ring.push(round.wireRatio());
+        cosine_ring.push(round.meanCosine());
+    }
+
+    // Boundary-reconstruction monitor, mirroring the trainer's
+    // channel monitors (the stderr line is the sanctioned
+    // step-summary echo).
+    const obs::ProbeThresholds &limits = obs::probeThresholds();
+    if (round.compressedSends > 0 && limits.relErrMax > 0.0 &&
+        round.relError() > limits.relErrMax &&
+        obs::AlertLog::instance().raise(
+            "serve", obs::AlertKind::RelError, iteration_,
+            round.relError(), limits.relErrMax)) {
+        std::fprintf( // optlint:allow(OBS02)
+            stderr,
+            "optimus: alert step=%lld channel=serve kind=%s "
+            "value=%.6g threshold=%.6g\n",
+            static_cast<long long>(iteration_),
+            obs::alertKindName(obs::AlertKind::RelError),
+            round.relError(), limits.relErrMax);
+    }
 }
 
 std::vector<int32_t>

@@ -48,6 +48,7 @@
 
 #include "comm/transport.hh"
 #include "compress/compressor.hh"
+#include "obs/probes.hh"
 #include "parallel/stage_module.hh"
 #include "serve/sequence.hh"
 #include "util/reuse_ring.hh"
@@ -130,6 +131,14 @@ class ServeEngine
      *  (always on, independent of obs metrics). */
     const Log2Histogram &latencyUs() const { return latencyUs_; }
 
+    /**
+     * Cumulative compression health of the boundary transfers.
+     * Byte totals are views over the engine's transport events;
+     * norm and cosine fields accumulate only while
+     * obs::probesEnabled() and the boundary is lossy.
+     */
+    obs::CompressionHealth boundaryHealth() const;
+
     const ServeConfig &config() const { return config_; }
 
   private:
@@ -149,6 +158,9 @@ class ServeEngine
     /** Account (and optionally compress, reconstructing in place)
      *  one boundary transfer of @p acts out of @p src_stage. */
     void boundaryTransfer(int src_stage, Tensor &acts);
+    /** One ring-sample + boundary-health + monitor pass at the end
+     *  of a scheduler round. */
+    void sampleTelemetry(int64_t produced, double step_seconds);
 
     ServeConfig config_;
     int64_t blocksPerStage_;
@@ -176,6 +188,13 @@ class ServeEngine
 
     FinishFn onFinish_;
     Log2Histogram latencyUs_;
+    /** Boundary transport-event byte totals (CommEvent folds). */
+    CommVolume boundaryVolume_;
+    /** Boundary probe accumulators (norms, counts; see
+     *  boundaryHealth()). */
+    obs::CompressionHealth boundaryProbe_;
+    /** Previous-round cumulative health (per-round ring deltas). */
+    obs::CompressionHealth boundaryHealthPrev_;
     int64_t nextId_ = 1;
     int64_t iteration_ = 0;
     int64_t completed_ = 0;

@@ -66,7 +66,9 @@ TablePrinter::render() const
 void
 TablePrinter::print() const
 {
-    std::fputs(render().c_str(), stdout);
+    // The sanctioned human-facing table sink: callers opt into a
+    // stdout render; telemetry consumers read the obs registries.
+    std::fputs(render().c_str(), stdout); // optlint:allow(OBS02)
 }
 
 std::string

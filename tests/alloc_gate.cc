@@ -17,6 +17,10 @@
  * decode, retirement — runs fully armed and must make zero heap
  * allocations.
  *
+ * `--telemetry` re-runs both gates with the full observability
+ * stack live: time-series rings, health probes sampling every step,
+ * and the Prometheus exporter listening on an ephemeral port.
+ *
  * Not a gtest binary on purpose: the harness itself must not
  * allocate between arming and checking.
  */
@@ -29,6 +33,9 @@
 
 #include "data/corpus.hh"
 #include "data/dataset.hh"
+#include "obs/metrics.hh"
+#include "obs/probes.hh"
+#include "obs/promexport.hh"
 #include "parallel/trainer3d.hh"
 #include "serve/engine.hh"
 #include "tensor/arena.hh"
@@ -270,6 +277,45 @@ runServeGate()
     return g_armedAllocs.load(std::memory_order_relaxed);
 }
 
+/**
+ * Full-telemetry gate: time-series rings, health probes with every
+ * step sampled (OPTIMUS_PROBE_INTERVAL=1 equivalent), and an idle
+ * exporter listener — the armed training step and serve wave must
+ * still make zero heap allocations. Ring registration, alert-slot
+ * setup, and the listener socket are warmup work by design.
+ */
+int
+telemetryMain(const LmDataset &data)
+{
+    obs::enableMetrics(true);
+    obs::enableProbes(true);
+    obs::setProbeInterval(1);
+    if (!obs::startMetricsServer(0))
+        std::fprintf(stderr, "alloc_gate: warning: exporter "
+                             "listener failed to start\n");
+    const long long train_count =
+        runGate(DpReduceMode::Overlapped, data);
+    const long long serve_count = runServeGate();
+    obs::stopMetricsServer();
+    obs::enableProbes(false);
+    obs::enableMetrics(false);
+    obs::setProbeInterval(16);
+    std::printf("alloc_gate: mode=telemetry  armed allocs=%lld "
+                "(train step) / %lld (serve wave)\n",
+                train_count, serve_count);
+    if (train_count != 0 || serve_count != 0) {
+        std::fprintf(stderr,
+                     "alloc_gate: FAIL mode=telemetry: heap "
+                     "allocation(s) with rings+probes+exporter "
+                     "enabled\n");
+        return 1;
+    }
+    std::printf("alloc_gate: PASS (zero steady-state heap "
+                "allocations with rings, probes, and the exporter "
+                "enabled)\n");
+    return 0;
+}
+
 int
 serveMain()
 {
@@ -314,6 +360,9 @@ main(int argc, char **argv)
     cc.seed = 5;
     SyntheticCorpus corpus(cc);
     const LmDataset data(corpus.train(), 8);
+
+    if (argc > 1 && std::strcmp(argv[1], "--telemetry") == 0)
+        return telemetryMain(data);
 
     int failures = 0;
     for (const DpReduceMode mode :

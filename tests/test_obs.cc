@@ -6,11 +6,21 @@
  * PR's acceptance gate, mirroring the CommTrace gate in
  * test_comm.cc), determinism of the metrics registry snapshot
  * against the thread-invariant CommTrace volumes, and the
- * tracesum-vs-StepPhaseTimes reconciliation (<1%). Run at
- * OPTIMUS_THREADS in {1, 4, 8} via tests/CMakeLists.txt.
+ * tracesum-vs-StepPhaseTimes reconciliation (<1%), ring-buffer
+ * wraparound and rollup arithmetic, compression-health probes
+ * (hand-computed norms, bitwise neutrality of a probed run, exact
+ * probe-vs-CommTrace byte reconciliation), the alert log's rate
+ * limiter, the Prometheus exporter's text format and HTTP listener,
+ * and the tracesum serve-wave summary. Run at OPTIMUS_THREADS in
+ * {1, 4, 8} via tests/CMakeLists.txt.
  */
 
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <cstring>
@@ -25,10 +35,14 @@
 #include "data/dataset.hh"
 #include "obs/clock.hh"
 #include "obs/metrics.hh"
+#include "obs/probes.hh"
+#include "obs/promexport.hh"
+#include "obs/rings.hh"
 #include "obs/trace.hh"
 #include "obs/tracesum.hh"
 #include "parallel/trainer3d.hh"
 #include "runtime/runtime.hh"
+#include "serve/engine.hh"
 
 namespace optimus
 {
@@ -420,6 +434,367 @@ TEST(Metrics, SnapshotMatchesCommTraceAndIsDeterministic)
     // (semantic counts, not scheduling accidents).
     const auto second = runOnce();
     EXPECT_EQ(first, second);
+}
+
+TEST(Rings, WraparoundKeepsNewestAndRollupIsExact)
+{
+    obs::Ring ring(8);
+    EXPECT_EQ(ring.capacity(), 8);
+    EXPECT_EQ(ring.size(), 0);
+    for (int i = 0; i < 20; ++i)
+        ring.push(static_cast<double>(i));
+
+    // 20 pushes through capacity 8 retain exactly 12..19.
+    EXPECT_EQ(ring.size(), 8);
+    EXPECT_EQ(ring.totalPushed(), 20);
+    EXPECT_EQ(ring.firstIndex(), 12);
+    for (int64_t i = 0; i < ring.size(); ++i)
+        EXPECT_EQ(ring.at(i), static_cast<double>(12 + i));
+
+    const obs::RingRollup roll = ring.rollup();
+    EXPECT_EQ(roll.count, 8);
+    EXPECT_EQ(roll.total, 20);
+    EXPECT_EQ(roll.min, 12.0);
+    EXPECT_EQ(roll.max, 19.0);
+    EXPECT_EQ(roll.mean, 15.5);
+    EXPECT_EQ(roll.last, 19.0);
+    // Nearest-rank p99 of an 8-sample window is the window max.
+    EXPECT_EQ(roll.p99, 19.0);
+
+    std::vector<double> window;
+    ring.snapshot(window);
+    ASSERT_EQ(window.size(), 8u);
+    EXPECT_EQ(window.front(), 12.0);
+    EXPECT_EQ(window.back(), 19.0);
+
+    ring.reset();
+    EXPECT_EQ(ring.size(), 0);
+    EXPECT_EQ(ring.capacity(), 8);
+
+    // Registry: find-or-create returns a stable reference and the
+    // creation-time capacity wins over later requests.
+    obs::Ring &a = obs::RingRegistry::instance().ring("test.ring", 4);
+    obs::Ring &b =
+        obs::RingRegistry::instance().ring("test.ring", 1024);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.capacity(), 4);
+}
+
+TEST(Probes, HealthArithmeticMatchesHandComputedNorms)
+{
+    // l2 helpers against hand-evaluated sums.
+    const float a[4] = {3.0f, 4.0f, 0.0f, -2.0f};
+    const float b[4] = {1.0f, 4.0f, 2.0f, 0.0f};
+    EXPECT_EQ(obs::l2NormSq(a, 4), 29.0);       // 9+16+0+4
+    EXPECT_EQ(obs::l2DiffNormSq(a, b, 4), 12.0); // 4+0+4+4
+
+    obs::CompressionHealth h;
+    h.sends = 4;
+    h.compressedSends = 3;
+    h.exactBytes = 4000;
+    h.wireBytes = 1000;
+    h.inputNormSq = 29.0;
+    h.errNormSq = 12.0;
+    h.residualNormSq = 16.0;
+    h.cosineSum = 2.7;
+    h.cosineCount = 3;
+    EXPECT_EQ(h.wireRatio(), 0.25);
+    EXPECT_EQ(h.relError(), std::sqrt(12.0 / 29.0));
+    EXPECT_EQ(h.residualNorm(), 4.0);
+    EXPECT_EQ(h.meanCosine(), 2.7 / 3.0);
+
+    // Defaults: nothing moved / nothing sampled degrade to neutral.
+    const obs::CompressionHealth empty;
+    EXPECT_EQ(empty.wireRatio(), 1.0);
+    EXPECT_EQ(empty.relError(), 0.0);
+    EXPECT_EQ(empty.meanCosine(), 1.0);
+
+    // merge() folds accumulators; delta() subtracts them but keeps
+    // residualNormSq (state, not accumulation).
+    obs::CompressionHealth sum = h;
+    sum.merge(h);
+    EXPECT_EQ(sum.sends, 8);
+    EXPECT_EQ(sum.exactBytes, 8000);
+    EXPECT_EQ(sum.inputNormSq, 58.0);
+    EXPECT_EQ(sum.residualNormSq, 32.0);
+    const obs::CompressionHealth window = sum.delta(h);
+    EXPECT_EQ(window.sends, 4);
+    EXPECT_EQ(window.wireBytes, 1000);
+    EXPECT_EQ(window.errNormSq, 12.0);
+    EXPECT_EQ(window.cosineCount, 3);
+    EXPECT_EQ(window.residualNormSq, sum.residualNormSq);
+}
+
+TEST(Probes, SampledCadenceFollowsProbeStepBegin)
+{
+    obs::enableProbes(true);
+    obs::setProbeInterval(4);
+    obs::probeStepBegin(0);
+    EXPECT_TRUE(obs::probeActive());
+    obs::probeStepBegin(1);
+    EXPECT_FALSE(obs::probeActive());
+    obs::probeStepBegin(4);
+    EXPECT_TRUE(obs::probeActive());
+
+    // Disabling probes disarms the gate immediately, and a begin
+    // while disabled stays disarmed.
+    obs::enableProbes(false);
+    EXPECT_FALSE(obs::probeActive());
+    obs::probeStepBegin(0);
+    EXPECT_FALSE(obs::probeActive());
+
+    obs::setProbeInterval(0); // clamps to 1
+    EXPECT_EQ(obs::probeInterval(), 1);
+    obs::setProbeInterval(16);
+}
+
+TEST(Alerts, RateLimiterHoldsPerChannelAndKind)
+{
+    obs::AlertLog &log = obs::AlertLog::instance();
+    log.reset();
+    obs::probeThresholds().alertIntervalSteps = 10;
+
+    EXPECT_TRUE(log.raise("dp", obs::AlertKind::RelError, 0, 0.97,
+                          0.95));
+    for (int64_t step = 1; step < 10; ++step) {
+        EXPECT_FALSE(log.raise("dp", obs::AlertKind::RelError, step,
+                               0.98, 0.95));
+    }
+    // A different kind (or channel) has its own slot.
+    EXPECT_TRUE(log.raise("dp", obs::AlertKind::GradNorm, 1, 50.0,
+                          10.0));
+    EXPECT_TRUE(log.raise("pp", obs::AlertKind::RelError, 1, 0.99,
+                          0.95));
+    // The interval expires at lastStep + interval.
+    EXPECT_TRUE(log.raise("dp", obs::AlertKind::RelError, 10, 0.96,
+                          0.95));
+
+    EXPECT_EQ(log.raisedTotal(), 4);
+    const std::vector<obs::Alert> alerts = log.snapshot();
+    ASSERT_EQ(alerts.size(), 4u);
+    EXPECT_STREQ(alerts[0].channel, "dp");
+    EXPECT_EQ(alerts[0].step, 0);
+    EXPECT_EQ(alerts[0].value, 0.97);
+    EXPECT_EQ(alerts[0].threshold, 0.95);
+    EXPECT_STREQ(obs::alertKindName(alerts[1].kind), "gradNorm");
+    log.reset();
+    EXPECT_EQ(log.raisedTotal(), 0);
+}
+
+TEST(ProbedTrainer, ProbesAreBitwiseNeutralAndReconcile)
+{
+    // The probe acceptance gate: 5 probed iterations (every step
+    // sampled, rings on) must be bitwise identical to the unprobed
+    // run at every OPTIMUS_THREADS level ctest runs us at.
+    resetTracing();
+    obs::enableProbes(false);
+    std::vector<double> plain_losses;
+    Trainer3d plain(tracedConfig(""));
+    {
+        LmDataset data = tinyData(tinyModel().seqLen);
+        Rng rng(11);
+        for (int it = 0; it < 5; ++it)
+            plain_losses.push_back(
+                plain.trainIteration(data, rng).loss);
+    }
+
+    obs::RingRegistry::instance().resetValues();
+    obs::enableMetrics(true);
+    obs::enableProbes(true);
+    obs::setProbeInterval(1);
+    Trainer3dConfig probed_config = tracedConfig("");
+    probed_config.traceCommunication = true;
+    Trainer3d probed(probed_config);
+    {
+        LmDataset data = tinyData(tinyModel().seqLen);
+        Rng rng(11);
+        for (int it = 0; it < 5; ++it) {
+            EXPECT_EQ(probed.trainIteration(data, rng).loss,
+                      plain_losses[static_cast<size_t>(it)])
+                << "iteration " << it;
+        }
+    }
+    const obs::CompressionHealth pp = probed.ppHealth();
+    const obs::CompressionHealth dp = probed.dpHealth();
+    obs::enableProbes(false);
+    obs::enableMetrics(false);
+    obs::setProbeInterval(16);
+
+    EXPECT_EQ(bitwiseMismatch(probed, plain), 0);
+
+    // The probes actually observed the run...
+    EXPECT_GT(pp.compressedSends, 0);
+    EXPECT_GT(dp.compressedSends, 0);
+    EXPECT_GT(pp.inputNormSq, 0.0);
+    EXPECT_GT(dp.inputNormSq, 0.0);
+    EXPECT_GT(pp.relError(), 0.0);
+    EXPECT_LT(pp.relError(), 1.0);
+    EXPECT_GT(dp.meanCosine(), 0.0);
+    EXPECT_LE(dp.meanCosine(), 1.0);
+    EXPECT_LT(dp.wireRatio(), 1.0);
+
+    // ...and its byte totals reconcile with the CommTrace exactly:
+    // both are folds over the same transport events.
+    const CommTrace *trace = probed.trace();
+    ASSERT_NE(trace, nullptr);
+    const auto dp_volume = trace->volume(CommPhase::DpReduce);
+    EXPECT_EQ(dp.exactBytes, dp_volume.exactBytes);
+    EXPECT_EQ(dp.wireBytes, dp_volume.wireBytes);
+
+    // The probe rings sampled every step.
+    const obs::Ring *relerr =
+        obs::RingRegistry::instance().find("probe.dp.relerr");
+    ASSERT_NE(relerr, nullptr);
+    EXPECT_EQ(relerr->totalPushed(), 5);
+    const obs::Ring *gradnorm =
+        obs::RingRegistry::instance().find("train.gradnorm");
+    ASSERT_NE(gradnorm, nullptr);
+    EXPECT_EQ(gradnorm->totalPushed(), 5);
+    EXPECT_GT(gradnorm->rollup().min, 0.0);
+}
+
+TEST(Promexport, RendersExpositionFormatAndServesHttp)
+{
+    obs::RingRegistry::instance().resetValues();
+    obs::Ring &ring =
+        obs::RingRegistry::instance().ring("test.export.ring", 8);
+    for (int i = 0; i < 3; ++i)
+        ring.push(static_cast<double>(i) + 0.5);
+    obs::AlertLog::instance().reset();
+    obs::AlertLog::instance().raise("test", obs::AlertKind::RelError,
+                                    7, 0.99, 0.95);
+
+    const std::string text = obs::renderPrometheusText();
+    EXPECT_NE(text.find("# TYPE optimus_ring gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("optimus_ring{ring=\"test.export.ring\","
+                        "stat=\"last\"} 2.5"),
+              std::string::npos);
+    EXPECT_NE(text.find("# ring test.export.ring 0 0.5 1.5 2.5"),
+              std::string::npos);
+    EXPECT_NE(text.find("optimus_alerts_total 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("# alert step=7 channel=test "
+                        "kind=relError value=0.99 threshold=0.95"),
+              std::string::npos);
+
+    // Dump: atomic write, parseable back.
+    const std::string path =
+        testing::TempDir() + "optimus_obs_metrics.prom";
+    ASSERT_TRUE(obs::writeMetricsProm(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream dumped;
+    dumped << in.rdbuf();
+    EXPECT_NE(dumped.str().find("# ring test.export.ring"),
+              std::string::npos);
+
+    // Live scrape over the loopback listener on an ephemeral port.
+    ASSERT_TRUE(obs::startMetricsServer(0));
+    const int port = obs::metricsServerPort();
+    ASSERT_GT(port, 0);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ASSERT_EQ(::connect(fd,
+                        reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const char request[] =
+        "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    ASSERT_GT(::send(fd, request, sizeof(request) - 1, 0), 0);
+    std::string response;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        response.append(chunk, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    obs::stopMetricsServer();
+    EXPECT_EQ(obs::metricsServerPort(), -1);
+
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(
+        response.find("Content-Type: text/plain; version=0.0.4"),
+        std::string::npos);
+    EXPECT_NE(response.find("optimus_ring{ring=\"test.export.ring"),
+              std::string::npos);
+    EXPECT_GE(obs::metricsScrapeCount(), 1);
+    obs::AlertLog::instance().reset();
+}
+
+TEST(TraceSummaryServe, SummarizesWavesAndReconcilesBoundary)
+{
+    resetTracing();
+    obs::startTracing();
+
+    serve::ServeConfig config;
+    config.model.vocab = 24;
+    config.model.hidden = 16;
+    config.model.layers = 4;
+    config.model.heads = 2;
+    config.model.seqLen = 16;
+    config.model.seed = 77;
+    config.pipelineStages = 2;
+    config.maxSequences = 4;
+    config.maxBatchTokens = 16;
+    config.boundary.kind = CompressorKind::TopK;
+    config.boundary.topkFraction = 0.5;
+    serve::ServeEngine engine(config);
+    for (int r = 0; r < 4; ++r) {
+        std::vector<int32_t> prompt;
+        for (int t = 0; t < 3 + r % 3; ++t)
+            prompt.push_back((7 * r + 3 * t + 1) % 24);
+        engine.submit(prompt, 4);
+    }
+    engine.drain();
+    obs::stopTracing();
+
+    const std::string path =
+        testing::TempDir() + "optimus_obs_serve_trace.json";
+    ASSERT_TRUE(obs::writeTrace(path));
+    const obs::TraceSummary summary = obs::summarizeTraceFile(path);
+    ASSERT_TRUE(summary.valid);
+
+    // Every scheduler round traced as a wave; prefill and decode
+    // phase seconds nest inside the wave spans.
+    EXPECT_GT(summary.serveWaves, 0);
+    EXPECT_EQ(summary.serveWaves,
+              static_cast<int64_t>(summary.waves.size()));
+    EXPECT_GT(summary.serveDecode, 0.0);
+    EXPECT_GT(summary.servePrefill, 0.0);
+    double wave_step = 0.0;
+    int64_t wave_prefills = 0;
+    for (const obs::ServeWave &wave : summary.waves) {
+        wave_step += wave.stepSeconds;
+        wave_prefills += wave.prefills;
+        EXPECT_LE(wave.prefillSeconds + wave.decodeSeconds,
+                  wave.stepSeconds + 1e-5);
+    }
+    EXPECT_EQ(wave_prefills, 4); // one prefill span per request
+    EXPECT_NEAR(wave_step, summary.serveStep, 1e-9);
+
+    // The per-verb comm rollup folds the same p2pSend events the
+    // engine's probe volume does — exact byte reconciliation.
+    const auto it = summary.commByVerb.find("interStage/p2pSend");
+    ASSERT_NE(it, summary.commByVerb.end());
+    const obs::CompressionHealth health = engine.boundaryHealth();
+    EXPECT_EQ(static_cast<int64_t>(it->second.exactBytes),
+              health.exactBytes);
+    EXPECT_EQ(static_cast<int64_t>(it->second.wireBytes),
+              health.wireBytes);
+    EXPECT_EQ(it->second.spans, health.sends);
+
+    const std::string table = obs::renderTraceSummary(summary);
+    EXPECT_NE(table.find("serve waves"), std::string::npos);
+    EXPECT_NE(table.find("decode"), std::string::npos);
+    EXPECT_NE(table.find("interStage/p2pSend"), std::string::npos);
 }
 
 TEST(QualityExperiment, CollectsMetricsSnapshot)

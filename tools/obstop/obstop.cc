@@ -1,0 +1,284 @@
+/**
+ * @file
+ * obstop: live terminal dashboard over the Optimus metrics exporter.
+ * Reads the Prometheus text exposition either from a running
+ * process's HTTP listener (--port, see OPTIMUS_METRICS_PORT) or
+ * from a metrics.prom dump (--file, see OPTIMUS_METRICS_DUMP), and
+ * renders every time-series ring as a stats row plus a sparkline
+ * built from the raw-series `# ring` exposition comments.
+ *
+ * Usage: obstop --port 9184 [--interval 1.0]
+ *        obstop --file metrics.prom --once
+ *
+ * --once renders a single snapshot and exits (the CI artifact
+ * mode); otherwise the dashboard refreshes until interrupted.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hh"
+#include "util/cli.hh"
+
+namespace
+{
+
+struct RingView
+{
+    std::map<std::string, double> stats; // last/min/max/mean/p99/...
+    std::vector<double> series;          // oldest -> newest
+};
+
+struct Snapshot
+{
+    bool valid = false;
+    std::map<std::string, RingView> rings;
+    std::map<std::string, long long> scalars; // counters and gauges
+    std::vector<std::string> alerts;          // rendered alert lines
+};
+
+/** One-shot HTTP GET of /metrics from the local exporter. */
+std::string
+scrape(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    const char request[] =
+        "GET /metrics HTTP/1.1\r\nHost: localhost\r\n"
+        "Connection: close\r\n\r\n";
+    if (::send(fd, request, sizeof(request) - 1, 0) < 0) {
+        ::close(fd);
+        return "";
+    }
+    std::string response;
+    char buffer[4096];
+    for (;;) {
+        const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (got <= 0)
+            break;
+        response.append(buffer, static_cast<size_t>(got));
+    }
+    ::close(fd);
+    const size_t body = response.find("\r\n\r\n");
+    return body == std::string::npos ? "" : response.substr(body + 4);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return "";
+    std::string text;
+    char buffer[4096];
+    size_t got;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0)
+        text.append(buffer, got);
+    std::fclose(f);
+    return text;
+}
+
+/** Split the exposition text into lines (no trailing '\n'). */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    size_t begin = 0;
+    while (begin < text.size()) {
+        size_t end = text.find('\n', begin);
+        if (end == std::string::npos)
+            end = text.size();
+        lines.push_back(text.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return lines;
+}
+
+/**
+ * Parse the exporter's Prometheus text (see
+ * src/obs/promexport.cc): stat-labeled optimus_ring gauges, raw
+ * series in `# ring` comments, plain scalars, `# alert` comments.
+ */
+Snapshot
+parse(const std::string &text)
+{
+    Snapshot snap;
+    for (const std::string &line : splitLines(text)) {
+        if (line.rfind("# ring ", 0) == 0) {
+            // "# ring NAME FIRSTINDEX v0 v1 ..."
+            char name[128] = {0};
+            int consumed = 0;
+            long long first = 0;
+            if (std::sscanf(line.c_str(), "# ring %127s %lld%n",
+                            name, &first, &consumed) < 2)
+                continue;
+            RingView &ring = snap.rings[name];
+            ring.series.clear();
+            const char *cursor = line.c_str() + consumed;
+            char *end = nullptr;
+            for (;;) {
+                const double v = std::strtod(cursor, &end);
+                if (end == cursor)
+                    break;
+                ring.series.push_back(v);
+                cursor = end;
+            }
+            snap.valid = true;
+            continue;
+        }
+        if (line.rfind("# alert ", 0) == 0) {
+            snap.alerts.push_back(line.substr(2));
+            continue;
+        }
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (line.rfind("optimus_ring{", 0) == 0) {
+            char name[128] = {0};
+            char stat[32] = {0};
+            double value = 0.0;
+            if (std::sscanf(line.c_str(),
+                            "optimus_ring{ring=\"%127[^\"]\","
+                            "stat=\"%31[^\"]\"} %lf",
+                            name, stat, &value) == 3) {
+                snap.rings[name].stats[stat] = value;
+                snap.valid = true;
+            }
+            continue;
+        }
+        char metric[160] = {0};
+        long long value = 0;
+        if (std::sscanf(line.c_str(), "%159s %lld", metric,
+                        &value) == 2 &&
+            std::strncmp(metric, "optimus_", 8) == 0) {
+            snap.scalars[metric] = value;
+            snap.valid = true;
+        }
+    }
+    return snap;
+}
+
+/** Unicode block sparkline of the newest @p width samples. */
+std::string
+sparkline(const std::vector<double> &series, size_t width)
+{
+    static const char *kBlocks[] = {"\xe2\x96\x81", "\xe2\x96\x82",
+                                    "\xe2\x96\x83", "\xe2\x96\x84",
+                                    "\xe2\x96\x85", "\xe2\x96\x86",
+                                    "\xe2\x96\x87", "\xe2\x96\x88"};
+    if (series.empty())
+        return "";
+    const size_t n = series.size() > width ? width : series.size();
+    const size_t offset = series.size() - n;
+    double lo = series[offset], hi = series[offset];
+    for (size_t i = offset; i < series.size(); ++i) {
+        lo = series[i] < lo ? series[i] : lo;
+        hi = series[i] > hi ? series[i] : hi;
+    }
+    std::string out;
+    for (size_t i = offset; i < series.size(); ++i) {
+        const double unit =
+            hi > lo ? (series[i] - lo) / (hi - lo) : 0.0;
+        int level = static_cast<int>(unit * 7.0 + 0.5);
+        level = level < 0 ? 0 : (level > 7 ? 7 : level);
+        out += kBlocks[level];
+    }
+    return out;
+}
+
+void
+render(const Snapshot &snap, bool clear)
+{
+    if (clear)
+        std::fputs("\x1b[H\x1b[2J", stdout);
+    std::printf("%-28s %12s %12s %12s %12s %7s  %s\n", "ring",
+                "last", "mean", "p99", "max", "count", "trend");
+    for (const auto &[name, ring] : snap.rings) {
+        const auto stat = [&ring](const char *key) {
+            const auto it = ring.stats.find(key);
+            return it == ring.stats.end() ? 0.0 : it->second;
+        };
+        std::printf("%-28s %12.5g %12.5g %12.5g %12.5g %7.0f  %s\n",
+                    name.c_str(), stat("last"), stat("mean"),
+                    stat("p99"), stat("max"), stat("count"),
+                    sparkline(ring.series, 32).c_str());
+    }
+    if (!snap.scalars.empty())
+        std::printf("\n");
+    for (const auto &[name, value] : snap.scalars) {
+        if (name.rfind("optimus_ring", 0) == 0)
+            continue;
+        std::printf("%-44s %lld\n", name.c_str(), value);
+    }
+    if (!snap.alerts.empty())
+        std::printf("\nalerts:\n");
+    for (const std::string &alert : snap.alerts)
+        std::printf("  %s\n", alert.c_str());
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace optimus;
+
+    const CliArgs args(argc, argv);
+    const std::string file = args.getString("file");
+    const long port = args.getInt("port", -1);
+    if (args.has("help") || (file.empty() && port < 0)) {
+        std::fprintf(
+            stderr,
+            "usage: %s --port PORT [--interval SECONDS] [--once]\n"
+            "       %s --file metrics.prom [--once]\n"
+            "Renders the Optimus telemetry rings (exporter scrape "
+            "or metrics.prom dump) as a terminal dashboard.\n",
+            args.program().c_str(), args.program().c_str());
+        return args.has("help") ? 0 : 2;
+    }
+    const bool once = args.getBool("once");
+    const double interval = args.getDouble("interval", 1.0);
+
+    for (;;) {
+        const std::string text =
+            file.empty() ? scrape(static_cast<int>(port))
+                         : readFile(file);
+        const Snapshot snap = parse(text);
+        if (!snap.valid) {
+            std::fprintf(stderr,
+                         "obstop: no optimus metrics from %s\n",
+                         file.empty() ? "exporter" : file.c_str());
+            return 1;
+        }
+        render(snap, !once);
+        if (once)
+            return 0;
+        // Sleep via the obs clock: the dashboard has no determinism
+        // contract, but one timing idiom keeps OBS01 meaningful.
+        const int64_t until = obs::nowNs() +
+                              static_cast<int64_t>(interval * 1e9);
+        timespec ts{0, 50 * 1000 * 1000};
+        while (obs::nowNs() < until)
+            nanosleep(&ts, nullptr);
+    }
+}

@@ -1,0 +1,54 @@
+/**
+ * OBS02 fixture: ad-hoc telemetry emission in what poses as library
+ * code (the fixture path contains none of the exempt substrings).
+ * Annotated lines must be flagged; everything else must stay clean.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+struct FakeSink
+{
+    // Identifiers that merely share the names: declarations and
+    // member access are not emission calls.
+    int printf = 0;
+    int cerr = 0;
+};
+
+void
+emitsDirectly(double loss, long step)
+{
+    printf("step %ld loss %f\n", step, loss); // optlint:expect(OBS02)
+    std::fprintf(stderr, "loss=%f\n", loss);  // optlint:expect(OBS02)
+    std::fputs("telemetry\n", stdout);        // optlint:expect(OBS02)
+    puts("done");                             // optlint:expect(OBS02)
+    putchar('\n');                            // optlint:expect(OBS02)
+}
+
+void
+emitsThroughStreams(double ratio)
+{
+    std::cout << "ratio " << ratio << "\n"; // optlint:expect(OBS02)
+    std::cerr << "ratio " << ratio << "\n"; // optlint:expect(OBS02)
+    std::clog << "ratio " << ratio << "\n"; // optlint:expect(OBS02)
+}
+
+void
+sanctionedEcho(double value)
+{
+    // The escape hatch for a deliberate human-facing line (the
+    // step-summary echo pattern).
+    std::fprintf(stderr, "alert value=%f\n", // optlint:allow(OBS02)
+                 value);
+}
+
+int
+noFalsePositives(FakeSink &sink)
+{
+    // Member access, bare identifiers not called, and snprintf into
+    // a buffer are all clean.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d", sink.printf);
+    int (*printf_hook)(const char *) = nullptr;
+    return sink.cerr + (printf_hook == nullptr ? 1 : 0) + buf[0];
+}

@@ -54,6 +54,12 @@ const RuleInfo kRules[] = {
               "src/obs and src/util — all timestamps must flow "
               "through obs::nowNs() so spans, counters, and phase "
               "timers share one clock (see DESIGN.md section 4e)"},
+    {"OBS02", "direct printf/std::cout/std::cerr telemetry emission "
+              "from library code — metrics and health signals must "
+              "flow through the obs registries (rings, counters, "
+              "alerts) so the exporter and dashboards see them; "
+              "text output belongs to util/logging and the CLIs "
+              "(see DESIGN.md section 11)"},
     {"SIM01", "raw SIMD intrinsic (_mm*/__m*/__mmask*) outside the "
               "sanctioned kernel files — vector code must live in "
               "src/tensor/simd* or src/tensor/gemm_kernels* behind "
@@ -137,6 +143,25 @@ pathObsExempt(const std::string &path)
     return false;
 }
 
+/**
+ * Paths (substring match) exempt from OBS02: the obs layer itself
+ * (the exporter and the step-summary sink print by design), the
+ * logging sink, and every human-facing surface — CLIs, benches,
+ * tests, examples.
+ */
+const char *kObs02ExemptPaths[] = {"obs/",  "util/logging.", "tools",
+                                   "bench", "tests",         "examples"};
+
+bool
+pathObs02Exempt(const std::string &path)
+{
+    for (const char *p : kObs02ExemptPaths) {
+        if (path.find(p) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
 void
 addViolation(std::vector<Violation> &out, const LexedFile &f, int line,
              const char *rule, std::string message)
@@ -178,8 +203,14 @@ checkTokenBans(const LexedFile &f, std::vector<Violation> &out)
         "gets",   "atoi",   "atol",    "atoll",
         "atof"};
 
+    static const std::set<std::string> kEmitFns = {
+        "printf", "fprintf", "vfprintf", "fputs", "puts", "putchar"};
+    static const std::set<std::string> kEmitStreams = {"cout", "cerr",
+                                                       "clog"};
+
     const bool det_exempt = pathDetExempt(f.path);
     const bool obs_exempt = pathObsExempt(f.path);
+    const bool obs02_exempt = pathObs02Exempt(f.path);
     const bool sim_exempt = pathSimExempt(f.path);
     const auto &t = f.tokens;
     for (size_t i = 0; i < t.size(); ++i) {
@@ -228,6 +259,24 @@ checkTokenBans(const LexedFile &f, std::vector<Violation> &out)
                 addViolation(out, f, t[i].line, "OBS01",
                              "call to " + id + "() (use "
                              "obs::nowNs())");
+            }
+        }
+        if (!obs02_exempt) {
+            if (kEmitFns.count(id) && nextIs(t, i, "(")) {
+                addViolation(out, f, t[i].line, "OBS02",
+                             "call to " + id + "() (route telemetry "
+                             "through obs:: or text through "
+                             "util/logging)");
+            } else if (kEmitStreams.count(id) &&
+                       ((i > 0 && t[i - 1].kind == TokKind::Punct &&
+                         t[i - 1].text == "::") ||
+                        nextIs(t, i, "<<"))) {
+                // `std::cout`/`cout <<` are stream uses; a local
+                // that merely shares the name is not.
+                addViolation(out, f, t[i].line, "OBS02",
+                             "std::" + id + " stream emission (route "
+                             "telemetry through obs:: or text "
+                             "through util/logging)");
             }
         }
         if (!sim_exempt && isSimdIntrinsicIdent(id)) {
